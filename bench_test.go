@@ -1,0 +1,374 @@
+package tfrec
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation (§7) at the tiny scale and reports the figure's headline
+// quantity via b.ReportMetric, so `go test -bench=. -benchmem` doubles as
+// the reproduction run. DESIGN.md §4 maps figures to benches; run
+// `tfrec-exp -fig all -scale small` (or medium) for the fuller tables
+// recorded in EXPERIMENTS.md.
+//
+// Micro-benchmarks for the hot paths (SGD step, sibling pass, composed
+// scoring, cascaded vs naive inference) follow the figure benches.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bpr"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+func BenchmarkFig5_DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Stats.AvgPurchasesPerUser, "purchases/user")
+	}
+}
+
+func BenchmarkFig6a_TFvsMF_AUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mfAUC, _, tfAUC, _ := res.BestAUC()
+		b.ReportMetric(tfAUC, "tf-auc")
+		b.ReportMetric(mfAUC, "mf-auc")
+		if tfAUC <= mfAUC {
+			b.Fatalf("Figure 6(a) shape violated: TF %.4f <= MF %.4f", tfAUC, mfAUC)
+		}
+	}
+}
+
+func BenchmarkFig6b_TFvsMF_MeanRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TF[0].MeanRank, "tf-meanrank")
+		b.ReportMetric(res.MF[0].MeanRank, "mf-meanrank")
+	}
+}
+
+func BenchmarkFig6c_CategoryAUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TF[0].CatAUC, "tf-cat-auc")
+	}
+}
+
+func BenchmarkFig6d_CategoryMeanRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TF[0].CatMeanRank, "tf-cat-meanrank")
+	}
+}
+
+func BenchmarkFig6e_TFvsFPMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6e(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fpmcAUC, _, tfAUC, _ := res.BestAUC()
+		b.ReportMetric(tfAUC, "tf-auc")
+		b.ReportMetric(fpmcAUC, "fpmc-auc")
+	}
+}
+
+func BenchmarkFig7a_TaxonomyLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7a(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AUC[len(res.AUC)-1]-res.AUC[0], "tf4-minus-mf-auc")
+	}
+}
+
+func BenchmarkFig7b_Sparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7b(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gaps := res.Gap()
+		b.ReportMetric(gaps[0], "sparse-gap")
+		b.ReportMetric(gaps[len(gaps)-1], "dense-gap")
+	}
+}
+
+func BenchmarkFig7c_ColdStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7c(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TFCold[0], "tf-cold-auc")
+		b.ReportMetric(res.MFCold[0], "mf-cold-auc")
+	}
+}
+
+func BenchmarkFig7d_SiblingTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7d(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		for i := range res.Factors {
+			gain += res.WithSib[i] - res.WithoutSib[i]
+		}
+		b.ReportMetric(gain/float64(len(res.Factors)), "sibling-auc-gain")
+	}
+}
+
+func BenchmarkFig7e_FactorClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7e(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RawStats.Ratio(), "cluster-ratio")
+	}
+}
+
+func BenchmarkFig7f_MarkovOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7f(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AUC[1]-res.AUC[0], "order1-gain")
+		b.ReportMetric(res.AUC[3]-res.AUC[1], "order3-extra-gain")
+	}
+}
+
+func BenchmarkFig8a_EpochTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8ab(io.Discard, experiments.Tiny(), []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// system 1 = TF no caching; report its single-thread epoch time
+		b.ReportMetric(float64(res.EpochTime[1][0].Microseconds()), "tf-epoch-us")
+		b.ReportMetric(float64(res.EpochTime[0][0].Microseconds()), "mf-epoch-us")
+	}
+}
+
+func BenchmarkFig8b_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8ab(io.Discard, experiments.Tiny(), []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup[1][1], "tf-speedup@8")
+		b.ReportMetric(res.Speedup[2][1], "tf-cached-speedup@8")
+	}
+}
+
+func BenchmarkFig8c_CascadedSweepAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8c(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// the paper's headline: ~80% of accuracy at ~50% of the time
+		mid := len(res.KeepPct) / 2
+		b.ReportMetric(res.AccRatio[mid], "acc-ratio@50pct")
+		b.ReportMetric(res.TimeRatio[mid], "time-ratio@50pct")
+	}
+}
+
+func BenchmarkFig8d_CascadedSweepLeaf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8d(io.Discard, experiments.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AccRatio[0], "acc-ratio@5pct")
+		b.ReportMetric(res.AccRatio[len(res.AccRatio)-1], "acc-ratio@100pct")
+	}
+}
+
+// ---- micro-benchmarks on the hot paths ----------------------------------
+
+// benchWorld builds a fixed small world shared by the micro-benches.
+func benchWorld(b *testing.B) (*taxonomy.Tree, *dataset.Dataset) {
+	b.Helper()
+	tree, err := taxonomy.Generate(taxonomy.GenConfig{
+		CategoryLevels: []int{6, 24, 96},
+		Items:          2400,
+		Skew:           0.5,
+	}, vecmath.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := synth.DefaultConfig()
+	cfg.Users = 1000
+	data, _, err := synth.Generate(tree, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, data
+}
+
+func benchModel(b *testing.B, tree *taxonomy.Tree, users int, p model.Params) *model.TF {
+	b.Helper()
+	m, err := model.New(tree, users, p, vecmath.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSGDStepTF(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.01})
+	st := bpr.NewStepper(m, bpr.PlainStores(m), bpr.StepConfig{LearnRate: 0.05, Lambda: 0.01}, vecmath.NewRNG(3))
+	events := data.Events()
+	rng := vecmath.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[rng.Intn(len(events))]
+		h := data.Users[ev.User].Baskets
+		prev := m.PrevBaskets(h, int(ev.Txn))
+		j := st.SampleNegative(h[ev.Txn])
+		st.Step(int(ev.User), int(ev.Item), j, prev)
+	}
+}
+
+func BenchmarkSGDStepMF(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 1, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	st := bpr.NewStepper(m, bpr.PlainStores(m), bpr.StepConfig{LearnRate: 0.05, Lambda: 0.01}, vecmath.NewRNG(3))
+	events := data.Events()
+	rng := vecmath.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[rng.Intn(len(events))]
+		h := data.Users[ev.User].Baskets
+		j := st.SampleNegative(h[ev.Txn])
+		st.Step(int(ev.User), int(ev.Item), j, nil)
+	}
+}
+
+func BenchmarkSiblingPass(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	st := bpr.NewStepper(m, bpr.PlainStores(m), bpr.StepConfig{LearnRate: 0.05, Lambda: 0.01}, vecmath.NewRNG(3))
+	rng := vecmath.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SiblingPass(rng.Intn(m.NumUsers()), rng.Intn(m.NumItems()), nil)
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.01})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Compose()
+	}
+}
+
+func BenchmarkNaiveInference(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	c := m.Compose()
+	q := make([]float64, 20)
+	vecmath.NewRNG(5).NormFloat64()
+	for k := range q {
+		q[k] = float64(k%5) - 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		infer.Naive(c, q, 10)
+	}
+}
+
+func BenchmarkCascadedInference(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	c := m.Compose()
+	q := make([]float64, 20)
+	for k := range q {
+		q[k] = float64(k%5) - 2
+	}
+	cfg := infer.UniformCascade(tree.Depth(), 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := infer.Cascade(c, q, cfg, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelEvaluation measures the §6.2 user-partitioned
+// evaluation (the paper used Hadoop; we shard users over goroutines).
+func BenchmarkParallelEvaluation(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	c := m.Compose()
+	split := data.Split(dataset.DefaultSplitConfig())
+	history := dataset.Concat(split.Train, split.Validation)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := eval.Config{T: 1, CategoryDepth: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				res := eval.Evaluate(c, history, split.Test, cfg)
+				if res.Users == 0 {
+					b.Fatal("nothing evaluated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTrainEpochSerial(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.Train(m, data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochParallel8(b *testing.B) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.Workers = 8
+	cfg.CacheThreshold = 0.1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := train.Train(m, data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command tfrec-exp regenerates the figures of the paper's evaluation
+// section (§7) at a chosen scale.
+//
+// Usage:
+//
+//	tfrec-exp -fig all -scale small
+//	tfrec-exp -fig 6ad -scale medium
+//	tfrec-exp -list
+//
+// Figure ids: 5, 6ad, 6e, 7a, 7b, 7c, 7d, 7e, 7f, 8ab, 8c, 8d. Results
+// print as aligned text tables; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tfrec-exp: ")
+
+	fig := flag.String("fig", "all", "figure id or 'all'")
+	scale := flag.String("scale", "small", "scale preset: tiny|small|medium|paper")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc, err := experiments.ByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sc.Name == "paper" {
+		fmt.Fprintln(os.Stderr, "warning: paper scale needs several GB of RAM and hours of CPU")
+	}
+
+	if *fig == "all" {
+		if err := experiments.RunAll(os.Stdout, sc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runner, ok := experiments.Registry()[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q; known: %v", *fig, experiments.FigureIDs())
+	}
+	if err := runner(os.Stdout, sc); err != nil {
+		log.Fatal(err)
+	}
+}

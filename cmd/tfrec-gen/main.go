@@ -1,0 +1,107 @@
+// Command tfrec-gen generates a synthetic taxonomy and purchase log to
+// disk in the text formats read by tfrec-train and tfrec-recommend.
+//
+// Usage:
+//
+//	tfrec-gen -out data/ -users 2000 -items 2400 -levels 6,24,96 -seed 42
+//
+// It writes <out>/taxonomy.txt and <out>/purchases.tsv plus a summary of
+// the Figure-5 dataset statistics to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tfrec-gen: ")
+
+	out := flag.String("out", "data", "output directory")
+	users := flag.Int("users", 2000, "number of users")
+	items := flag.Int("items", 2400, "number of items (taxonomy leaves)")
+	levels := flag.String("levels", "6,24,96", "comma-separated category level sizes, top first")
+	meanTxns := flag.Float64("mean-txns", 6, "mean transactions per user")
+	coldFrac := flag.Float64("cold-frac", 0.08, "fraction of items released late (cold start)")
+	skew := flag.Float64("skew", 0.5, "taxonomy fan-out skew (Zipf exponent)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	levelSizes, err := parseLevels(*levels)
+	if err != nil {
+		log.Fatalf("bad -levels: %v", err)
+	}
+
+	tree, err := taxonomy.Generate(taxonomy.GenConfig{
+		CategoryLevels: levelSizes,
+		Items:          *items,
+		Skew:           *skew,
+	}, vecmath.NewRNG(*seed))
+	if err != nil {
+		log.Fatalf("taxonomy: %v", err)
+	}
+
+	cfg := synth.DefaultConfig()
+	cfg.Users = *users
+	cfg.MeanTxns = *meanTxns
+	cfg.ColdFrac = *coldFrac
+	cfg.Seed = *seed + 1
+	logData, _, err := synth.Generate(tree, cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(*out, "taxonomy.txt"), tree.WriteText); err != nil {
+		log.Fatalf("write taxonomy: %v", err)
+	}
+	if err := writeFile(filepath.Join(*out, "purchases.tsv"), logData.WriteTSV); err != nil {
+		log.Fatalf("write purchases: %v", err)
+	}
+
+	split := logData.Split(dataset.DefaultSplitConfig())
+	stats := dataset.ComputeStats(split, 50)
+	fmt.Printf("wrote %s (levels %v, %d items) and %s (%d users, %d purchases)\n",
+		filepath.Join(*out, "taxonomy.txt"), tree.LevelSizes(), tree.NumItems(),
+		filepath.Join(*out, "purchases.tsv"), logData.NumUsers(), logData.NumPurchases())
+	fmt.Printf("avg purchases/user (train side of a mu=0.5 split): %.2f\n", stats.AvgPurchasesPerUser)
+}
+
+func parseLevels(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,111 @@
+// Coldstart demonstrates the paper's §1/§7.4.2 claim: a brand-new item —
+// never purchased by anyone — is ranked sensibly by TF through its
+// category's factors, while plain matrix factorization places it at
+// random.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tfrec "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tree, err := tfrec.GenerateTaxonomy(tfrec.TaxonomyConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          540,
+		Skew:           0.5,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tfrec.DefaultSynthConfig()
+	cfg.Users = 800
+	purchases, _, err := tfrec.GenerateLog(tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a user and find a "new" item: one in the user's favourite leaf
+	// category that nobody has ever bought.
+	user := 3
+	favCat := favouriteCategory(tree, purchases, user)
+	newItem := unseenItemIn(tree, purchases, favCat)
+	if newItem < 0 {
+		log.Fatal("no unseen item available in the favourite category; rerun with more items")
+	}
+	fmt.Printf("user %d's favourite leaf category is node %d; item %d there was never bought by anyone\n",
+		user, favCat, newItem)
+
+	rank := func(levels int) int {
+		p := tfrec.DefaultParams()
+		p.K = 16
+		p.TaxonomyLevels = levels
+		tc := tfrec.DefaultTrainConfig()
+		tc.Epochs = 20
+		rec, _, err := tfrec.Train(tree, purchases, p, tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all, err := rec.Recommend(user, nil, tree.NumItems())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range all {
+			if s.ID == newItem {
+				return i + 1
+			}
+		}
+		return -1
+	}
+
+	mfRank := rank(1)            // MF(0): flat factors, the new item is noise
+	tfRank := rank(tree.Depth()) // TF(4,0): category factors carry it
+
+	fmt.Printf("\nrank of the never-seen item among %d items:\n", tree.NumItems())
+	fmt.Printf("  MF(0)  : %4d  (random placement — untrained factor)\n", mfRank)
+	fmt.Printf("  TF(%d,0): %4d  (carried by its category's factors)\n", tree.Depth(), tfRank)
+	if tfRank < mfRank {
+		fmt.Println("\nTF rescues the cold-start item, as in Figure 7(c) of the paper.")
+	} else {
+		fmt.Println("\nunexpected: rerun with another seed — at tiny scales the MF rank is a coin flip")
+	}
+}
+
+// favouriteCategory returns the leaf-category node the user bought from
+// most often.
+func favouriteCategory(tree *tfrec.Taxonomy, purchases *tfrec.Dataset, user int) int {
+	counts := map[int]int{}
+	catDepth := tree.Depth() - 1
+	for _, b := range purchases.Users[user].Baskets {
+		for _, it := range b {
+			cat := tree.AncestorAtDepth(tree.ItemNode(int(it)), catDepth)
+			counts[cat]++
+		}
+	}
+	best, bestN := -1, -1
+	for cat, n := range counts {
+		if n > bestN {
+			best, bestN = cat, n
+		}
+	}
+	return best
+}
+
+// unseenItemIn returns an item under cat that no user ever purchased, or
+// -1 if none exists.
+func unseenItemIn(tree *tfrec.Taxonomy, purchases *tfrec.Dataset, cat int) int {
+	seen := purchases.GlobalItemSet()
+	for _, leaf := range tree.Children(cat) {
+		item := tree.NodeItem(int(leaf))
+		if _, ok := seen[int32(item)]; !ok {
+			return item
+		}
+	}
+	return -1
+}

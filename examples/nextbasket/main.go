@@ -1,0 +1,96 @@
+// Nextbasket demonstrates the short-term (Markov) term of the TF model
+// (§3.2): after a user buys from one category, the next-item factors lift
+// items of the follow-on category — the paper's camera → flash-memory
+// pattern — while a time-blind model's ranking does not move at all.
+//
+//	go run ./examples/nextbasket
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tfrec "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tree, err := tfrec.GenerateTaxonomy(tfrec.TaxonomyConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          540,
+		Skew:           0.5,
+	}, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tfrec.DefaultSynthConfig()
+	cfg.Users = 1000
+	cfg.PFollow = 0.55 // strong "accessory follows device" dynamics
+	purchases, truth, err := tfrec.GenerateLog(tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the temporal model TF(4,1) and the time-blind TF(4,0).
+	trainOne := func(markov int) *tfrec.Recommender {
+		p := tfrec.DefaultParams()
+		p.K = 16
+		p.TaxonomyLevels = tree.Depth()
+		p.MarkovOrder = markov
+		tc := tfrec.DefaultTrainConfig()
+		tc.Epochs = 20
+		rec, _, err := tfrec.Train(tree, purchases, p, tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rec
+	}
+	temporal := trainOne(1)
+	static := trainOne(0)
+
+	// Simulate: the user just bought an item of a "device" category. The
+	// generator's ground truth says which "accessory" category typically
+	// follows it. We measure the mean rank (lower = recommended sooner)
+	// of the accessory category's items before and after the purchase,
+	// averaged over several device categories and users.
+	catDepth := tree.Depth() - 1
+	cats := tree.Level(catDepth)
+
+	meanRank := func(rec *tfrec.Recommender, user int, recent []tfrec.Basket, wantCat int) float64 {
+		all, err := rec.Recommend(user, recent, tree.NumItems())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		count := 0
+		for i, s := range all {
+			if tree.AncestorAtDepth(tree.ItemNode(s.ID), catDepth) == wantCat {
+				sum += float64(i + 1)
+				count++
+			}
+		}
+		return sum / float64(count)
+	}
+
+	var beforeT, afterT, afterS float64
+	trials := 0
+	for ci := 0; ci < 8; ci++ {
+		boughtCat := int(cats[ci])
+		successor := int(cats[truth.Successor[truth.CatIndex[cats[ci]]]])
+		justBought := []tfrec.Basket{{int32(tree.NodeItem(int(tree.Children(boughtCat)[0])))}}
+		for user := 0; user < 15; user++ {
+			beforeT += meanRank(temporal, user, nil, successor)
+			afterT += meanRank(temporal, user, justBought, successor)
+			afterS += meanRank(static, user, justBought, successor)
+			trials++
+		}
+	}
+	n := float64(trials)
+	fmt.Printf("mean rank of the follow-on (accessory) category's items, out of %d:\n", tree.NumItems())
+	fmt.Printf("  TF(4,0) time-blind, after the device purchase:  %6.1f (no reaction)\n", afterS/n)
+	fmt.Printf("  TF(4,1) temporal,   before the purchase:        %6.1f\n", beforeT/n)
+	fmt.Printf("  TF(4,1) temporal,   after the purchase:         %6.1f\n", afterT/n)
+	fmt.Println("\nthe temporal model pulls the accessories up the moment the device is bought —")
+	fmt.Println("the paper's camera → flash-memory dynamic (§3.2, Figure 2a)")
+}

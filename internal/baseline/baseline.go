@@ -1,0 +1,132 @@
+// Package baseline provides the comparison systems of the paper's
+// evaluation (§7.2) and related work (§8):
+//
+//   - MF(B): the plain BPR latent factor model with a B-step Markov term,
+//     constructed as the exact TF special case taxonomyUpdateLevels=1.
+//     MF(0) is classic BPR-MF ("SVD++" in the paper's naming); MF(1) is
+//     FPMC (Rendle et al., WWW 2010), the state of the art the paper
+//     compares against.
+//   - Popularity: rank items by global train-set purchase count — the
+//     sanity floor every personalized model must clear.
+//   - Cooccurrence: an association-rule stand-in that scores items by how
+//     often they followed the user's recent purchases in train
+//     (§8 discusses Apriori-style mining as the classical alternative).
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// MFParams returns the TF parameter block that makes the model an exact
+// MF(B): one taxonomy level (items only) and a B-step Markov chain.
+func MFParams(k, b int) model.Params {
+	return model.Params{K: k, TaxonomyLevels: 1, MarkovOrder: b, Alpha: 1.0, InitStd: 0.01}
+}
+
+// NewMF builds an MF(B) model over the taxonomy's items. The taxonomy is
+// still carried for item identity, but no interior node is ever trained.
+func NewMF(tree *taxonomy.Tree, numUsers, k, b int, rng *vecmath.RNG) (*model.TF, error) {
+	return model.New(tree, numUsers, MFParams(k, b), rng)
+}
+
+// Popularity scores every item by its train purchase count (log-damped so
+// AUC ties are rare among the tail).
+type Popularity struct {
+	scores []float64
+}
+
+// NewPopularity builds the ranker from the training log.
+func NewPopularity(train *dataset.Dataset) *Popularity {
+	freq := train.ItemFrequencies()
+	scores := make([]float64, len(freq))
+	for i, f := range freq {
+		scores[i] = math.Log1p(float64(f))
+	}
+	return &Popularity{scores: scores}
+}
+
+// NumItems implements eval.FlatScorer.
+func (p *Popularity) NumItems() int { return len(p.scores) }
+
+// UserScores implements eval.FlatScorer; popularity ignores the user and
+// context entirely.
+func (p *Popularity) UserScores(_ int, _ []dataset.Basket, dst []float64) {
+	copy(dst, p.scores)
+}
+
+// Cooccurrence scores item j for a user by the co-purchase counts between
+// j and the items of the user's recent baskets (those within the window).
+// It is the purely count-based, memory-heavy alternative to factor models:
+// exact where data exists, useless in the sparse tail — which is the
+// contrast the paper draws with association-rule mining.
+type Cooccurrence struct {
+	numItems int
+	window   int
+	// next[a][b] counts how often b was bought within window transactions
+	// after a.
+	next  map[int32]map[int32]float64
+	prior []float64 // popularity fallback, scaled small, to break ties
+}
+
+// NewCooccurrence builds the co-purchase table from train: for every
+// ordered pair (a in B_t, b in B_{t'}) with t < t' <= t+window, the count
+// of (a→b) is incremented.
+func NewCooccurrence(train *dataset.Dataset, window int) *Cooccurrence {
+	if window < 1 {
+		window = 1
+	}
+	co := &Cooccurrence{
+		numItems: train.NumItems,
+		window:   window,
+		next:     make(map[int32]map[int32]float64),
+		prior:    make([]float64, train.NumItems),
+	}
+	for i, f := range train.ItemFrequencies() {
+		co.prior[i] = 1e-6 * math.Log1p(float64(f))
+	}
+	for u := range train.Users {
+		baskets := train.Users[u].Baskets
+		for t := 0; t < len(baskets); t++ {
+			for dt := 1; dt <= window && t+dt < len(baskets); dt++ {
+				for _, a := range baskets[t] {
+					succ := co.next[a]
+					if succ == nil {
+						succ = make(map[int32]float64)
+						co.next[a] = succ
+					}
+					for _, b := range baskets[t+dt] {
+						succ[b]++
+					}
+				}
+			}
+		}
+	}
+	return co
+}
+
+// NumItems implements eval.FlatScorer.
+func (c *Cooccurrence) NumItems() int { return c.numItems }
+
+// UserScores implements eval.FlatScorer: sum of co-purchase counts from
+// the context items (within the window) to each candidate, with a tiny
+// popularity prior breaking the all-zero ties of unseen pairs.
+func (c *Cooccurrence) UserScores(_ int, context []dataset.Basket, dst []float64) {
+	copy(dst, c.prior)
+	for n := 0; n < len(context) && n < c.window; n++ {
+		for _, a := range context[n] {
+			for b, cnt := range c.next[a] {
+				dst[b] += cnt
+			}
+		}
+	}
+}
+
+// PairCount returns the raw co-purchase count for (a then b); tests use it.
+func (c *Cooccurrence) PairCount(a, b int32) float64 {
+	return c.next[a][b]
+}

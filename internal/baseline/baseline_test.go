@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func world(t *testing.T) (*taxonomy.Tree, dataset.Split) {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          300,
+		Skew:           0.4,
+	}, vecmath.NewRNG(41))
+	cfg := synth.DefaultConfig()
+	cfg.Users = 400
+	d, _, err := synth.Generate(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, d.Split(dataset.DefaultSplitConfig())
+}
+
+func TestMFParamsIsFlat(t *testing.T) {
+	p := MFParams(16, 2)
+	if p.TaxonomyLevels != 1 {
+		t.Fatalf("TaxonomyLevels = %d, want 1", p.TaxonomyLevels)
+	}
+	if p.MarkovOrder != 2 || p.K != 16 {
+		t.Fatalf("params = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMFNeverTrainsInterior(t *testing.T) {
+	tree, split := world(t)
+	m, err := NewMF(tree, split.Train.NumUsers(), 8, 0, vecmath.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainedBand() != 1 {
+		t.Fatalf("TrainedBand = %d, want 1", m.TrainedBand())
+	}
+	for d := 0; d < tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			if vecmath.Norm2(m.Node.Row(int(node))) != 0 {
+				t.Fatal("interior node initialized under MF")
+			}
+		}
+	}
+}
+
+func TestPopularityBeatsNothingButIsAboveChance(t *testing.T) {
+	_, split := world(t)
+	pop := NewPopularity(split.Train)
+	res := eval.EvaluateFlat(pop, split.Train, split.Test, eval.DefaultConfig(), 0)
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	// popularity is a real signal on Zipf data: should clear 0.5
+	if res.AUC < 0.52 {
+		t.Fatalf("popularity AUC = %v, want > 0.52", res.AUC)
+	}
+}
+
+func TestPopularityIsUserIndependent(t *testing.T) {
+	_, split := world(t)
+	pop := NewPopularity(split.Train)
+	a := make([]float64, pop.NumItems())
+	b := make([]float64, pop.NumItems())
+	pop.UserScores(0, nil, a)
+	pop.UserScores(7, []dataset.Basket{{1, 2}}, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("popularity must ignore user and context")
+		}
+	}
+}
+
+func TestCooccurrenceCounts(t *testing.T) {
+	d := &dataset.Dataset{NumItems: 6, Users: []dataset.History{
+		{Baskets: []dataset.Basket{{0}, {1}, {2}}},
+		{Baskets: []dataset.Basket{{0}, {1}}},
+	}}
+	co := NewCooccurrence(d, 1)
+	if got := co.PairCount(0, 1); got != 2 {
+		t.Fatalf("count(0->1) = %v, want 2", got)
+	}
+	if got := co.PairCount(1, 2); got != 1 {
+		t.Fatalf("count(1->2) = %v, want 1", got)
+	}
+	if got := co.PairCount(0, 2); got != 0 {
+		t.Fatalf("window 1 must not see 0->2, got %v", got)
+	}
+	co2 := NewCooccurrence(d, 2)
+	if got := co2.PairCount(0, 2); got != 1 {
+		t.Fatalf("window 2 count(0->2) = %v, want 1", got)
+	}
+}
+
+func TestCooccurrenceScoring(t *testing.T) {
+	d := &dataset.Dataset{NumItems: 5, Users: []dataset.History{
+		{Baskets: []dataset.Basket{{0}, {1}}},
+		{Baskets: []dataset.Basket{{0}, {1}}},
+		{Baskets: []dataset.Basket{{0}, {3}}},
+	}}
+	co := NewCooccurrence(d, 1)
+	scores := make([]float64, 5)
+	co.UserScores(0, []dataset.Basket{{0}}, scores)
+	if !(scores[1] > scores[3] && scores[3] > scores[2]) {
+		t.Fatalf("scores = %v: want 1 > 3 > others after seeing 0", scores)
+	}
+}
+
+func TestCooccurrencePredictsChainedCategories(t *testing.T) {
+	_, split := world(t)
+	co := NewCooccurrence(split.Train, 2)
+	res := eval.EvaluateFlat(co, split.Train, split.Test, eval.DefaultConfig(), 2)
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	// item-level co-occurrence on sparse data is weak but should not be
+	// actively harmful
+	if res.AUC < 0.45 {
+		t.Fatalf("co-occurrence AUC = %v, suspiciously bad", res.AUC)
+	}
+}
+
+func TestEvaluateFlatColdMetrics(t *testing.T) {
+	_, split := world(t)
+	pop := NewPopularity(split.Train)
+	res := eval.EvaluateFlat(pop, split.Train, split.Test, eval.DefaultConfig(), 0)
+	// cold items have zero train frequency: popularity ranks them at the
+	// bottom, so cold AUC must be poor (near 0) — and certainly below the
+	// overall AUC
+	if res.ColdCount > 0 && res.ColdAUC > res.AUC {
+		t.Fatalf("popularity cold AUC %v should not beat overall %v", res.ColdAUC, res.AUC)
+	}
+}

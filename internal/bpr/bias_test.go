@@ -1,0 +1,186 @@
+package bpr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// TestBiasGradientNumerically repeats the finite-difference check with
+// UseBias enabled, covering the bias update path end to end.
+func TestBiasGradientNumerically(t *testing.T) {
+	tree := testTree(t)
+	p := model.Params{K: 3, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 0.8, InitStd: 0.3, UseBias: true}
+	m := newModel(t, tree, p)
+	// give biases nonzero values so shrinkage terms would show up if the
+	// test config had lambda != 0
+	rng := vecmath.NewRNG(99)
+	for node := 0; node < tree.NumNodes(); node++ {
+		m.Bias.Row(node)[0] = 0.2 * rng.NormFloat64()
+	}
+
+	u, i, j := 1, 3, 19
+	prev := []dataset.Basket{{5}}
+	logLik := func() float64 {
+		return vecmath.LogSigmoid(pairScore(m, u, i, j, prev))
+	}
+
+	biasBefore := m.Bias.Clone()
+	userBefore := m.User.Clone()
+	nodeBefore := m.Node.Clone()
+	nextBefore := m.Next.Clone()
+	const eps = 1e-4
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: eps, Lambda: 0}, vecmath.NewRNG(4))
+	st.Step(u, i, j, prev)
+	biasAfter := m.Bias.Clone()
+	// restore the whole pre-step point: the finite difference must probe
+	// the same state the analytic gradient was computed at
+	m.Bias.CopyRowsFrom(biasBefore)
+	m.User.CopyRowsFrom(userBefore)
+	m.Node.CopyRowsFrom(nodeBefore)
+	m.Next.CopyRowsFrom(nextBefore)
+
+	const h = 1e-6
+	for node := 0; node < tree.NumNodes(); node++ {
+		analytic := (biasAfter.Row(node)[0] - biasBefore.Row(node)[0]) / eps
+		if !m.TrainedNode(node) {
+			if analytic != 0 {
+				t.Fatalf("frozen bias %d moved", node)
+			}
+			continue
+		}
+		orig := m.Bias.Row(node)[0]
+		m.Bias.Row(node)[0] = orig + h
+		up := logLik()
+		m.Bias.Row(node)[0] = orig - h
+		down := logLik()
+		m.Bias.Row(node)[0] = orig
+		numeric := (up - down) / (2 * h)
+		if math.Abs(analytic-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("bias[%d]: analytic %v vs numeric %v", node, analytic, numeric)
+		}
+	}
+}
+
+func TestBiasDisabledStaysZero(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.1, Alpha: 1})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.01}, vecmath.NewRNG(5))
+	for s := 0; s < 100; s++ {
+		st.Step(s%m.NumUsers(), s%m.NumItems(), (s*3+1)%m.NumItems(), nil)
+		st.SiblingPass(s%m.NumUsers(), s%m.NumItems(), nil)
+	}
+	for node := 0; node < tree.NumNodes(); node++ {
+		if m.Bias.Row(node)[0] != 0 {
+			t.Fatalf("bias %d trained despite UseBias=false", node)
+		}
+	}
+}
+
+func TestBiasLearnsPopularity(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.01, Alpha: 1, UseBias: true})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.001}, vecmath.NewRNG(6))
+	// item 0 is bought by everyone; random negatives elsewhere
+	rng := vecmath.NewRNG(7)
+	for s := 0; s < 1500; s++ {
+		u := rng.Intn(m.NumUsers())
+		j := 1 + rng.Intn(m.NumItems()-1)
+		st.Step(u, 0, j, nil)
+	}
+	popular := m.ItemBias(0)
+	var others float64
+	for it := 1; it < m.NumItems(); it++ {
+		others += m.ItemBias(it)
+	}
+	others /= float64(m.NumItems() - 1)
+	if popular <= others {
+		t.Fatalf("popular item bias %v should exceed mean %v", popular, others)
+	}
+}
+
+func TestBiasSharesThroughCategory(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.01, Alpha: 1, UseBias: true})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.001}, vecmath.NewRNG(8))
+	// buy only item 0; its never-bought category sibling should still gain
+	// bias over items in other categories, via the shared category offset
+	var sibling int = -1
+	for it := 1; it < m.NumItems(); it++ {
+		if m.ItemPath(it)[1] == m.ItemPath(0)[1] {
+			sibling = it
+			break
+		}
+	}
+	if sibling < 0 {
+		t.Skip("item 0 has no category sibling")
+	}
+	var outsider int = -1
+	for it := 1; it < m.NumItems(); it++ {
+		if m.ItemPath(it)[2] != m.ItemPath(0)[2] {
+			outsider = it
+			break
+		}
+	}
+	rng := vecmath.NewRNG(9)
+	for s := 0; s < 1000; s++ {
+		j := outsider
+		if rng.Float64() < 0.5 {
+			j = 1 + rng.Intn(m.NumItems()-1)
+		}
+		if j == 0 || j == sibling {
+			continue
+		}
+		st.Step(rng.Intn(m.NumUsers()), 0, j, nil)
+	}
+	if m.ItemBias(sibling) <= m.ItemBias(outsider) {
+		t.Fatalf("sibling bias %v should exceed outsider %v via category sharing",
+			m.ItemBias(sibling), m.ItemBias(outsider))
+	}
+}
+
+func TestUniformDecayWeights(t *testing.T) {
+	p := model.Params{K: 2, TaxonomyLevels: 1, MarkovOrder: 4, Alpha: 2, UniformDecay: true}
+	w := p.DecayWeights()
+	for n, v := range w {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("uniform weight[%d] = %v, want 0.5", n, v)
+		}
+	}
+}
+
+func TestRegularizeEffectiveShrinksToo(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.5, Alpha: 1})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.05, Lambda: 1.0, RegularizeEffective: true}, vecmath.NewRNG(10))
+	norm0 := vecmath.Norm2(m.Node.Data())
+	for s := 0; s < 200; s++ {
+		st.Step(0, 1, 2, nil)
+		st.Step(0, 2, 1, nil)
+	}
+	norm1 := vecmath.Norm2(m.Node.Data())
+	if norm1 >= norm0 {
+		t.Fatalf("effective regularization failed to shrink: %v -> %v", norm0, norm1)
+	}
+}
+
+// With lambda=0 both regularization modes must produce identical steps —
+// the modes differ only in the shrinkage term.
+func TestRegularizationModesAgreeAtLambdaZero(t *testing.T) {
+	tree := testTree(t)
+	build := func(regEff bool) *model.TF {
+		m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.2, Alpha: 1})
+		st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.05, Lambda: 0, RegularizeEffective: regEff}, vecmath.NewRNG(11))
+		for s := 0; s < 50; s++ {
+			st.Step(s%m.NumUsers(), s%m.NumItems(), (s*5+2)%m.NumItems(), nil)
+		}
+		return m
+	}
+	a, b := build(false), build(true)
+	if d := a.Node.MaxAbsDiff(b.Node); d > 1e-12 {
+		t.Fatalf("modes diverge at lambda=0 by %v", d)
+	}
+}

@@ -1,0 +1,345 @@
+package bpr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func testTree(t *testing.T) *taxonomy.Tree {
+	t.Helper()
+	return taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 6},
+		Items:          24,
+		Skew:           0,
+	}, vecmath.NewRNG(2))
+}
+
+func newModel(t *testing.T, tree *taxonomy.Tree, p model.Params) *model.TF {
+	t.Helper()
+	m, err := model.New(tree, 10, p, vecmath.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// pairScore computes x = s(i) − s(j) directly from the model, the quantity
+// the BPR step pushes upward.
+func pairScore(m *model.TF, u, i, j int, prev []dataset.Basket) float64 {
+	q := make([]float64, m.K())
+	m.BuildQueryInto(u, prev, q)
+	return m.Score(q, i) - m.Score(q, j)
+}
+
+// TestStepGradientNumerically is the core correctness test for the
+// hand-rolled SGD: with λ=0 the parameter movement divided by ε must equal
+// the true gradient of ln σ(x) at the pre-step point, because Step
+// computes every coefficient before writing. The true gradient is
+// estimated by central finite differences on the model's own scoring path.
+func TestStepGradientNumerically(t *testing.T) {
+	tree := testTree(t)
+	p := model.Params{K: 4, TaxonomyLevels: 3, MarkovOrder: 2, Alpha: 0.8, InitStd: 0.3}
+	m := newModel(t, tree, p)
+
+	u, i, j := 2, 5, 17
+	prev := []dataset.Basket{{3, 7}, {11}}
+
+	logLik := func() float64 {
+		return vecmath.LogSigmoid(pairScore(m, u, i, j, prev))
+	}
+
+	// snapshot, then one exact step
+	userBefore := m.User.Clone()
+	nodeBefore := m.Node.Clone()
+	nextBefore := m.Next.Clone()
+	const eps = 1e-4
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: eps, Lambda: 0}, vecmath.NewRNG(4))
+	st.Step(u, i, j, prev)
+
+	userAfter := m.User.Clone()
+	nodeAfter := m.Node.Clone()
+	nextAfter := m.Next.Clone()
+
+	// restore to the pre-step point for finite differencing
+	copy(m.User.Data(), userBefore.Data())
+	copy(m.Node.Data(), nodeBefore.Data())
+	copy(m.Next.Data(), nextBefore.Data())
+
+	// Frozen rows (outside the trained band) must not move even though the
+	// objective has nonzero gradient there — that is what
+	// taxonomyUpdateLevels < full depth means.
+	check := func(name string, before, after *vecmath.Matrix, live *vecmath.Matrix, nodeIndexed bool) {
+		const h = 1e-6
+		for row := 0; row < live.Rows(); row++ {
+			frozen := nodeIndexed && !m.TrainedNode(row)
+			liveRow := live.Row(row)
+			beforeRow, afterRow := before.Row(row), after.Row(row)
+			for k := range liveRow {
+				analytic := (afterRow[k] - beforeRow[k]) / eps
+				if frozen {
+					if analytic != 0 {
+						t.Fatalf("%s[%d][%d]: frozen parameter moved by %v", name, row, k, analytic*eps)
+					}
+					continue
+				}
+				orig := liveRow[k]
+				liveRow[k] = orig + h
+				up := logLik()
+				liveRow[k] = orig - h
+				down := logLik()
+				liveRow[k] = orig
+				numeric := (up - down) / (2 * h)
+				if math.Abs(analytic-numeric) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("%s[%d][%d]: analytic %v vs numeric %v", name, row, k, analytic, numeric)
+				}
+			}
+		}
+	}
+	check("user", userBefore, userAfter, m.User, false)
+	check("node", nodeBefore, nodeAfter, m.Node, true)
+	check("next", nextBefore, nextAfter, m.Next, true)
+}
+
+func TestStepIncreasesPairScore(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 6, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 1, InitStd: 0.1})
+	u, i, j := 1, 3, 20
+	prev := []dataset.Basket{{8}}
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0}, vecmath.NewRNG(5))
+	before := pairScore(m, u, i, j, prev)
+	for step := 0; step < 20; step++ {
+		st.Step(u, i, j, prev)
+	}
+	after := pairScore(m, u, i, j, prev)
+	if after <= before {
+		t.Fatalf("pair score did not increase: %v -> %v", before, after)
+	}
+}
+
+func TestStepLogLikelihoodImproves(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 2, InitStd: 0.1, Alpha: 1})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.001}, vecmath.NewRNG(6))
+	first := st.Step(0, 1, 2, nil)
+	var last float64
+	for s := 0; s < 50; s++ {
+		last = st.Step(0, 1, 2, nil)
+	}
+	if last <= first {
+		t.Fatalf("ln sigma did not improve: %v -> %v", first, last)
+	}
+}
+
+func TestRegularizationShrinksFactors(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 2, InitStd: 0.5, Alpha: 1})
+	// λ large, and alternate (i,j) so ranking gradients roughly cancel
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.05, Lambda: 1.0}, vecmath.NewRNG(7))
+	norm0 := vecmath.Norm2(m.Node.Data())
+	for s := 0; s < 200; s++ {
+		st.Step(0, 1, 2, nil)
+		st.Step(0, 2, 1, nil)
+	}
+	norm1 := vecmath.Norm2(m.Node.Data())
+	if norm1 >= norm0 {
+		t.Fatalf("regularization failed to shrink offsets: %v -> %v", norm0, norm1)
+	}
+}
+
+func TestStepOnlyTouchesInvolvedRows(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 1, InitStd: 0.2})
+	u, i, j := 0, 2, 9
+	prev := []dataset.Basket{{4}}
+	nodeBefore := m.Node.Clone()
+	userBefore := m.User.Clone()
+	nextBefore := m.Next.Clone()
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.01}, vecmath.NewRNG(8))
+	st.Step(u, i, j, prev)
+
+	involvedNode := map[int]bool{}
+	band := m.TrainedBand()
+	for _, it := range []int{i, j} {
+		for mIdx := 0; mIdx < band; mIdx++ {
+			involvedNode[int(m.ItemPath(it)[mIdx])] = true
+		}
+	}
+	for node := 0; node < tree.NumNodes(); node++ {
+		changed := rowDiff(m.Node, nodeBefore, node) > 0
+		if changed && !involvedNode[node] {
+			t.Fatalf("node %d changed but is not on either path band", node)
+		}
+	}
+	involvedNext := map[int]bool{}
+	for mIdx := 0; mIdx < band; mIdx++ {
+		involvedNext[int(m.ItemPath(4)[mIdx])] = true
+	}
+	for node := 0; node < tree.NumNodes(); node++ {
+		if rowDiff(m.Next, nextBefore, node) > 0 && !involvedNext[node] {
+			t.Fatalf("next offset %d changed unexpectedly", node)
+		}
+	}
+	for user := 0; user < m.NumUsers(); user++ {
+		if rowDiff(m.User, userBefore, user) > 0 && user != u {
+			t.Fatalf("user %d changed but only %d was trained", user, u)
+		}
+	}
+}
+
+func rowDiff(a, b *vecmath.Matrix, row int) float64 {
+	var d float64
+	ra, rb := a.Row(row), b.Row(row)
+	for k := range ra {
+		d += math.Abs(ra[k] - rb[k])
+	}
+	return d
+}
+
+func TestSampleNegativeAvoidsBasket(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 2, TaxonomyLevels: 1, InitStd: 0.1, Alpha: 1})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1}, vecmath.NewRNG(9))
+	basket := dataset.Basket{0, 1, 2, 3}
+	for trial := 0; trial < 500; trial++ {
+		j := st.SampleNegative(basket)
+		if basket.Contains(int32(j)) {
+			t.Fatalf("negative %d is in the basket", j)
+		}
+		if j < 0 || j >= m.NumItems() {
+			t.Fatalf("negative %d out of range", j)
+		}
+	}
+}
+
+func TestSiblingPassMovesOnlySiblingOffsets(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.2, Alpha: 1})
+	i := 7
+	nodeBefore := m.Node.Clone()
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0}, vecmath.NewRNG(10))
+	st.SiblingPass(0, i, nil)
+
+	// changed nodes must be an ancestor of i (positive side) or a sibling
+	// of one of those ancestors (negative side)
+	allowed := map[int]bool{}
+	band := m.TrainedBand()
+	path := m.ItemPath(i)
+	for mIdx := 0; mIdx < band; mIdx++ {
+		a := int(path[mIdx])
+		if a == tree.Root() {
+			break
+		}
+		for _, sib := range tree.Children(tree.Parent(a)) {
+			allowed[int(sib)] = true
+		}
+	}
+	for node := 0; node < tree.NumNodes(); node++ {
+		if rowDiff(m.Node, nodeBefore, node) > 0 && !allowed[node] {
+			t.Fatalf("node %d changed but is neither ancestor nor ancestor-sibling", node)
+		}
+	}
+}
+
+func TestSiblingPassImprovesAncestorContrast(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, InitStd: 0.1, Alpha: 1})
+	u, i := 0, 7
+	q := make([]float64, m.K())
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.05, Lambda: 0}, vecmath.NewRNG(11))
+	// mean score of i's leaf-category ancestor against its siblings
+	contrast := func() float64 {
+		m.BuildQueryInto(u, nil, q)
+		a := int(m.ItemPath(i)[1]) // leaf-category ancestor
+		var buf, sibBuf = make([]float64, m.K()), make([]float64, m.K())
+		m.NodeFactorInto(a, buf)
+		var worst float64
+		n := 0
+		for _, sib := range tree.Children(tree.Parent(a)) {
+			if int(sib) == a {
+				continue
+			}
+			m.NodeFactorInto(int(sib), sibBuf)
+			worst += vecmath.Dot(q, buf) - vecmath.Dot(q, sibBuf)
+			n++
+		}
+		return worst / float64(n)
+	}
+	before := contrast()
+	for s := 0; s < 200; s++ {
+		st.SiblingPass(u, i, nil)
+	}
+	after := contrast()
+	if after <= before {
+		t.Fatalf("sibling training did not raise ancestor contrast: %v -> %v", before, after)
+	}
+}
+
+func TestSharedAncestorGradientsCancel(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 3, TaxonomyLevels: 3, InitStd: 0.2, Alpha: 1})
+	// find two items sharing their leaf-category parent
+	var i, j int = -1, -1
+	for a := 0; a < m.NumItems() && i < 0; a++ {
+		for b := a + 1; b < m.NumItems(); b++ {
+			if m.ItemPath(a)[1] == m.ItemPath(b)[1] {
+				i, j = a, b
+				break
+			}
+		}
+	}
+	if i < 0 {
+		t.Skip("no item pair shares a parent in this tree")
+	}
+	shared := int(m.ItemPath(i)[1])
+	before := m.Node.Clone()
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0}, vecmath.NewRNG(12))
+	st.Step(0, i, j, nil)
+	if d := rowDiff(m.Node, before, shared); d > 1e-12 {
+		t.Fatalf("shared ancestor moved by %v; gradients must cancel", d)
+	}
+	// but the leaves themselves moved
+	if rowDiff(m.Node, before, int(m.ItemPath(i)[0])) == 0 {
+		t.Fatal("positive leaf did not move")
+	}
+}
+
+func TestU1NeverTouchesInteriorNodes(t *testing.T) {
+	tree := testTree(t)
+	m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 1, MarkovOrder: 1, Alpha: 1, InitStd: 0.2})
+	st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.1, Lambda: 0.01}, vecmath.NewRNG(13))
+	rng := vecmath.NewRNG(14)
+	for s := 0; s < 200; s++ {
+		i := rng.Intn(m.NumItems())
+		j := st.SampleNegative(dataset.Basket{int32(i)})
+		st.Step(rng.Intn(m.NumUsers()), i, j, []dataset.Basket{{int32(rng.Intn(m.NumItems()))}})
+	}
+	for d := 0; d < tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			if vecmath.Norm2(m.Node.Row(int(node))) != 0 || vecmath.Norm2(m.Next.Row(int(node))) != 0 {
+				t.Fatalf("interior node %d trained under U=1 (plain MF must stay flat)", node)
+			}
+		}
+	}
+}
+
+func TestStepperDeterminism(t *testing.T) {
+	tree := testTree(t)
+	run := func() *model.TF {
+		m := newModel(t, tree, model.Params{K: 4, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 1, InitStd: 0.1})
+		st := NewStepper(m, PlainStores(m), StepConfig{LearnRate: 0.05, Lambda: 0.01}, vecmath.NewRNG(15))
+		for s := 0; s < 100; s++ {
+			st.Step(s%m.NumUsers(), s%m.NumItems(), (s*7+1)%m.NumItems(), nil)
+			st.SiblingPass(s%m.NumUsers(), s%m.NumItems(), nil)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Node.MaxAbsDiff(b.Node) != 0 || a.User.MaxAbsDiff(b.User) != 0 {
+		t.Fatal("identical seeds must produce identical models")
+	}
+}

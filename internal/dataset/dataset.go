@@ -1,0 +1,412 @@
+// Package dataset holds purchase logs — per-user ordered sequences of
+// transactions (baskets of item ids) — and implements the evaluation
+// protocol of Kanagal et al. (VLDB 2012) §7.1: per-user µ-split into train
+// and test, T-transaction cross-validation carve-out, repeat-purchase
+// removal from test, and the dataset statistics of Figure 5.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// Basket is one transaction: the set of items bought at a single time step.
+type Basket []int32
+
+// Contains reports whether the basket holds item.
+func (b Basket) Contains(item int32) bool {
+	for _, it := range b {
+		if it == item {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the basket.
+func (b Basket) Clone() Basket {
+	c := make(Basket, len(b))
+	copy(c, b)
+	return c
+}
+
+// History is one user's purchase log: baskets in time order. The paper
+// keeps only the transaction sequence, not wall-clock timestamps.
+type History struct {
+	Baskets []Basket
+}
+
+// NumPurchases returns the total number of (item, transaction) purchase
+// events in the history.
+func (h *History) NumPurchases() int {
+	n := 0
+	for _, b := range h.Baskets {
+		n += len(b)
+	}
+	return n
+}
+
+// DistinctItems returns the number of distinct items in the history.
+func (h *History) DistinctItems() int {
+	seen := make(map[int32]struct{})
+	for _, b := range h.Baskets {
+		for _, it := range b {
+			seen[it] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ItemSet returns the set of items appearing anywhere in the history.
+func (h *History) ItemSet() map[int32]struct{} {
+	set := make(map[int32]struct{})
+	for _, b := range h.Baskets {
+		for _, it := range b {
+			set[it] = struct{}{}
+		}
+	}
+	return set
+}
+
+// Dataset is a complete purchase log over NumItems items.
+type Dataset struct {
+	NumItems int
+	Users    []History
+}
+
+// NumUsers returns the number of users.
+func (d *Dataset) NumUsers() int { return len(d.Users) }
+
+// NumPurchases returns the total purchase events across all users.
+func (d *Dataset) NumPurchases() int {
+	n := 0
+	for i := range d.Users {
+		n += d.Users[i].NumPurchases()
+	}
+	return n
+}
+
+// NumTransactions returns the total basket count across all users.
+func (d *Dataset) NumTransactions() int {
+	n := 0
+	for i := range d.Users {
+		n += len(d.Users[i].Baskets)
+	}
+	return n
+}
+
+// Validate checks that all item ids are within [0, NumItems) and that no
+// basket is empty.
+func (d *Dataset) Validate() error {
+	for u := range d.Users {
+		for t, b := range d.Users[u].Baskets {
+			if len(b) == 0 {
+				return fmt.Errorf("dataset: user %d transaction %d is empty", u, t)
+			}
+			for _, it := range b {
+				if it < 0 || int(it) >= d.NumItems {
+					return fmt.Errorf("dataset: user %d transaction %d has out-of-range item %d", u, t, it)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Event is a single positive training example: user u bought Item in
+// transaction Txn. BPR sampling draws events uniformly, so the flat event
+// list is the unit of an epoch.
+type Event struct {
+	User int32
+	Txn  int32
+	Item int32
+}
+
+// Events flattens the dataset into its positive purchase events, ordered
+// by user then transaction then position.
+func (d *Dataset) Events() []Event {
+	out := make([]Event, 0, d.NumPurchases())
+	for u := range d.Users {
+		for t, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				out = append(out, Event{User: int32(u), Txn: int32(t), Item: it})
+			}
+		}
+	}
+	return out
+}
+
+// ItemFrequencies returns, for each item, the number of purchase events it
+// appears in (Figure 5(c)'s popularity counts).
+func (d *Dataset) ItemFrequencies() []int {
+	freq := make([]int, d.NumItems)
+	for u := range d.Users {
+		for _, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				freq[it]++
+			}
+		}
+	}
+	return freq
+}
+
+// SeenInTrain returns per-user sets of items observed anywhere in the
+// dataset; evaluation uses this to drop repeat purchases from test
+// transactions and to identify cold-start items.
+func (d *Dataset) SeenInTrain() []map[int32]struct{} {
+	sets := make([]map[int32]struct{}, len(d.Users))
+	for u := range d.Users {
+		sets[u] = d.Users[u].ItemSet()
+	}
+	return sets
+}
+
+// GlobalItemSet returns the set of items purchased by any user.
+func (d *Dataset) GlobalItemSet() map[int32]struct{} {
+	set := make(map[int32]struct{})
+	for u := range d.Users {
+		for _, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				set[it] = struct{}{}
+			}
+		}
+	}
+	return set
+}
+
+// SplitConfig parameterizes the paper's train/test protocol.
+type SplitConfig struct {
+	// Mu is the mean fraction of each user's transactions assigned to
+	// train; the paper uses 0.25 (sparse), 0.50 (default), 0.75 (dense).
+	Mu float64
+	// Sigma is the standard deviation of the per-user split fraction; the
+	// paper uses 0.05.
+	Sigma float64
+	// ValidationT carves the last T train transactions per user into the
+	// validation set (paper: T=1).
+	ValidationT int
+	// Seed drives the per-user Gaussian split draws.
+	Seed uint64
+	// KeepRepeats, when false (the paper's protocol), removes items from
+	// test baskets that the user already bought in train.
+	KeepRepeats bool
+}
+
+// DefaultSplitConfig mirrors the paper: µ=0.5, σ=0.05, T=1, repeats
+// removed.
+func DefaultSplitConfig() SplitConfig {
+	return SplitConfig{Mu: 0.5, Sigma: 0.05, ValidationT: 1, Seed: 1}
+}
+
+// Split is the outcome of the µ-split protocol. Train, Validation and Test
+// all share the parent's NumItems and user indexing; users whose test side
+// is empty simply have no baskets there.
+type Split struct {
+	Train      *Dataset
+	Validation *Dataset
+	Test       *Dataset
+}
+
+// Split applies the protocol of §7.1. For each user: draw a fraction f ~
+// N(µ, σ) clipped to [0,1]; the first round(f·n) transactions go to train,
+// the rest to test; the last ValidationT train transactions move to
+// validation; repeat purchases (items present in the user's train part)
+// are removed from test baskets, and emptied baskets are dropped.
+func (d *Dataset) Split(cfg SplitConfig) Split {
+	rng := vecmath.NewRNG(cfg.Seed)
+	train := &Dataset{NumItems: d.NumItems, Users: make([]History, len(d.Users))}
+	valid := &Dataset{NumItems: d.NumItems, Users: make([]History, len(d.Users))}
+	test := &Dataset{NumItems: d.NumItems, Users: make([]History, len(d.Users))}
+
+	for u := range d.Users {
+		baskets := d.Users[u].Baskets
+		n := len(baskets)
+		if n == 0 {
+			continue
+		}
+		f := cfg.Mu + cfg.Sigma*rng.NormFloat64()
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		cut := int(f*float64(n) + 0.5)
+		if cut > n {
+			cut = n
+		}
+		trainPart := baskets[:cut]
+		testPart := baskets[cut:]
+
+		// carve validation off the train tail
+		v := cfg.ValidationT
+		if v > len(trainPart) {
+			v = len(trainPart)
+		}
+		validPart := trainPart[len(trainPart)-v:]
+		trainPart = trainPart[:len(trainPart)-v]
+
+		train.Users[u].Baskets = cloneBaskets(trainPart)
+		valid.Users[u].Baskets = cloneBaskets(validPart)
+
+		if cfg.KeepRepeats {
+			test.Users[u].Baskets = cloneBaskets(testPart)
+			continue
+		}
+		seen := make(map[int32]struct{})
+		for _, b := range trainPart {
+			for _, it := range b {
+				seen[it] = struct{}{}
+			}
+		}
+		for _, b := range testPart {
+			var nb Basket
+			for _, it := range b {
+				if _, ok := seen[it]; !ok {
+					nb = append(nb, it)
+				}
+			}
+			if len(nb) > 0 {
+				test.Users[u].Baskets = append(test.Users[u].Baskets, nb)
+			}
+		}
+	}
+	return Split{Train: train, Validation: valid, Test: test}
+}
+
+// Concat returns a dataset whose per-user histories are a's baskets
+// followed by b's — evaluation merges the train and validation splits this
+// way to form the full observed context. Both inputs must have the same
+// user count and item space; baskets are deep-copied.
+func Concat(a, b *Dataset) *Dataset {
+	if a.NumItems != b.NumItems || len(a.Users) != len(b.Users) {
+		panic("dataset: Concat requires matching shapes")
+	}
+	out := &Dataset{NumItems: a.NumItems, Users: make([]History, len(a.Users))}
+	for u := range a.Users {
+		baskets := make([]Basket, 0, len(a.Users[u].Baskets)+len(b.Users[u].Baskets))
+		for _, bk := range a.Users[u].Baskets {
+			baskets = append(baskets, bk.Clone())
+		}
+		for _, bk := range b.Users[u].Baskets {
+			baskets = append(baskets, bk.Clone())
+		}
+		out.Users[u].Baskets = baskets
+	}
+	return out
+}
+
+func cloneBaskets(bs []Basket) []Basket {
+	if len(bs) == 0 {
+		return nil
+	}
+	out := make([]Basket, len(bs))
+	for i, b := range bs {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// Histogram is a simple integer-bucket histogram: Counts[v] is the number
+// of observations equal to v, with everything >= len(Counts)-1 clamped into
+// the last bucket.
+type Histogram struct {
+	Counts []int
+}
+
+// NewHistogram builds a histogram with buckets 0..maxBucket (inclusive;
+// larger observations clamp into maxBucket).
+func NewHistogram(maxBucket int) *Histogram {
+	return &Histogram{Counts: make([]int, maxBucket+1)}
+}
+
+// Observe adds one observation of value v.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Stats bundles the three dataset characteristics plotted in Figure 5.
+type Stats struct {
+	// DistinctItemsPerUser: Figure 5(a), computed over the train split.
+	DistinctItemsPerUser *Histogram
+	// NewItemsPerUser: Figure 5(b), distinct test items not seen in the
+	// user's train history.
+	NewItemsPerUser *Histogram
+	// ItemPopularity: Figure 5(c), distribution of per-item purchase
+	// counts in train.
+	ItemPopularity *Histogram
+	// AvgPurchasesPerUser is the headline sparsity number (paper: 2.3).
+	AvgPurchasesPerUser float64
+}
+
+// ComputeStats reproduces the Figure-5 measurements for a split, clamping
+// histograms at maxBucket (the paper plots 0..50).
+func ComputeStats(s Split, maxBucket int) *Stats {
+	st := &Stats{
+		DistinctItemsPerUser: NewHistogram(maxBucket),
+		NewItemsPerUser:      NewHistogram(maxBucket),
+		ItemPopularity:       NewHistogram(maxBucket),
+	}
+	for u := range s.Train.Users {
+		st.DistinctItemsPerUser.Observe(s.Train.Users[u].DistinctItems())
+	}
+	for u := range s.Test.Users {
+		trainSet := s.Train.Users[u].ItemSet()
+		newItems := make(map[int32]struct{})
+		for _, b := range s.Test.Users[u].Baskets {
+			for _, it := range b {
+				if _, ok := trainSet[it]; !ok {
+					newItems[it] = struct{}{}
+				}
+			}
+		}
+		st.NewItemsPerUser.Observe(len(newItems))
+	}
+	for _, f := range s.Train.ItemFrequencies() {
+		if f > 0 {
+			st.ItemPopularity.Observe(f)
+		}
+	}
+	if n := s.Train.NumUsers(); n > 0 {
+		st.AvgPurchasesPerUser = float64(s.Train.NumPurchases()) / float64(n)
+	}
+	return st
+}
+
+// TopPopularItems returns the ids of the k most purchased items in the
+// dataset, most popular first (ties by lower id).
+func (d *Dataset) TopPopularItems(k int) []int {
+	freq := d.ItemFrequencies()
+	ids := make([]int, d.NumItems)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		fa, fb := freq[ids[a]], freq[ids[b]]
+		if fa != fb {
+			return fa > fb
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}

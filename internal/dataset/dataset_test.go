@@ -1,0 +1,263 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// mkDataset builds a small deterministic dataset: user u has u+1
+// transactions; transaction t of user u holds items {u, u+t+1} (mod items).
+func mkDataset(users, items int) *Dataset {
+	d := &Dataset{NumItems: items, Users: make([]History, users)}
+	for u := 0; u < users; u++ {
+		for t := 0; t <= u; t++ {
+			b := Basket{int32(u % items), int32((u + t + 1) % items)}
+			d.Users[u].Baskets = append(d.Users[u].Baskets, b)
+		}
+	}
+	return d
+}
+
+func TestBasketContains(t *testing.T) {
+	b := Basket{1, 5, 9}
+	if !b.Contains(5) || b.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestHistoryCounts(t *testing.T) {
+	h := History{Baskets: []Basket{{1, 2}, {2, 3}, {1}}}
+	if got := h.NumPurchases(); got != 5 {
+		t.Fatalf("NumPurchases = %d, want 5", got)
+	}
+	if got := h.DistinctItems(); got != 3 {
+		t.Fatalf("DistinctItems = %d, want 3", got)
+	}
+}
+
+func TestDatasetAggregates(t *testing.T) {
+	d := mkDataset(4, 10)
+	if d.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d", d.NumUsers())
+	}
+	if got := d.NumTransactions(); got != 1+2+3+4 {
+		t.Fatalf("NumTransactions = %d, want 10", got)
+	}
+	if got := d.NumPurchases(); got != 20 {
+		t.Fatalf("NumPurchases = %d, want 20", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	d := &Dataset{NumItems: 3, Users: []History{{Baskets: []Basket{{5}}}}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	d2 := &Dataset{NumItems: 3, Users: []History{{Baskets: []Basket{{}}}}}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("expected empty-basket error")
+	}
+}
+
+func TestEventsFlattening(t *testing.T) {
+	d := mkDataset(3, 10)
+	ev := d.Events()
+	if len(ev) != d.NumPurchases() {
+		t.Fatalf("Events len = %d, want %d", len(ev), d.NumPurchases())
+	}
+	// spot-check ordering: first events belong to user 0
+	if ev[0].User != 0 || ev[0].Txn != 0 {
+		t.Fatalf("first event = %+v", ev[0])
+	}
+	// all events reference existing baskets
+	for _, e := range ev {
+		b := d.Users[e.User].Baskets[e.Txn]
+		if !b.Contains(e.Item) {
+			t.Fatalf("event %+v not in basket %v", e, b)
+		}
+	}
+}
+
+func TestItemFrequenciesMatchEvents(t *testing.T) {
+	d := mkDataset(5, 7)
+	freq := d.ItemFrequencies()
+	total := 0
+	for _, f := range freq {
+		total += f
+	}
+	if total != d.NumPurchases() {
+		t.Fatalf("frequency mass %d != purchases %d", total, d.NumPurchases())
+	}
+}
+
+func TestSplitPartitionsTransactions(t *testing.T) {
+	d := mkDataset(50, 20)
+	s := d.Split(SplitConfig{Mu: 0.5, Sigma: 0.05, ValidationT: 1, Seed: 3, KeepRepeats: true})
+	for u := range d.Users {
+		n := len(d.Users[u].Baskets)
+		got := len(s.Train.Users[u].Baskets) + len(s.Validation.Users[u].Baskets) + len(s.Test.Users[u].Baskets)
+		if got != n {
+			t.Fatalf("user %d: split has %d baskets, want %d", u, got, n)
+		}
+	}
+}
+
+func TestSplitValidationTakesTrainTail(t *testing.T) {
+	d := mkDataset(30, 20)
+	s := d.Split(SplitConfig{Mu: 0.5, Sigma: 0, ValidationT: 1, Seed: 1, KeepRepeats: true})
+	for u := range d.Users {
+		v := len(s.Validation.Users[u].Baskets)
+		if len(d.Users[u].Baskets) >= 2 && len(s.Train.Users[u].Baskets)+v > 0 && v == 0 {
+			t.Fatalf("user %d: expected a validation basket", u)
+		}
+		if v > 1 {
+			t.Fatalf("user %d: validation got %d baskets, want <= 1", u, v)
+		}
+	}
+}
+
+func TestSplitRemovesRepeats(t *testing.T) {
+	// user buys item 1 in every transaction plus one unique item
+	d := &Dataset{NumItems: 10, Users: []History{{
+		Baskets: []Basket{{1, 2}, {1, 3}, {1, 4}, {1, 5}},
+	}}}
+	s := d.Split(SplitConfig{Mu: 0.5, Sigma: 0, ValidationT: 0, Seed: 1})
+	for _, b := range s.Test.Users[0].Baskets {
+		if b.Contains(1) {
+			t.Fatalf("repeat item survived in test: %v", b)
+		}
+	}
+	// the unique items must survive
+	found := 0
+	for _, b := range s.Test.Users[0].Baskets {
+		found += len(b)
+	}
+	if found == 0 {
+		t.Fatal("repeat removal deleted everything")
+	}
+}
+
+func TestSplitMuControlsTrainShare(t *testing.T) {
+	d := mkDataset(400, 50)
+	sparse := d.Split(SplitConfig{Mu: 0.25, Sigma: 0.05, Seed: 7, KeepRepeats: true})
+	dense := d.Split(SplitConfig{Mu: 0.75, Sigma: 0.05, Seed: 7, KeepRepeats: true})
+	if sparse.Train.NumTransactions() >= dense.Train.NumTransactions() {
+		t.Fatalf("mu=0.25 train (%d txns) should be smaller than mu=0.75 (%d)",
+			sparse.Train.NumTransactions(), dense.Train.NumTransactions())
+	}
+}
+
+func TestSplitDeterministicAcrossRuns(t *testing.T) {
+	d := mkDataset(40, 20)
+	a := d.Split(DefaultSplitConfig())
+	b := d.Split(DefaultSplitConfig())
+	if a.Train.NumPurchases() != b.Train.NumPurchases() || a.Test.NumPurchases() != b.Test.NumPurchases() {
+		t.Fatal("same seed must give the same split")
+	}
+}
+
+func TestSplitDoesNotAliasSource(t *testing.T) {
+	d := mkDataset(5, 10)
+	s := d.Split(SplitConfig{Mu: 1.0, Sigma: 0, Seed: 1, KeepRepeats: true})
+	s.Train.Users[4].Baskets[0][0] = 99
+	if d.Users[4].Baskets[0][0] == 99 {
+		t.Fatal("split must deep-copy baskets")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 3, 99, -2} {
+		h.Observe(v)
+	}
+	if h.Counts[1] != 2 {
+		t.Fatalf("bucket 1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[5] != 1 {
+		t.Fatalf("clamp bucket = %d, want 1", h.Counts[5])
+	}
+	if h.Counts[0] != 2 { // 0 and -2
+		t.Fatalf("bucket 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := mkDataset(100, 30)
+	s := d.Split(DefaultSplitConfig())
+	st := ComputeStats(s, 50)
+	if st.DistinctItemsPerUser.Total() != 100 {
+		t.Fatalf("distinct-items histogram total = %d, want 100", st.DistinctItemsPerUser.Total())
+	}
+	if st.NewItemsPerUser.Total() != 100 {
+		t.Fatalf("new-items histogram total = %d, want 100", st.NewItemsPerUser.Total())
+	}
+	if st.AvgPurchasesPerUser <= 0 {
+		t.Fatalf("AvgPurchasesPerUser = %v", st.AvgPurchasesPerUser)
+	}
+}
+
+func TestTopPopularItems(t *testing.T) {
+	d := &Dataset{NumItems: 5, Users: []History{
+		{Baskets: []Basket{{0, 1}, {1}}},
+		{Baskets: []Basket{{1, 2}}},
+	}}
+	top := d.TopPopularItems(2)
+	if top[0] != 1 || top[1] != 0 {
+		t.Fatalf("TopPopularItems = %v, want [1 0]", top)
+	}
+	all := d.TopPopularItems(100)
+	if len(all) != 5 {
+		t.Fatalf("oversized k should clamp, got %d", len(all))
+	}
+}
+
+func TestSeenInTrainAndGlobalSet(t *testing.T) {
+	d := mkDataset(3, 10)
+	sets := d.SeenInTrain()
+	if len(sets) != 3 {
+		t.Fatalf("SeenInTrain len = %d", len(sets))
+	}
+	global := d.GlobalItemSet()
+	for _, set := range sets {
+		for it := range set {
+			if _, ok := global[it]; !ok {
+				t.Fatalf("item %d missing from global set", it)
+			}
+		}
+	}
+}
+
+// Property: for any random dataset and any mu, the split never invents or
+// loses purchase events when KeepRepeats is on.
+func TestSplitMassConservationProperty(t *testing.T) {
+	rng := vecmath.NewRNG(11)
+	for trial := 0; trial < 30; trial++ {
+		users := 1 + rng.Intn(40)
+		items := 2 + rng.Intn(50)
+		d := &Dataset{NumItems: items, Users: make([]History, users)}
+		for u := 0; u < users; u++ {
+			txns := rng.Intn(8)
+			for tn := 0; tn < txns; tn++ {
+				sz := 1 + rng.Intn(4)
+				b := make(Basket, sz)
+				for i := range b {
+					b[i] = int32(rng.Intn(items))
+				}
+				d.Users[u].Baskets = append(d.Users[u].Baskets, b)
+			}
+		}
+		mu := rng.Float64()
+		s := d.Split(SplitConfig{Mu: mu, Sigma: 0.1, ValidationT: 1, Seed: uint64(trial), KeepRepeats: true})
+		got := s.Train.NumPurchases() + s.Validation.NumPurchases() + s.Test.NumPurchases()
+		if got != d.NumPurchases() {
+			t.Fatalf("trial %d: mass %d != %d", trial, got, d.NumPurchases())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serializes the dataset as a header line
+// "purchases <numUsers> <numItems>" followed by one
+// "<user>\t<txn>\t<item>" line per purchase event, ordered by user and
+// transaction. The format is the on-disk interchange between tfrec-gen,
+// tfrec-train and tfrec-recommend.
+func (d *Dataset) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "purchases %d %d\n", d.NumUsers(), d.NumItems); err != nil {
+		return err
+	}
+	for u := range d.Users {
+		for t, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", u, t, it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format produced by WriteTSV. Transactions may appear
+// in any order; they are reassembled per user by transaction index.
+// Transaction indices must form a contiguous 0..k-1 range per user.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 || header[0] != "purchases" {
+		return nil, fmt.Errorf("dataset: bad header %q", sc.Text())
+	}
+	numUsers, err1 := strconv.Atoi(header[1])
+	numItems, err2 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || numUsers < 0 || numItems <= 0 {
+		return nil, fmt.Errorf("dataset: bad header %q", sc.Text())
+	}
+	// map[user]map[txn]Basket accumulated, then flattened
+	perUser := make([]map[int]Basket, numUsers)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataset: line %d: want 3 tab-separated fields, got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		t, err2 := strconv.Atoi(fields[1])
+		it, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad numbers in %q", line, text)
+		}
+		if u < 0 || u >= numUsers {
+			return nil, fmt.Errorf("dataset: line %d: user %d out of range", line, u)
+		}
+		if it < 0 || it >= numItems {
+			return nil, fmt.Errorf("dataset: line %d: item %d out of range", line, it)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative transaction %d", line, t)
+		}
+		if perUser[u] == nil {
+			perUser[u] = make(map[int]Basket)
+		}
+		perUser[u][t] = append(perUser[u][t], int32(it))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{NumItems: numItems, Users: make([]History, numUsers)}
+	for u, txns := range perUser {
+		if txns == nil {
+			continue
+		}
+		baskets := make([]Basket, len(txns))
+		for t, b := range txns {
+			if t >= len(txns) {
+				return nil, fmt.Errorf("dataset: user %d: transaction ids not contiguous (saw %d with %d txns)", u, t, len(txns))
+			}
+			baskets[t] = b
+		}
+		d.Users[u].Baskets = baskets
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := mkDataset(6, 12)
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if back.NumItems != d.NumItems || back.NumUsers() != d.NumUsers() {
+		t.Fatal("round trip changed shape")
+	}
+	if back.NumPurchases() != d.NumPurchases() {
+		t.Fatalf("purchases %d != %d", back.NumPurchases(), d.NumPurchases())
+	}
+	for u := range d.Users {
+		if len(back.Users[u].Baskets) != len(d.Users[u].Baskets) {
+			t.Fatalf("user %d basket count changed", u)
+		}
+		for tn, b := range d.Users[u].Baskets {
+			got := back.Users[u].Baskets[tn]
+			if len(got) != len(b) {
+				t.Fatalf("user %d txn %d length changed", u, tn)
+			}
+			for i := range b {
+				if got[i] != b[i] {
+					t.Fatalf("user %d txn %d item %d: %d != %d", u, tn, i, got[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReadTSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong 1 1\n",
+		"purchases x 1\n",
+		"purchases 1 0\n",
+		"purchases 1 5\nnot a line\n",
+		"purchases 1 5\n0\t0\tbad\n",
+		"purchases 1 5\n5\t0\t0\n",  // user out of range
+		"purchases 1 5\n0\t0\t9\n",  // item out of range
+		"purchases 1 5\n0\t-1\t0\n", // negative txn
+		"purchases 1 5\n0\t5\t0\n",  // non-contiguous txn ids
+		"purchases 1 5\n0 0 0\n",    // spaces, not tabs
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestReadTSVSkipsBlankLines(t *testing.T) {
+	in := "purchases 2 4\n0\t0\t1\n\n1\t0\t2\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if d.NumPurchases() != 2 {
+		t.Fatalf("purchases = %d, want 2", d.NumPurchases())
+	}
+}
+
+func TestReadTSVUserWithNoPurchases(t *testing.T) {
+	in := "purchases 3 4\n0\t0\t1\n2\t0\t2\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if len(d.Users[1].Baskets) != 0 {
+		t.Fatal("user 1 should have no baskets")
+	}
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+// randomDataset derives an arbitrary small dataset from quick-generated
+// values.
+func randomDataset(seed uint32, usersRaw, itemsRaw uint8) *Dataset {
+	rng := vecmath.NewRNG(uint64(seed))
+	users := 1 + int(usersRaw)%30
+	items := 2 + int(itemsRaw)%60
+	d := &Dataset{NumItems: items, Users: make([]History, users)}
+	for u := 0; u < users; u++ {
+		for tn := rng.Intn(6); tn > 0; tn-- {
+			b := make(Basket, 1+rng.Intn(3))
+			for i := range b {
+				b[i] = int32(rng.Intn(items))
+			}
+			d.Users[u].Baskets = append(d.Users[u].Baskets, b)
+		}
+	}
+	return d
+}
+
+// Property: TSV round trip preserves every basket exactly.
+func TestQuickTSVRoundTrip(t *testing.T) {
+	f := func(seed uint32, usersRaw, itemsRaw uint8) bool {
+		d := randomDataset(seed, usersRaw, itemsRaw)
+		var buf bytes.Buffer
+		if err := d.WriteTSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadTSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumPurchases() != d.NumPurchases() || back.NumUsers() != d.NumUsers() {
+			return false
+		}
+		for u := range d.Users {
+			if len(back.Users[u].Baskets) != len(d.Users[u].Baskets) {
+				return false
+			}
+			for tn := range d.Users[u].Baskets {
+				a, b := d.Users[u].Baskets[tn], back.Users[u].Baskets[tn]
+				if len(a) != len(b) {
+					return false
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReadTSV never panics on arbitrary garbage.
+func TestQuickReadTSVNeverPanics(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ReadTSV(strings.NewReader(junk))
+		_, _ = ReadTSV(strings.NewReader("purchases 3 5\n" + junk))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splits partition transactions (KeepRepeats) and never invent
+// items; without KeepRepeats the test side only shrinks.
+func TestQuickSplitInvariants(t *testing.T) {
+	f := func(seed uint32, usersRaw, itemsRaw uint8, muRaw uint8) bool {
+		d := randomDataset(seed, usersRaw, itemsRaw)
+		mu := float64(muRaw%101) / 100
+		cfgKeep := SplitConfig{Mu: mu, Sigma: 0.05, ValidationT: 1, Seed: uint64(seed), KeepRepeats: true}
+		s := d.Split(cfgKeep)
+		if s.Train.NumPurchases()+s.Validation.NumPurchases()+s.Test.NumPurchases() != d.NumPurchases() {
+			return false
+		}
+		cfgDrop := cfgKeep
+		cfgDrop.KeepRepeats = false
+		s2 := d.Split(cfgDrop)
+		if s2.Test.NumPurchases() > s.Test.NumPurchases() {
+			return false
+		}
+		// no repeat survives
+		for u := range s2.Test.Users {
+			seen := s2.Train.Users[u].ItemSet()
+			for _, b := range s2.Test.Users[u].Baskets {
+				for _, it := range b {
+					if _, dup := seen[it]; dup {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concat preserves order and mass.
+func TestQuickConcat(t *testing.T) {
+	f := func(seed uint32, usersRaw, itemsRaw uint8) bool {
+		d := randomDataset(seed, usersRaw, itemsRaw)
+		s := d.Split(SplitConfig{Mu: 0.5, Sigma: 0.1, ValidationT: 1, Seed: uint64(seed), KeepRepeats: true})
+		merged := Concat(s.Train, s.Validation)
+		if merged.NumPurchases() != s.Train.NumPurchases()+s.Validation.NumPurchases() {
+			return false
+		}
+		for u := range merged.Users {
+			if len(merged.Users[u].Baskets) != len(s.Train.Users[u].Baskets)+len(s.Validation.Users[u].Baskets) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package eval implements the paper's evaluation protocol (§7.3): AUC and
+// average meanRank over each user's first T test transactions, category-
+// level variants of both, and the cold-start (new-item) measurements of
+// Figure 7(c). Users are partitioned across goroutines, the single-machine
+// equivalent of the paper's Hadoop-sharded evaluation (§6.2).
+package eval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// Config controls an evaluation run.
+type Config struct {
+	// T is how many leading test transactions per user are scored
+	// (paper: T=1).
+	T int
+	// CategoryDepth is the taxonomy depth at which category-level metrics
+	// are computed; 1 is the top level (23 categories in the paper).
+	CategoryDepth int
+	// Workers is the parallelism; <=0 uses GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper: T=1, top-level categories.
+func DefaultConfig() Config {
+	return Config{T: 1, CategoryDepth: 1}
+}
+
+// Result aggregates the metrics over all evaluated users. AUC-like values
+// are means of per-user values; Cold metrics are aggregated per positive
+// event because cold items are rare.
+type Result struct {
+	// AUC is the paper's item-level area under the ROC curve.
+	AUC float64
+	// MeanRank is the average (over users) of the mean 1-based rank of
+	// test items among all items.
+	MeanRank float64
+	// CatAUC and CatMeanRank are the same metrics computed over the
+	// taxonomy level CategoryDepth (Figures 6(c), 6(d)).
+	CatAUC      float64
+	CatMeanRank float64
+	// ColdAUC is the AUC restricted to test items that never appear in
+	// the training data — the paper's "new items" (Figure 7(c)).
+	ColdAUC float64
+	// ColdCount is how many cold positive events contributed.
+	ColdCount int
+	// Users is the number of users with at least one scored transaction.
+	Users int
+	// Positives is the total number of scored positive events.
+	Positives int
+}
+
+// PairMetrics computes the AUC and mean rank of the positives within
+// scores. AUC follows the paper's definition
+//
+//	1/(|T||X\T|) Σ_{x∈T, y∈X\T} δ(r(x) < r(y))
+//
+// with score ties counted as half (mid-rank convention). The mean rank is
+// the average 1-based mid-rank of the positives among all items.
+func PairMetrics(scores []float64, positives []int32) (auc, meanRank float64) {
+	if len(positives) == 0 || len(scores) <= len(positives) {
+		return 0, 0
+	}
+	isPos := make(map[int32]struct{}, len(positives))
+	for _, p := range positives {
+		isPos[p] = struct{}{}
+	}
+	nNeg := len(scores) - len(isPos)
+	var aucSum, rankSum float64
+	for _, p := range positives {
+		sp := scores[p]
+		var below, ties int
+		var higherAll, tiesAll int
+		for id, s := range scores {
+			if s > sp {
+				higherAll++
+			} else if s == sp && int32(id) != p {
+				tiesAll++
+			}
+			if _, ok := isPos[int32(id)]; ok {
+				continue
+			}
+			if s < sp {
+				below++
+			} else if s == sp {
+				ties++
+			}
+		}
+		aucSum += (float64(below) + 0.5*float64(ties)) / float64(nNeg)
+		rankSum += 1 + float64(higherAll) + 0.5*float64(tiesAll)
+	}
+	n := float64(len(positives))
+	return aucSum / n, rankSum / n
+}
+
+// PrunedAUC scores a pruned ranking (cascaded inference): entries at −Inf
+// are "unranked" — items the beam never scored. The convention follows the
+// paper's Figure 8(c,d) accuracy ratio:
+//
+//   - an unranked positive earns zero credit (the system failed to surface
+//     it at all);
+//   - unranked negatives sit at the bottom of the ranking, strictly below
+//     every ranked item (they are exactly what the cascade pruned away).
+//
+// At 100% keep this coincides with PairMetrics' AUC. As the candidate set
+// grows the metric is monotone in the unranked-positive term and nearly
+// monotone overall (a newly admitted negative can overtake a ranked
+// positive), which is why the paper reports a monotone curve for the
+// leaf-only sweep of Figure 8(d) but a non-monotone one when all levels
+// move (Figure 8(c)).
+func PrunedAUC(scores []float64, positives []int32) float64 {
+	if len(positives) == 0 || len(scores) <= len(positives) {
+		return 0
+	}
+	isPos := make(map[int32]struct{}, len(positives))
+	for _, p := range positives {
+		isPos[p] = struct{}{}
+	}
+	nNeg := len(scores) - len(isPos)
+	var aucSum float64
+	for _, p := range positives {
+		sp := scores[p]
+		if math.IsInf(sp, -1) {
+			continue // unranked positive: zero credit
+		}
+		var below, ties int
+		for id, s := range scores {
+			if _, ok := isPos[int32(id)]; ok {
+				continue
+			}
+			if s < sp || math.IsInf(s, -1) {
+				below++ // pruned negatives rank at the bottom
+			} else if s == sp {
+				ties++
+			}
+		}
+		aucSum += (float64(below) + 0.5*float64(ties)) / float64(nNeg)
+	}
+	return aucSum / float64(len(positives))
+}
+
+// aucOfPositive computes the AUC contribution of a single positive item
+// against all non-positive items.
+func aucOfPositive(scores []float64, pos int32, isPos map[int32]struct{}) float64 {
+	sp := scores[pos]
+	var below, ties, nNeg int
+	for id, s := range scores {
+		if _, ok := isPos[int32(id)]; ok {
+			continue
+		}
+		nNeg++
+		if s < sp {
+			below++
+		} else if s == sp {
+			ties++
+		}
+	}
+	if nNeg == 0 {
+		return 0
+	}
+	return (float64(below) + 0.5*float64(ties)) / float64(nNeg)
+}
+
+// userAccum carries one worker's partial sums.
+type userAccum struct {
+	aucSum, rankSum       float64
+	catAUCSum, catRankSum float64
+	coldAUCSum            float64
+	coldCount             int
+	users                 int
+	positives             int
+}
+
+// Evaluate scores the model snapshot against the test split. history
+// supplies each user's observed transactions (train plus validation),
+// which seed the Markov context and define which items count as cold.
+func Evaluate(c *model.Composed, history, test *dataset.Dataset, cfg Config) Result {
+	if cfg.T <= 0 {
+		cfg.T = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > test.NumUsers() {
+		workers = test.NumUsers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	trainSet := history.GlobalItemSet()
+
+	accs := make([]userAccum, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			evalUsers(c, history, test, cfg, trainSet, w, workers, &accs[w])
+		}(w)
+	}
+	wg.Wait()
+
+	var total userAccum
+	for _, a := range accs {
+		total.aucSum += a.aucSum
+		total.rankSum += a.rankSum
+		total.catAUCSum += a.catAUCSum
+		total.catRankSum += a.catRankSum
+		total.coldAUCSum += a.coldAUCSum
+		total.coldCount += a.coldCount
+		total.users += a.users
+		total.positives += a.positives
+	}
+	res := Result{Users: total.users, Positives: total.positives, ColdCount: total.coldCount}
+	if total.users > 0 {
+		res.AUC = total.aucSum / float64(total.users)
+		res.MeanRank = total.rankSum / float64(total.users)
+		res.CatAUC = total.catAUCSum / float64(total.users)
+		res.CatMeanRank = total.catRankSum / float64(total.users)
+	}
+	if total.coldCount > 0 {
+		res.ColdAUC = total.coldAUCSum / float64(total.coldCount)
+	}
+	return res
+}
+
+// evalUsers processes the users assigned to worker w (strided partition).
+func evalUsers(c *model.Composed, history, test *dataset.Dataset, cfg Config, trainSet map[int32]struct{}, w, stride int, acc *userAccum) {
+	k := c.K()
+	q := make([]float64, k)
+	scores := make([]float64, c.NumItems())
+	catLevel := c.Tree.Level(cfg.CategoryDepth)
+	catScores := make([]float64, len(catLevel))
+	catPos := make(map[int32]struct{})
+
+	for u := w; u < test.NumUsers(); u += stride {
+		testBaskets := test.Users[u].Baskets
+		if len(testBaskets) == 0 {
+			continue
+		}
+		seq := history.Users[u].Baskets
+		var userAUC, userRank, userCatAUC, userCatRank float64
+		scored := 0
+		for t := 0; t < len(testBaskets) && t < cfg.T; t++ {
+			// context = full observed history plus earlier test baskets
+			full := append(append([]dataset.Basket{}, seq...), testBaskets[:t]...)
+			c.BuildQueryInto(u, c.PrevBaskets(full, len(full)), q)
+			c.ItemScoresInto(q, scores)
+
+			positives := testBaskets[t]
+			auc, rank := PairMetrics(scores, positives)
+			userAUC += auc
+			userRank += rank
+			scored++
+			acc.positives += len(positives)
+
+			// category level
+			for i, node := range catLevel {
+				catScores[i] = c.NodeScore(q, int(node))
+			}
+			clear(catPos)
+			for _, p := range positives {
+				cat := c.Tree.AncestorAtDepth(c.Tree.ItemNode(int(p)), cfg.CategoryDepth)
+				catPos[int32(indexOf(catLevel, int32(cat)))] = struct{}{}
+			}
+			cp := make([]int32, 0, len(catPos))
+			for idx := range catPos {
+				cp = append(cp, idx)
+			}
+			ca, cr := PairMetrics(catScores, cp)
+			userCatAUC += ca
+			userCatRank += cr
+
+			// cold positives
+			isPos := make(map[int32]struct{}, len(positives))
+			for _, p := range positives {
+				isPos[p] = struct{}{}
+			}
+			for _, p := range positives {
+				if _, seen := trainSet[p]; seen {
+					continue
+				}
+				acc.coldAUCSum += aucOfPositive(scores, p, isPos)
+				acc.coldCount++
+			}
+		}
+		if scored == 0 {
+			continue
+		}
+		acc.users++
+		acc.aucSum += userAUC / float64(scored)
+		acc.rankSum += userRank / float64(scored)
+		acc.catAUCSum += userCatAUC / float64(scored)
+		acc.catRankSum += userCatRank / float64(scored)
+	}
+}
+
+func indexOf(level []int32, node int32) int {
+	for i, n := range level {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// NaNGuard returns 0 for NaN inputs; harness code uses it when averaging
+// optional metrics.
+func NaNGuard(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,267 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+func TestPairMetricsPerfectRanking(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.2, 0.8, 0.3}
+	auc, rank := PairMetrics(scores, []int32{1, 3})
+	if auc != 1 {
+		t.Fatalf("AUC = %v, want 1 for perfectly ranked positives", auc)
+	}
+	if rank != 1.5 {
+		t.Fatalf("mean rank = %v, want 1.5", rank)
+	}
+}
+
+func TestPairMetricsWorstRanking(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.7}
+	auc, rank := PairMetrics(scores, []int32{1})
+	if auc != 0 {
+		t.Fatalf("AUC = %v, want 0", auc)
+	}
+	if rank != 4 {
+		t.Fatalf("rank = %v, want 4", rank)
+	}
+}
+
+func TestPairMetricsRandomScoresNearHalf(t *testing.T) {
+	rng := vecmath.NewRNG(7)
+	n := 2000
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	var total float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		auc, _ := PairMetrics(scores, []int32{int32(rng.Intn(n))})
+		total += auc
+	}
+	mean := total / trials
+	if math.Abs(mean-0.5) > 0.1 {
+		t.Fatalf("random AUC = %v, want ~0.5", mean)
+	}
+}
+
+func TestPairMetricsTiesCountHalf(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	auc, rank := PairMetrics(scores, []int32{0})
+	if auc != 0.5 {
+		t.Fatalf("all-tied AUC = %v, want 0.5", auc)
+	}
+	if rank != 2.5 {
+		t.Fatalf("all-tied rank = %v, want 2.5 (mid of 1..4)", rank)
+	}
+}
+
+func TestPairMetricsEmptyPositives(t *testing.T) {
+	auc, rank := PairMetrics([]float64{1, 2}, nil)
+	if auc != 0 || rank != 0 {
+		t.Fatalf("empty positives should yield zeros, got %v %v", auc, rank)
+	}
+}
+
+func TestPairMetricsAUCInvariantToMonotoneTransform(t *testing.T) {
+	rng := vecmath.NewRNG(9)
+	scores := make([]float64, 100)
+	for i := range scores {
+		scores[i] = rng.NormFloat64()
+	}
+	pos := []int32{3, 50, 99}
+	auc1, _ := PairMetrics(scores, pos)
+	scaled := make([]float64, len(scores))
+	for i, s := range scores {
+		scaled[i] = 3*s + 7
+	}
+	auc2, _ := PairMetrics(scaled, pos)
+	if math.Abs(auc1-auc2) > 1e-12 {
+		t.Fatalf("AUC not invariant to affine transform: %v vs %v", auc1, auc2)
+	}
+}
+
+// buildTrainedWorld trains a small TF model on a deterministic dataset
+// where user u strongly prefers category u%nCats, then returns everything
+// the evaluator needs.
+func buildTrainedWorld(t *testing.T) (*model.Composed, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 6},
+		Items:          120,
+		Skew:           0,
+	}, vecmath.NewRNG(17))
+
+	nItems := tree.NumItems()
+	users := 60
+	hist := &dataset.Dataset{NumItems: nItems, Users: make([]dataset.History, users)}
+	test := &dataset.Dataset{NumItems: nItems, Users: make([]dataset.History, users)}
+	// items are distributed over 6 leaf categories (depth 2); user u buys
+	// items of category u%6: train on some, test on others
+	leafCats := tree.Level(tree.Depth() - 1)
+	catItems := make([][]int32, len(leafCats))
+	for ci, cat := range leafCats {
+		for _, leaf := range tree.Children(int(cat)) {
+			catItems[ci] = append(catItems[ci], int32(tree.NodeItem(int(leaf))))
+		}
+	}
+	for u := 0; u < users; u++ {
+		items := catItems[u%len(catItems)]
+		for k := 0; k+1 < len(items) && k < 8; k += 2 {
+			hist.Users[u].Baskets = append(hist.Users[u].Baskets, dataset.Basket{items[k]})
+		}
+		test.Users[u].Baskets = []dataset.Basket{{items[1]}, {items[3]}}
+	}
+
+	m, err := model.New(tree, users, model.Params{K: 8, TaxonomyLevels: 3, InitStd: 0.01, Alpha: 1}, vecmath.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 40
+	if _, err := train.Train(m, hist, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m.Compose(), hist, test
+}
+
+func TestEvaluateTrainedModelBeatsRandom(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	res := Evaluate(c, hist, test, DefaultConfig())
+	if res.Users != 60 {
+		t.Fatalf("Users = %d, want 60", res.Users)
+	}
+	if res.AUC < 0.7 {
+		t.Fatalf("trained AUC = %v, want > 0.7", res.AUC)
+	}
+	if res.CatAUC < 0.7 {
+		t.Fatalf("category AUC = %v, want > 0.7", res.CatAUC)
+	}
+	if res.MeanRank <= 0 || res.MeanRank > float64(test.NumItems) {
+		t.Fatalf("MeanRank = %v out of range", res.MeanRank)
+	}
+	if res.CatMeanRank <= 0 || res.CatMeanRank > 3 {
+		t.Fatalf("CatMeanRank = %v, want small (3 top categories)", res.CatMeanRank)
+	}
+}
+
+func TestEvaluateUntrainedModelNearChance(t *testing.T) {
+	_, hist, test := buildTrainedWorld(t)
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 6},
+		Items:          120,
+		Skew:           0,
+	}, vecmath.NewRNG(17))
+	m, err := model.New(tree, 60, model.Params{K: 8, TaxonomyLevels: 1, InitStd: 0.01, Alpha: 1}, vecmath.NewRNG(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(m.Compose(), hist, test, DefaultConfig())
+	if math.Abs(res.AUC-0.5) > 0.12 {
+		t.Fatalf("untrained AUC = %v, want ~0.5", res.AUC)
+	}
+}
+
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	serial := Evaluate(c, hist, test, Config{T: 1, CategoryDepth: 1, Workers: 1})
+	parallel := Evaluate(c, hist, test, Config{T: 1, CategoryDepth: 1, Workers: 8})
+	if math.Abs(serial.AUC-parallel.AUC) > 1e-12 ||
+		math.Abs(serial.MeanRank-parallel.MeanRank) > 1e-12 ||
+		serial.Users != parallel.Users {
+		t.Fatalf("parallel evaluation differs: %+v vs %+v", serial, parallel)
+	}
+}
+
+func TestEvaluateColdItems(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	// make one test positive cold by ensuring it never appears in history:
+	// find an item absent from every history basket
+	seen := hist.GlobalItemSet()
+	var cold int32 = -1
+	for it := 0; it < hist.NumItems; it++ {
+		if _, ok := seen[int32(it)]; !ok {
+			cold = int32(it)
+			break
+		}
+	}
+	if cold < 0 {
+		t.Skip("no cold item available")
+	}
+	test.Users[0].Baskets[0] = dataset.Basket{cold}
+	res := Evaluate(c, hist, test, DefaultConfig())
+	if res.ColdCount == 0 {
+		t.Fatal("cold positive not detected")
+	}
+	if res.ColdAUC < 0 || res.ColdAUC > 1 {
+		t.Fatalf("ColdAUC = %v out of [0,1]", res.ColdAUC)
+	}
+}
+
+func TestEvaluateEmptyTest(t *testing.T) {
+	c, hist, _ := buildTrainedWorld(t)
+	empty := &dataset.Dataset{NumItems: hist.NumItems, Users: make([]dataset.History, hist.NumUsers())}
+	res := Evaluate(c, hist, empty, DefaultConfig())
+	if res.Users != 0 || res.AUC != 0 {
+		t.Fatalf("empty test should produce zero result, got %+v", res)
+	}
+}
+
+func TestEvaluateTGreaterThanOne(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	res1 := Evaluate(c, hist, test, Config{T: 1, CategoryDepth: 1})
+	res2 := Evaluate(c, hist, test, Config{T: 2, CategoryDepth: 1})
+	if res2.Positives <= res1.Positives {
+		t.Fatalf("T=2 should score more positives: %d vs %d", res2.Positives, res1.Positives)
+	}
+}
+
+func TestPrunedAUCMatchesPairMetricsWhenComplete(t *testing.T) {
+	rng := vecmath.NewRNG(13)
+	scores := make([]float64, 300)
+	for i := range scores {
+		scores[i] = rng.NormFloat64()
+	}
+	pos := []int32{5, 77, 240}
+	full, _ := PairMetrics(scores, pos)
+	pruned := PrunedAUC(scores, pos)
+	if math.Abs(full-pruned) > 1e-12 {
+		t.Fatalf("complete ranking: PrunedAUC %v != PairMetrics %v", pruned, full)
+	}
+}
+
+func TestPrunedAUCUnrankedPositiveGetsZero(t *testing.T) {
+	scores := []float64{math.Inf(-1), 1, 2, 3}
+	if got := PrunedAUC(scores, []int32{0}); got != 0 {
+		t.Fatalf("unranked positive AUC = %v, want 0", got)
+	}
+}
+
+func TestPrunedAUCUnrankedNegativesRankBottom(t *testing.T) {
+	// positive ranked, all negatives pruned: full credit
+	scores := []float64{5, math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	if got := PrunedAUC(scores, []int32{0}); got != 1 {
+		t.Fatalf("AUC = %v, want 1 when every negative was pruned", got)
+	}
+	// one ranked negative above the positive: 2/3 of negatives below
+	scores2 := []float64{5, 9, math.Inf(-1), math.Inf(-1)}
+	if got := PrunedAUC(scores2, []int32{0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("AUC = %v, want 2/3", got)
+	}
+}
+
+func TestNaNGuard(t *testing.T) {
+	if NaNGuard(math.NaN()) != 0 {
+		t.Fatal("NaN should map to 0")
+	}
+	if NaNGuard(1.5) != 1.5 {
+		t.Fatal("finite values must pass through")
+	}
+}

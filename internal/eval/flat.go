@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// FlatScorer is the minimal interface a non-taxonomy ranker must satisfy
+// to be evaluated at the item level (popularity and co-occurrence
+// baselines). Context is the user's previous baskets, most-recent first.
+type FlatScorer interface {
+	NumItems() int
+	UserScores(user int, context []dataset.Basket, dst []float64)
+}
+
+// FlatResult holds the item-level metrics a FlatScorer supports (no
+// category-level metrics: flat scorers have no taxonomy factors).
+type FlatResult struct {
+	AUC       float64
+	MeanRank  float64
+	ColdAUC   float64
+	ColdCount int
+	Users     int
+	Positives int
+}
+
+// EvaluateFlat runs the paper's item-level protocol over any FlatScorer:
+// per user, the first T test transactions are scored with the full
+// observed history as context. contextLen bounds how many previous baskets
+// are passed (use the model's Markov order, or 0 for none).
+func EvaluateFlat(s FlatScorer, history, test *dataset.Dataset, cfg Config, contextLen int) FlatResult {
+	if cfg.T <= 0 {
+		cfg.T = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > test.NumUsers() {
+		workers = test.NumUsers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	trainSet := history.GlobalItemSet()
+
+	accs := make([]userAccum, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := &accs[w]
+			scores := make([]float64, s.NumItems())
+			for u := w; u < test.NumUsers(); u += workers {
+				testBaskets := test.Users[u].Baskets
+				if len(testBaskets) == 0 {
+					continue
+				}
+				seq := history.Users[u].Baskets
+				var userAUC, userRank float64
+				scored := 0
+				for t := 0; t < len(testBaskets) && t < cfg.T; t++ {
+					full := append(append([]dataset.Basket{}, seq...), testBaskets[:t]...)
+					context := recentBaskets(full, contextLen)
+					s.UserScores(u, context, scores)
+					positives := testBaskets[t]
+					auc, rank := PairMetrics(scores, positives)
+					userAUC += auc
+					userRank += rank
+					scored++
+					acc.positives += len(positives)
+
+					isPos := make(map[int32]struct{}, len(positives))
+					for _, p := range positives {
+						isPos[p] = struct{}{}
+					}
+					for _, p := range positives {
+						if _, seen := trainSet[p]; seen {
+							continue
+						}
+						acc.coldAUCSum += aucOfPositive(scores, p, isPos)
+						acc.coldCount++
+					}
+				}
+				if scored == 0 {
+					continue
+				}
+				acc.users++
+				acc.aucSum += userAUC / float64(scored)
+				acc.rankSum += userRank / float64(scored)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total userAccum
+	for _, a := range accs {
+		total.aucSum += a.aucSum
+		total.rankSum += a.rankSum
+		total.coldAUCSum += a.coldAUCSum
+		total.coldCount += a.coldCount
+		total.users += a.users
+		total.positives += a.positives
+	}
+	res := FlatResult{Users: total.users, Positives: total.positives, ColdCount: total.coldCount}
+	if total.users > 0 {
+		res.AUC = total.aucSum / float64(total.users)
+		res.MeanRank = total.rankSum / float64(total.users)
+	}
+	if total.coldCount > 0 {
+		res.ColdAUC = total.coldAUCSum / float64(total.coldCount)
+	}
+	return res
+}
+
+// recentBaskets returns up to n trailing baskets of seq, most-recent
+// first.
+func recentBaskets(seq []dataset.Basket, n int) []dataset.Basket {
+	if n <= 0 {
+		return nil
+	}
+	var out []dataset.Basket
+	for i := len(seq) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, seq[i])
+	}
+	return out
+}

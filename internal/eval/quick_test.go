@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+// Property: AUC and PrunedAUC always land in [0,1] for arbitrary finite
+// score vectors and positive sets.
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(seed uint32, nRaw, pRaw uint8) bool {
+		rng := vecmath.NewRNG(uint64(seed))
+		n := 3 + int(nRaw)%200
+		nPos := 1 + int(pRaw)%(n/2)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		perm := rng.Perm(n)
+		pos := make([]int32, nPos)
+		for i := range pos {
+			pos[i] = int32(perm[i])
+		}
+		auc, rank := PairMetrics(scores, pos)
+		if auc < 0 || auc > 1 || rank < 1 || rank > float64(n) {
+			return false
+		}
+		// prune a random subset and check PrunedAUC bounds
+		pruned := make([]float64, n)
+		copy(pruned, scores)
+		for i := range pruned {
+			if rng.Float64() < 0.4 {
+				pruned[i] = math.Inf(-1)
+			}
+		}
+		pa := PrunedAUC(pruned, pos)
+		return pa >= 0 && pa <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complementing the ranking (negating scores) complements the
+// AUC: auc(s) + auc(-s) == 1 when there are no ties.
+func TestQuickAUCComplement(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := vecmath.NewRNG(uint64(seed))
+		n := 50
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64() // ties have probability ~0
+		}
+		pos := []int32{int32(rng.Intn(n))}
+		aucA, _ := PairMetrics(scores, pos)
+		neg := make([]float64, n)
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		aucB, _ := PairMetrics(neg, pos)
+		return math.Abs(aucA+aucB-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PrunedAUC is monotone in the candidate set when pruning only
+// removes negatives BELOW the positives (the common cascade case): adding
+// such candidates back never lowers the metric… and in full generality
+// the metric never exceeds the fully ranked AUC by more than the pruned
+// negatives' mass.
+func TestQuickPrunedAUCNeverExceedsFullByMuch(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := vecmath.NewRNG(uint64(seed))
+		n := 80
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		pos := []int32{int32(rng.Intn(n))}
+		full, _ := PairMetrics(scores, pos)
+		pruned := make([]float64, n)
+		copy(pruned, scores)
+		prunedCount := 0
+		for i := range pruned {
+			if int32(i) != pos[0] && rng.Float64() < 0.3 {
+				pruned[i] = math.Inf(-1)
+				prunedCount++
+			}
+		}
+		pa := PrunedAUC(pruned, pos)
+		// each pruned negative can add at most 1/nNeg of credit
+		slack := float64(prunedCount) / float64(n-1)
+		return pa <= full+slack+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// TopKResult carries the cut-off ranking metrics at a fixed k. The paper
+// reports AUC and meanRank; production recommenders are judged at a cut,
+// so the library also provides the standard trio.
+type TopKResult struct {
+	K int
+	// Precision is |top-k ∩ positives| / k, averaged over users.
+	Precision float64
+	// Recall is |top-k ∩ positives| / |positives|, averaged over users.
+	Recall float64
+	// HitRate is the fraction of users with at least one positive in the
+	// top-k.
+	HitRate float64
+	// NDCG is the normalized discounted cumulative gain at k (binary
+	// relevance), averaged over users.
+	NDCG float64
+	// Users is how many users contributed.
+	Users int
+}
+
+// EvaluateTopK computes precision/recall/hit-rate at cut k over each
+// user's first test transaction, using the same context protocol as
+// Evaluate.
+func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (TopKResult, error) {
+	if k <= 0 {
+		return TopKResult{}, fmt.Errorf("eval: k must be positive, got %d", k)
+	}
+	res := TopKResult{K: k}
+	q := make([]float64, c.K())
+	scores := make([]float64, c.NumItems())
+	scored := make([]vecmath.Scored, c.NumItems())
+	for u := 0; u < test.NumUsers(); u++ {
+		baskets := test.Users[u].Baskets
+		if len(baskets) == 0 {
+			continue
+		}
+		seq := history.Users[u].Baskets
+		c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
+		c.ItemScoresInto(q, scores)
+		for item, s := range scores {
+			scored[item] = vecmath.Scored{ID: item, Score: s}
+		}
+		top := vecmath.TopK(scored, k)
+
+		positives := baskets[0]
+		hits := 0
+		var dcg float64
+		for rank, t := range top {
+			if positives.Contains(int32(t.ID)) {
+				hits++
+				dcg += 1 / log2(float64(rank+2))
+			}
+		}
+		var idcg float64
+		ideal := len(positives)
+		if ideal > k {
+			ideal = k
+		}
+		for rank := 0; rank < ideal; rank++ {
+			idcg += 1 / log2(float64(rank+2))
+		}
+		res.Precision += float64(hits) / float64(k)
+		res.Recall += float64(hits) / float64(len(positives))
+		if idcg > 0 {
+			res.NDCG += dcg / idcg
+		}
+		if hits > 0 {
+			res.HitRate++
+		}
+		res.Users++
+	}
+	if res.Users > 0 {
+		n := float64(res.Users)
+		res.Precision /= n
+		res.Recall /= n
+		res.HitRate /= n
+		res.NDCG /= n
+	}
+	return res, nil
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestEvaluateTopKPerfectAndEmpty(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	res, err := EvaluateTopK(c, hist, test, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if res.Precision < 0 || res.Precision > 1 || res.Recall < 0 || res.Recall > 1 || res.HitRate < 0 || res.HitRate > 1 {
+		t.Fatalf("metrics out of [0,1]: %+v", res)
+	}
+	// the trained world is easy: some hits must land
+	if res.HitRate == 0 {
+		t.Fatal("trained model should hit at least occasionally in top-10")
+	}
+	if _, err := EvaluateTopK(c, hist, test, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+}
+
+func TestEvaluateTopKMonotoneInK(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	small, err := EvaluateTopK(c, hist, test, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EvaluateTopK(c, hist, test, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Recall < small.Recall {
+		t.Fatalf("recall must grow with k: %v -> %v", small.Recall, big.Recall)
+	}
+	if big.HitRate < small.HitRate {
+		t.Fatalf("hit rate must grow with k: %v -> %v", small.HitRate, big.HitRate)
+	}
+}

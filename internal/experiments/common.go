@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+// rngFor builds the deterministic RNG every harness component derives
+// from.
+func rngFor(seed uint64) *vecmath.RNG { return vecmath.NewRNG(seed) }
+
+// discardIfNil normalizes an optional output writer.
+func discardIfNil(w io.Writer) io.Writer {
+	if w == nil {
+		return io.Discard
+	}
+	return w
+}
+
+// newTable starts an aligned text table on w.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// sysSpec names a system under comparison: the paper's TF(U, B) notation,
+// with U=1 rendering as MF(B).
+type sysSpec struct {
+	U, B       int
+	SiblingMix float64 // -1 = use scale default for TF, 0 for MF
+}
+
+// label renders the paper's system name.
+func (s sysSpec) label() string {
+	if s.U <= 1 {
+		return fmt.Sprintf("MF(%d)", s.B)
+	}
+	return fmt.Sprintf("TF(%d,%d)", s.U, s.B)
+}
+
+// trainAndEval trains one system at dimensionality k on the workload and
+// returns its evaluation. Training is single-threaded (deterministic);
+// evaluation parallelizes over users.
+func trainAndEval(w *Workload, sc Scale, spec sysSpec, k int) (eval.Result, *model.TF, error) {
+	m, _, err := trainModel(w, sc, spec, k)
+	if err != nil {
+		return eval.Result{}, nil, err
+	}
+	res := eval.Evaluate(m.Compose(), w.History, w.Split.Test, eval.DefaultConfig())
+	return res, m, nil
+}
+
+// trainModel builds and fits one system on the full observed history
+// (train plus the validation carve-out): the paper carves T transactions
+// only to cross-validate hyper-parameters, then all pre-test transactions
+// are training data.
+func trainModel(w *Workload, sc Scale, spec sysSpec, k int) (*model.TF, *train.Stats, error) {
+	u := spec.U
+	if u > w.MaxU() {
+		u = w.MaxU()
+	}
+	p := model.Params{K: k, TaxonomyLevels: u, MarkovOrder: spec.B, Alpha: 1.0, InitStd: 0.01}
+	m, err := model.New(w.Tree, w.Log.NumUsers(), p, rngFor(sc.Seed+11))
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := sc.TrainConfig()
+	switch {
+	case spec.SiblingMix >= 0:
+		cfg.SiblingMix = spec.SiblingMix
+	case u <= 1:
+		// plain MF has no taxonomy knowledge: no sibling training
+		cfg.SiblingMix = 0
+	}
+	stats, err := train.Train(m, w.History, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, stats, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Fig5Result carries the dataset-characteristics measurements of
+// Figure 5: the three histograms and the headline sparsity number.
+type Fig5Result struct {
+	Stats *dataset.Stats
+	// Users / Items / Purchases summarize the generated log.
+	Users, Items, Purchases int
+}
+
+// RunFig5 reproduces Figure 5(a–c): the distinct-items-per-user histogram
+// of the train split, the new-items-per-user histogram of the test split,
+// and the item-popularity histogram.
+func RunFig5(out io.Writer, sc Scale) (*Fig5Result, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	stats := dataset.ComputeStats(w.Split, 50)
+	res := &Fig5Result{
+		Stats:     stats,
+		Users:     w.Log.NumUsers(),
+		Items:     w.Log.NumItems,
+		Purchases: w.Log.NumPurchases(),
+	}
+
+	fmt.Fprintf(out, "Figure 5 — dataset characteristics (%s scale)\n", sc.Name)
+	fmt.Fprintf(out, "users=%d items=%d purchases=%d avg purchases/user (train)=%.2f\n\n",
+		res.Users, res.Items, res.Purchases, stats.AvgPurchasesPerUser)
+
+	tw := newTable(out)
+	fmt.Fprintln(tw, "bucket\t(a) distinct items/user\t(b) new items/user\t(c) item popularity")
+	for _, b := range []int{0, 1, 2, 3, 4, 5, 10, 20, 50} {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n",
+			b,
+			bucketRange(stats.DistinctItemsPerUser, b),
+			bucketRange(stats.NewItemsPerUser, b),
+			bucketRange(stats.ItemPopularity, b))
+	}
+	tw.Flush()
+	return res, nil
+}
+
+// bucketRange sums the histogram between the previous canonical bucket and
+// b inclusive, matching the coarse buckets the rendered table prints.
+func bucketRange(h *dataset.Histogram, b int) int {
+	edges := []int{0, 1, 2, 3, 4, 5, 10, 20, 50}
+	lo := 0
+	for i, e := range edges {
+		if e == b && i > 0 {
+			lo = edges[i-1] + 1
+		}
+	}
+	if b == 0 {
+		lo = 0
+	}
+	total := 0
+	for v := lo; v <= b && v < len(h.Counts); v++ {
+		total += h.Counts[v]
+	}
+	return total
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/eval"
+)
+
+// Fig6Result carries the long-term-model comparison of Figure 6(a–d):
+// MF(0) versus TF(U,0) across factor dimensionalities, at both the product
+// and category level.
+type Fig6Result struct {
+	Factors []int
+	MF      []eval.Result
+	TF      []eval.Result
+}
+
+// BestAUC returns the best product-level AUC of each system and the K at
+// which it occurs.
+func (r *Fig6Result) BestAUC() (mfAUC float64, mfK int, tfAUC float64, tfK int) {
+	for i, k := range r.Factors {
+		if r.MF[i].AUC > mfAUC {
+			mfAUC, mfK = r.MF[i].AUC, k
+		}
+		if r.TF[i].AUC > tfAUC {
+			tfAUC, tfK = r.TF[i].AUC, k
+		}
+	}
+	return
+}
+
+// RunFig6 reproduces Figures 6(a)–(d): TF(4,0) against MF(0) over the
+// factor sweep, reporting product-level AUC (6a) and meanRank (6b) for
+// both systems and category-level AUC (6c) and meanRank (6d) for TF.
+func RunFig6(out io.Writer, sc Scale) (*Fig6Result, error) {
+	return runFig6Sweep(out, sc, 0, "Figure 6(a–d) — TF(U,0) vs MF(0)")
+}
+
+// RunFig6e reproduces Figure 6(e): TF(4,1) against MF(1) (FPMC, the
+// state-of-the-art next-basket recommender of Rendle et al.).
+func RunFig6e(out io.Writer, sc Scale) (*Fig6Result, error) {
+	return runFig6Sweep(out, sc, 1, "Figure 6(e) — TF(U,1) vs MF(1)=FPMC")
+}
+
+func runFig6Sweep(out io.Writer, sc Scale, markov int, title string) (*Fig6Result, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Factors: sc.FactorSweep}
+	for _, k := range sc.FactorSweep {
+		mf, _, err := trainAndEval(w, sc, sysSpec{U: 1, B: markov, SiblingMix: -1}, k)
+		if err != nil {
+			return nil, err
+		}
+		tf, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: markov, SiblingMix: -1}, k)
+		if err != nil {
+			return nil, err
+		}
+		res.MF = append(res.MF, mf)
+		res.TF = append(res.TF, tf)
+	}
+
+	fmt.Fprintf(out, "%s (%s scale, U=%d)\n", title, sc.Name, w.MaxU())
+	tw := newTable(out)
+	fmt.Fprintln(tw, "K\tMF AUC\tTF AUC\tMF meanRank\tTF meanRank\tTF catAUC\tTF catMeanRank")
+	for i, k := range res.Factors {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.1f\t%.1f\t%.4f\t%.2f\n",
+			k, res.MF[i].AUC, res.TF[i].AUC,
+			res.MF[i].MeanRank, res.TF[i].MeanRank,
+			res.TF[i].CatAUC, res.TF[i].CatMeanRank)
+	}
+	tw.Flush()
+	mfA, mfK, tfA, tfK := res.BestAUC()
+	fmt.Fprintf(out, "best: MF %.4f @K=%d, TF %.4f @K=%d\n\n", mfA, mfK, tfA, tfK)
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tsne"
+	"repro/internal/vecmath"
+)
+
+// Fig7aResult carries Figure 7(a): AUC as the number of taxonomy levels
+// grows from MF(0) (U=1) to the full tree.
+type Fig7aResult struct {
+	Levels []int
+	AUC    []float64
+}
+
+// RunFig7a reproduces Figure 7(a): MF(0), TF(2,0), TF(3,0), TF(4,0) at the
+// scale's fixed K.
+func RunFig7a(out io.Writer, sc Scale) (*Fig7aResult, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7aResult{}
+	for u := 1; u <= w.MaxU(); u++ {
+		r, _, err := trainAndEval(w, sc, sysSpec{U: u, B: 0, SiblingMix: -1}, sc.FixedK)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels = append(res.Levels, u)
+		res.AUC = append(res.AUC, r.AUC)
+	}
+	fmt.Fprintf(out, "Figure 7(a) — effect of taxonomy levels (%s scale, K=%d)\n", sc.Name, sc.FixedK)
+	tw := newTable(out)
+	fmt.Fprintln(tw, "system\tAUC")
+	for i, u := range res.Levels {
+		fmt.Fprintf(tw, "%s\t%.4f\n", sysSpec{U: u}.label(), res.AUC[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// Fig7bResult carries Figure 7(b): the sparsity study across µ.
+type Fig7bResult struct {
+	Mu []float64
+	MF []float64
+	TF []float64
+}
+
+// Gap returns TF−MF AUC at each µ.
+func (r *Fig7bResult) Gap() []float64 {
+	out := make([]float64, len(r.Mu))
+	for i := range r.Mu {
+		out[i] = r.TF[i] - r.MF[i]
+	}
+	return out
+}
+
+// RunFig7b reproduces Figure 7(b): MF(0) vs TF(4,0) on splits of growing
+// density µ ∈ {0.25, 0.50, 0.75}.
+func RunFig7b(out io.Writer, sc Scale) (*Fig7bResult, error) {
+	out = discardIfNil(out)
+	res := &Fig7bResult{Mu: []float64{0.25, 0.50, 0.75}}
+	for _, mu := range res.Mu {
+		w, err := BuildWorkload(sc, mu)
+		if err != nil {
+			return nil, err
+		}
+		mf, _, err := trainAndEval(w, sc, sysSpec{U: 1, B: 0, SiblingMix: -1}, sc.FixedK)
+		if err != nil {
+			return nil, err
+		}
+		tf, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: 0, SiblingMix: -1}, sc.FixedK)
+		if err != nil {
+			return nil, err
+		}
+		res.MF = append(res.MF, mf.AUC)
+		res.TF = append(res.TF, tf.AUC)
+	}
+	fmt.Fprintf(out, "Figure 7(b) — sparsity study (%s scale, K=%d)\n", sc.Name, sc.FixedK)
+	tw := newTable(out)
+	fmt.Fprintln(tw, "mu\tMF AUC\tTF AUC\tTF-MF gap")
+	for i, mu := range res.Mu {
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.4f\t%+.4f\n", mu, res.MF[i], res.TF[i], res.TF[i]-res.MF[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// Fig7cResult carries Figure 7(c): cold-start (new item) accuracy.
+type Fig7cResult struct {
+	Factors   []int
+	MFCold    []float64
+	TFCold    []float64
+	ColdCount []int
+}
+
+// RunFig7c reproduces Figure 7(c): the ranking quality of items absent
+// from training. MF places them randomly; TF ranks them through their
+// category factors.
+func RunFig7c(out io.Writer, sc Scale) (*Fig7cResult, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7cResult{Factors: sc.FactorSweep}
+	for _, k := range sc.FactorSweep {
+		mf, _, err := trainAndEval(w, sc, sysSpec{U: 1, B: 0, SiblingMix: -1}, k)
+		if err != nil {
+			return nil, err
+		}
+		tf, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: 0, SiblingMix: -1}, k)
+		if err != nil {
+			return nil, err
+		}
+		res.MFCold = append(res.MFCold, mf.ColdAUC)
+		res.TFCold = append(res.TFCold, tf.ColdAUC)
+		res.ColdCount = append(res.ColdCount, tf.ColdCount)
+	}
+	fmt.Fprintf(out, "Figure 7(c) — cold-start (new-item) AUC (%s scale)\n", sc.Name)
+	tw := newTable(out)
+	fmt.Fprintln(tw, "K\tMF coldAUC\tTF coldAUC\tcold positives")
+	for i, k := range res.Factors {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%d\n", k, res.MFCold[i], res.TFCold[i], res.ColdCount[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// Fig7dResult carries Figure 7(d): sibling-based training on vs off.
+type Fig7dResult struct {
+	Factors    []int
+	WithSib    []float64
+	WithoutSib []float64
+}
+
+// RunFig7d reproduces Figure 7(d): TF(4,0) trained with the sibling-based
+// scheme against pure random-negative sampling.
+func RunFig7d(out io.Writer, sc Scale) (*Fig7dResult, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7dResult{Factors: sc.FactorSweep}
+	for _, k := range sc.FactorSweep {
+		with, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: 0, SiblingMix: sc.SiblingMix}, k)
+		if err != nil {
+			return nil, err
+		}
+		without, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: 0, SiblingMix: 0}, k)
+		if err != nil {
+			return nil, err
+		}
+		res.WithSib = append(res.WithSib, with.AUC)
+		res.WithoutSib = append(res.WithoutSib, without.AUC)
+	}
+	fmt.Fprintf(out, "Figure 7(d) — sibling-based training (%s scale)\n", sc.Name)
+	tw := newTable(out)
+	fmt.Fprintln(tw, "K\tsibling AUC\tno-sibling AUC\tgain")
+	for i, k := range res.Factors {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%+.4f\n", k, res.WithSib[i], res.WithoutSib[i], res.WithSib[i]-res.WithoutSib[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// Fig7eResult carries Figure 7(e): the 2-D projection of the learned
+// upper-taxonomy factors and the clustering statistics that quantify it.
+type Fig7eResult struct {
+	// RawStats measures clustering in the original K-dim factor space;
+	// ProjStats in the 2-D embedding actually plotted by the paper.
+	RawStats  tsne.ClusterStats
+	ProjStats tsne.ClusterStats
+	// Embedding rows align with Nodes (upper-level taxonomy nodes).
+	Nodes     []int32
+	Embedding *vecmath.Matrix
+	// Method is "tsne" or "pca" (tsne for small node counts).
+	Method string
+}
+
+// RunFig7e reproduces Figure 7(e): train TF(4,0), embed the effective
+// factors of the top three taxonomy levels in 2-D, and measure how tightly
+// children cluster around their parents.
+func RunFig7e(out io.Writer, sc Scale) (*Fig7eResult, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := trainModel(w, sc, sysSpec{U: w.MaxU(), B: 0, SiblingMix: -1}, sc.FixedK)
+	if err != nil {
+		return nil, err
+	}
+	c := m.Compose()
+
+	maxDepth := 3
+	if maxDepth > w.Tree.Depth()-1 {
+		maxDepth = w.Tree.Depth() - 1
+	}
+	var nodes []int32
+	for d := 1; d <= maxDepth; d++ {
+		nodes = append(nodes, w.Tree.Level(d)...)
+	}
+	gathered := tsne.GatherRows(c.EffNode, nodes)
+
+	res := &Fig7eResult{Nodes: nodes}
+	res.RawStats, err = tsne.HierarchyClustering(w.Tree, c.EffNode, 1, maxDepth, rngFor(sc.Seed+31))
+	if err != nil {
+		return nil, err
+	}
+
+	if len(nodes) <= 2500 {
+		res.Method = "tsne"
+		cfg := tsne.DefaultConfig()
+		if p := float64(len(nodes)) / 4; p < cfg.Perplexity {
+			cfg.Perplexity = p
+		}
+		res.Embedding, err = tsne.TSNE(gathered, cfg)
+	} else {
+		res.Method = "pca"
+		res.Embedding = tsne.PCA(gathered, rngFor(sc.Seed+37))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// scatter the embedding back into a node-indexed matrix for the
+	// hierarchy metric
+	proj := vecmath.NewMatrix(w.Tree.NumNodes(), 2)
+	for i, node := range nodes {
+		vecmath.Copy(proj.Row(int(node)), res.Embedding.Row(i))
+	}
+	res.ProjStats, err = tsne.HierarchyClustering(w.Tree, proj, 1, maxDepth, rngFor(sc.Seed+41))
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(out, "Figure 7(e) — factor clustering by taxonomy (%s scale, %s embedding, %d nodes)\n",
+		sc.Name, res.Method, len(nodes))
+	tw := newTable(out)
+	fmt.Fprintln(tw, "space\tchild-parent dist\trandom-pair dist\tratio (lower = clustered)")
+	fmt.Fprintf(tw, "factor (K=%d)\t%.4f\t%.4f\t%.3f\n", sc.FixedK, res.RawStats.ChildParentDist, res.RawStats.RandomPairDist, res.RawStats.Ratio())
+	fmt.Fprintf(tw, "2-D embedding\t%.4f\t%.4f\t%.3f\n", res.ProjStats.ChildParentDist, res.ProjStats.RandomPairDist, res.ProjStats.Ratio())
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// Fig7fResult carries Figure 7(f): AUC versus Markov order.
+type Fig7fResult struct {
+	Orders []int
+	AUC    []float64
+}
+
+// RunFig7f reproduces Figure 7(f): TF(4,B) for B ∈ {0..3}; the synthetic
+// log carries genuine first- and second-order category dynamics, so AUC
+// should improve as B grows (the claim of the figure's caption).
+func RunFig7f(out io.Writer, sc Scale) (*Fig7fResult, error) {
+	out = discardIfNil(out)
+	w, err := BuildWorkload(sc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7fResult{}
+	for b := 0; b <= 3; b++ {
+		r, _, err := trainAndEval(w, sc, sysSpec{U: w.MaxU(), B: b, SiblingMix: -1}, sc.FixedK)
+		if err != nil {
+			return nil, err
+		}
+		res.Orders = append(res.Orders, b)
+		res.AUC = append(res.AUC, r.AUC)
+	}
+	fmt.Fprintf(out, "Figure 7(f) — effect of Markov order (%s scale, K=%d)\n", sc.Name, sc.FixedK)
+	tw := newTable(out)
+	fmt.Fprintln(tw, "system\tAUC")
+	for i, b := range res.Orders {
+		fmt.Fprintf(tw, "TF(%d,%d)\t%.4f\n", w.MaxU(), b, res.AUC[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(out)
+	return res, nil
+}

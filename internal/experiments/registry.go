@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one figure of the paper at the given scale, writing
+// its table to out.
+type Runner func(out io.Writer, sc Scale) error
+
+// Registry maps figure ids (as used by `tfrec-exp -fig`) to runners.
+// RunFig6 covers panels 6a–6d from a single sweep; RunFig8ab covers both
+// thread-scaling panels.
+func Registry() map[string]Runner {
+	wrap := func(f func(io.Writer, Scale) error) Runner { return f }
+	return map[string]Runner{
+		"5":   wrap(func(w io.Writer, sc Scale) error { _, err := RunFig5(w, sc); return err }),
+		"6ad": wrap(func(w io.Writer, sc Scale) error { _, err := RunFig6(w, sc); return err }),
+		"6e":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig6e(w, sc); return err }),
+		"7a":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7a(w, sc); return err }),
+		"7b":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7b(w, sc); return err }),
+		"7c":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7c(w, sc); return err }),
+		"7d":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7d(w, sc); return err }),
+		"7e":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7e(w, sc); return err }),
+		"7f":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig7f(w, sc); return err }),
+		"8ab": wrap(func(w io.Writer, sc Scale) error { _, err := RunFig8ab(w, sc, nil); return err }),
+		"8c":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig8c(w, sc); return err }),
+		"8d":  wrap(func(w io.Writer, sc Scale) error { _, err := RunFig8d(w, sc); return err }),
+	}
+}
+
+// FigureIDs returns the registry keys in stable order.
+func FigureIDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every figure in order, stopping at the first error.
+func RunAll(out io.Writer, sc Scale) error {
+	reg := Registry()
+	for _, id := range FigureIDs() {
+		if err := reg[id](out, sc); err != nil {
+			return fmt.Errorf("experiments: figure %s: %w", id, err)
+		}
+	}
+	return nil
+}

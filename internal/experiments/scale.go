@@ -1,0 +1,187 @@
+// Package experiments regenerates every figure of the evaluation section
+// (§7) of Kanagal et al. (VLDB 2012). Each RunFigX function builds the
+// workload, trains the systems under comparison, prints the figure's
+// series as an aligned text table, and returns a result struct the
+// benchmark harness asserts shape properties on. DESIGN.md carries the
+// per-figure index; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/train"
+)
+
+// Scale bundles every size-dependent knob of the harness so the same
+// experiment code runs from CI-sized to paper-sized.
+type Scale struct {
+	// Name identifies the preset (tiny/small/medium/paper).
+	Name string
+	// Taxonomy is the tree shape; all presets keep the paper's three
+	// category levels so TF(4,·) is meaningful.
+	Taxonomy taxonomy.GenConfig
+	// Users / MeanTxns parameterize the synthetic log.
+	Users    int
+	MeanTxns float64
+	// Epochs is the per-model training budget.
+	Epochs int
+	// FactorSweep is the K axis of Figures 6(a–e), 7(c), 7(d).
+	FactorSweep []int
+	// FixedK is the dimensionality for single-K figures (7a, 7e, 7f, 8).
+	FixedK int
+	// LearnRate / Lambda / SiblingMix are the training defaults; Figure
+	// 7(d) overrides SiblingMix.
+	LearnRate  float64
+	Lambda     float64
+	SiblingMix float64
+	// Seed drives taxonomy generation, the synthetic log and training.
+	Seed uint64
+}
+
+// Tiny is the unit-test and benchmark scale: seconds per figure.
+func Tiny() Scale {
+	return Scale{
+		Name:        "tiny",
+		Taxonomy:    taxonomy.GenConfig{CategoryLevels: []int{3, 9, 24}, Items: 240, Skew: 0.4},
+		Users:       350,
+		MeanTxns:    6,
+		Epochs:      12,
+		FactorSweep: []int{8, 16},
+		FixedK:      8,
+		LearnRate:   0.05,
+		Lambda:      0.005,
+		SiblingMix:  0.5,
+		Seed:        42,
+	}
+}
+
+// Small is the default scale of the exp CLI: minutes for the full set.
+func Small() Scale {
+	return Scale{
+		Name:        "small",
+		Taxonomy:    taxonomy.GenConfig{CategoryLevels: []int{6, 24, 96}, Items: 2400, Skew: 0.5},
+		Users:       2000,
+		MeanTxns:    6,
+		Epochs:      25,
+		FactorSweep: []int{10, 20, 30, 40, 50},
+		FixedK:      20,
+		LearnRate:   0.05,
+		Lambda:      0.005,
+		SiblingMix:  0.5,
+		Seed:        42,
+	}
+}
+
+// Medium approaches the paper's relative sparsity; tens of minutes.
+func Medium() Scale {
+	return Scale{
+		Name:        "medium",
+		Taxonomy:    taxonomy.GenConfig{CategoryLevels: []int{12, 72, 480}, Items: 30000, Skew: 0.6},
+		Users:       20000,
+		MeanTxns:    6,
+		Epochs:      30,
+		FactorSweep: []int{10, 20, 30, 40, 50},
+		FixedK:      20,
+		LearnRate:   0.05,
+		Lambda:      0.005,
+		SiblingMix:  0.5,
+		Seed:        42,
+	}
+}
+
+// Paper is the full published scale (1M users, 1.5M products). It needs
+// several GB of memory and hours of CPU; it exists so the reproduction is
+// honest about what the full run would be, not as a default.
+func Paper() Scale {
+	return Scale{
+		Name:        "paper",
+		Taxonomy:    taxonomy.PaperShape(1),
+		Users:       1000000,
+		MeanTxns:    4,
+		Epochs:      30,
+		FactorSweep: []int{10, 20, 30, 40, 50},
+		FixedK:      20,
+		LearnRate:   0.05,
+		Lambda:      0.005,
+		SiblingMix:  0.5,
+		Seed:        42,
+	}
+}
+
+// ByName resolves a preset name.
+func ByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "medium":
+		return Medium(), nil
+	case "paper":
+		return Paper(), nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want tiny|small|medium|paper)", name)
+}
+
+// TrainConfig returns the scale's base training configuration; callers
+// override SiblingMix/Workers per experiment.
+func (sc Scale) TrainConfig() train.Config {
+	return train.Config{
+		Epochs:     sc.Epochs,
+		LearnRate:  sc.LearnRate,
+		Lambda:     sc.Lambda,
+		SiblingMix: sc.SiblingMix,
+		Workers:    1,
+		Seed:       sc.Seed + 1,
+	}
+}
+
+// SynthConfig returns the generator settings for the scale.
+func (sc Scale) SynthConfig() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Users = sc.Users
+	cfg.MeanTxns = sc.MeanTxns
+	cfg.Seed = sc.Seed + 2
+	return cfg
+}
+
+// Workload is the generated world every figure runs against: taxonomy,
+// full log, ground truth, and the µ-split with its merged history side.
+type Workload struct {
+	Tree    *taxonomy.Tree
+	Log     *dataset.Dataset
+	Truth   *synth.GroundTruth
+	Split   dataset.Split
+	History *dataset.Dataset // train + validation, the observed context
+}
+
+// BuildWorkload generates the synthetic world for a scale at the given
+// train fraction µ (the paper's default is 0.5).
+func BuildWorkload(sc Scale, mu float64) (*Workload, error) {
+	tree, err := taxonomy.Generate(sc.Taxonomy, rngFor(sc.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: taxonomy: %w", err)
+	}
+	log, truth, err := synth.Generate(tree, sc.SynthConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: synth: %w", err)
+	}
+	splitCfg := dataset.DefaultSplitConfig()
+	splitCfg.Mu = mu
+	splitCfg.Seed = sc.Seed + 3
+	split := log.Split(splitCfg)
+	return &Workload{
+		Tree:    tree,
+		Log:     log,
+		Truth:   truth,
+		Split:   split,
+		History: dataset.Concat(split.Train, split.Validation),
+	}, nil
+}
+
+// MaxU returns the paper's "4": the number of taxonomy levels available
+// from the item level up to (and excluding) the root.
+func (w *Workload) MaxU() int { return w.Tree.Depth() }

@@ -1,0 +1,204 @@
+// Package factors provides the shared-state machinery of the paper's
+// multi-core SGD (§6.1): factor matrices guarded by per-row locks, and the
+// per-thread caching heuristic for "hot" rows. Interior taxonomy nodes are
+// updated ~1000x more often than leaf items (the paper's tree has ~1.8k
+// interior nodes over 1.5M leaves), so under high thread counts the row
+// locks of the upper levels become the bottleneck; each worker therefore
+// keeps a local copy of the hot rows and reconciles with the global matrix
+// only when its accumulated delta exceeds a threshold.
+package factors
+
+import (
+	"sync"
+
+	"repro/internal/vecmath"
+)
+
+// View is row-level access to a factor matrix as seen by one SGD worker.
+// Implementations differ only in their concurrency discipline:
+//
+//   - Plain: direct access, single-threaded training.
+//   - Locked: every read/update takes the row's mutex.
+//   - Cached: Locked for cold rows; lock-free local copies with threshold
+//     reconciliation for hot rows (the paper's caching heuristic).
+type View interface {
+	// ReadInto copies row into dst.
+	ReadInto(row int, dst []float64)
+	// ApplyStep sets row = scale*row + coef*vec — the shape of every BPR
+	// update (scale carries the regularization decay 1−ελ, coef the
+	// gradient coefficient ε·c).
+	ApplyStep(row int, scale, coef float64, vec []float64)
+	// Flush publishes any locally cached state to the shared matrix.
+	Flush()
+}
+
+// Plain is an unlocked View for single-threaded training; it reads and
+// writes the matrix directly.
+type Plain struct {
+	M *vecmath.Matrix
+}
+
+// ReadInto implements View.
+func (p Plain) ReadInto(row int, dst []float64) {
+	copy(dst, p.M.Row(row))
+}
+
+// ApplyStep implements View.
+func (p Plain) ApplyStep(row int, scale, coef float64, vec []float64) {
+	applyStep(p.M.Row(row), scale, coef, vec)
+}
+
+// Flush implements View (no-op).
+func (p Plain) Flush() {}
+
+func applyStep(row []float64, scale, coef float64, vec []float64) {
+	for k := range row {
+		row[k] = scale*row[k] + coef*vec[k]
+	}
+}
+
+// paddedMutex occupies a full cache line so that locks of adjacent rows
+// never share one; with sub-microsecond SGD steps, false sharing across an
+// unpadded mutex array costs more than the actual critical sections.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// Locked guards a matrix with one mutex per row, the discipline of the
+// paper's C++ implementation. A single Locked value is shared by all
+// workers.
+type Locked struct {
+	M     *vecmath.Matrix
+	locks []paddedMutex
+}
+
+// NewLocked wraps m with per-row locks.
+func NewLocked(m *vecmath.Matrix) *Locked {
+	return &Locked{M: m, locks: make([]paddedMutex, m.Rows())}
+}
+
+// ReadInto implements View.
+func (s *Locked) ReadInto(row int, dst []float64) {
+	s.locks[row].Lock()
+	copy(dst, s.M.Row(row))
+	s.locks[row].Unlock()
+}
+
+// ApplyStep implements View.
+func (s *Locked) ApplyStep(row int, scale, coef float64, vec []float64) {
+	s.locks[row].Lock()
+	applyStep(s.M.Row(row), scale, coef, vec)
+	s.locks[row].Unlock()
+}
+
+// Flush implements View (no-op; writes are immediate).
+func (s *Locked) Flush() {}
+
+// addLocked adds delta into row under the lock and refreshes snap with the
+// post-update global value.
+func (s *Locked) addLocked(row int, delta, snap []float64) {
+	s.locks[row].Lock()
+	r := s.M.Row(row)
+	vecmath.Add(r, delta)
+	copy(snap, r)
+	s.locks[row].Unlock()
+}
+
+// Cached is one worker's view of a Locked matrix with the §6.1 caching
+// heuristic applied to rows < hotLimit (the taxonomy generator places
+// interior nodes in a contiguous low-id prefix). For a hot row the worker
+// keeps a private copy (snapshot + accumulated delta); reads and updates
+// touch no locks, and the delta is folded into the global matrix — and the
+// snapshot refreshed — once its max-norm exceeds Threshold.
+//
+// The reconciliation makes hot-row state eventually consistent rather than
+// sequentially consistent, which is exactly the trade the paper makes;
+// Threshold=0 degenerates to write-through (flush after every update).
+type Cached struct {
+	base      *Locked
+	hotLimit  int
+	threshold float64
+	snap      *vecmath.Matrix // last observed global value per hot row
+	delta     *vecmath.Matrix // local updates not yet published
+	dirty     []bool
+}
+
+// NewCached builds a worker-private cached view over base. Rows with id <
+// hotLimit are cached; threshold is the reconciliation bound on the
+// delta's max-norm.
+func NewCached(base *Locked, hotLimit int, threshold float64) *Cached {
+	if hotLimit > base.M.Rows() {
+		hotLimit = base.M.Rows()
+	}
+	c := &Cached{
+		base:      base,
+		hotLimit:  hotLimit,
+		threshold: threshold,
+		snap:      vecmath.NewMatrix(hotLimit, base.M.Cols()),
+		delta:     vecmath.NewMatrix(hotLimit, base.M.Cols()),
+		dirty:     make([]bool, hotLimit),
+	}
+	for row := 0; row < hotLimit; row++ {
+		base.ReadInto(row, c.snap.Row(row))
+	}
+	return c
+}
+
+// ReadInto implements View. Hot rows read the local copy
+// (snapshot + pending delta) without locking.
+func (c *Cached) ReadInto(row int, dst []float64) {
+	if row >= c.hotLimit {
+		c.base.ReadInto(row, dst)
+		return
+	}
+	snap, delta := c.snap.Row(row), c.delta.Row(row)
+	for k := range dst {
+		dst[k] = snap[k] + delta[k]
+	}
+}
+
+// ApplyStep implements View. For hot rows the update lands in the local
+// delta: local' = scale*(snap+delta) + coef*vec, hence
+// delta' = scale*delta + (scale−1)*snap + coef*vec.
+func (c *Cached) ApplyStep(row int, scale, coef float64, vec []float64) {
+	if row >= c.hotLimit {
+		c.base.ApplyStep(row, scale, coef, vec)
+		return
+	}
+	snap, delta := c.snap.Row(row), c.delta.Row(row)
+	maxAbs := 0.0
+	for k := range delta {
+		delta[k] = scale*delta[k] + (scale-1)*snap[k] + coef*vec[k]
+		if a := abs(delta[k]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	c.dirty[row] = true
+	if maxAbs > c.threshold {
+		c.flushRow(row)
+	}
+}
+
+func (c *Cached) flushRow(row int) {
+	c.base.addLocked(row, c.delta.Row(row), c.snap.Row(row))
+	vecmath.Zero(c.delta.Row(row))
+	c.dirty[row] = false
+}
+
+// Flush implements View: publish every dirty hot row. Call at the end of
+// each epoch (and before evaluation) so no updates are stranded in caches.
+func (c *Cached) Flush() {
+	for row := 0; row < c.hotLimit; row++ {
+		if c.dirty[row] {
+			c.flushRow(row)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,221 @@
+package factors
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestPlainReadWrite(t *testing.T) {
+	m := vecmath.NewMatrix(3, 2)
+	v := Plain{M: m}
+	v.ApplyStep(1, 1, 2, []float64{1, 3})
+	dst := make([]float64, 2)
+	v.ReadInto(1, dst)
+	if dst[0] != 2 || dst[1] != 6 {
+		t.Fatalf("ReadInto = %v, want [2 6]", dst)
+	}
+	v.Flush() // no-op must not panic
+}
+
+func TestApplyStepShape(t *testing.T) {
+	m := vecmath.NewMatrix(1, 3)
+	copy(m.Row(0), []float64{1, 2, 3})
+	Plain{M: m}.ApplyStep(0, 0.5, 2, []float64{1, 1, 1})
+	want := []float64{2.5, 3, 3.5}
+	for k, w := range want {
+		if math.Abs(m.Row(0)[k]-w) > 1e-12 {
+			t.Fatalf("row = %v, want %v", m.Row(0), want)
+		}
+	}
+}
+
+func TestLockedMatchesPlainSequentially(t *testing.T) {
+	rng := vecmath.NewRNG(1)
+	mp := vecmath.NewMatrix(10, 4)
+	mp.FillGaussian(rng, 1)
+	ml := mp.Clone()
+	p := Plain{M: mp}
+	l := NewLocked(ml)
+	vec := []float64{0.1, -0.2, 0.3, -0.4}
+	for i := 0; i < 100; i++ {
+		row := i % 10
+		p.ApplyStep(row, 0.99, 0.05, vec)
+		l.ApplyStep(row, 0.99, 0.05, vec)
+	}
+	if d := mp.MaxAbsDiff(ml); d > 1e-12 {
+		t.Fatalf("locked diverged from plain by %v", d)
+	}
+}
+
+func TestLockedConcurrentUpdatesAllLand(t *testing.T) {
+	m := vecmath.NewMatrix(4, 2)
+	l := NewLocked(m)
+	const workers, updates = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vec := []float64{1, 1}
+			for i := 0; i < updates; i++ {
+				l.ApplyStep(i%4, 1, 1, vec)
+			}
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for r := 0; r < 4; r++ {
+		total += m.Row(r)[0]
+	}
+	if total != workers*updates {
+		t.Fatalf("total = %v, want %d (updates lost)", total, workers*updates)
+	}
+}
+
+func TestCachedColdRowsPassThrough(t *testing.T) {
+	m := vecmath.NewMatrix(10, 2)
+	l := NewLocked(m)
+	c := NewCached(l, 3, 0.5)
+	c.ApplyStep(7, 1, 1, []float64{2, 2})
+	dst := make([]float64, 2)
+	l.ReadInto(7, dst)
+	if dst[0] != 2 {
+		t.Fatal("cold-row update must write through immediately")
+	}
+}
+
+func TestCachedHotRowDefersUntilThreshold(t *testing.T) {
+	m := vecmath.NewMatrix(4, 2)
+	l := NewLocked(m)
+	c := NewCached(l, 4, 1.0)
+	// small update stays local
+	c.ApplyStep(0, 1, 1, []float64{0.3, 0.3})
+	global := make([]float64, 2)
+	l.ReadInto(0, global)
+	if global[0] != 0 {
+		t.Fatal("small delta must not be published yet")
+	}
+	// the worker's own view includes the pending delta
+	local := make([]float64, 2)
+	c.ReadInto(0, local)
+	if math.Abs(local[0]-0.3) > 1e-12 {
+		t.Fatalf("local view = %v, want 0.3", local[0])
+	}
+	// pushing past the threshold publishes
+	c.ApplyStep(0, 1, 1, []float64{0.8, 0.8})
+	l.ReadInto(0, global)
+	if math.Abs(global[0]-1.1) > 1e-12 {
+		t.Fatalf("global = %v, want 1.1 after reconcile", global[0])
+	}
+}
+
+func TestCachedFlushPublishesEverything(t *testing.T) {
+	m := vecmath.NewMatrix(3, 2)
+	l := NewLocked(m)
+	c := NewCached(l, 3, 100) // huge threshold: nothing auto-flushes
+	c.ApplyStep(0, 1, 1, []float64{1, 0})
+	c.ApplyStep(2, 1, 1, []float64{0, 5})
+	c.Flush()
+	dst := make([]float64, 2)
+	l.ReadInto(0, dst)
+	if dst[0] != 1 {
+		t.Fatal("row 0 not flushed")
+	}
+	l.ReadInto(2, dst)
+	if dst[1] != 5 {
+		t.Fatal("row 2 not flushed")
+	}
+	// second flush is a no-op
+	c.Flush()
+	l.ReadInto(0, dst)
+	if dst[0] != 1 {
+		t.Fatal("double flush corrupted state")
+	}
+}
+
+func TestCachedZeroThresholdIsWriteThrough(t *testing.T) {
+	m := vecmath.NewMatrix(2, 2)
+	l := NewLocked(m)
+	c := NewCached(l, 2, 0)
+	c.ApplyStep(0, 1, 1, []float64{0.001, 0})
+	dst := make([]float64, 2)
+	l.ReadInto(0, dst)
+	if dst[0] != 0.001 {
+		t.Fatal("threshold 0 must write through on every update")
+	}
+}
+
+func TestCachedEquivalentToLockedAfterFlush(t *testing.T) {
+	// single worker: cached and locked must agree exactly once flushed,
+	// regardless of threshold, because scale/coef algebra is identity-
+	// preserving: local' = scale*local + coef*vec telescopes.
+	rng := vecmath.NewRNG(3)
+	mA := vecmath.NewMatrix(6, 3)
+	mA.FillGaussian(rng, 1)
+	mB := mA.Clone()
+	lA := NewLocked(mA)
+	cache := NewCached(lA, 4, 0.7)
+	lB := NewLocked(mB)
+	vec := make([]float64, 3)
+	r2 := vecmath.NewRNG(4)
+	for i := 0; i < 500; i++ {
+		row := r2.Intn(6)
+		for k := range vec {
+			vec[k] = r2.NormFloat64()
+		}
+		scale := 1 - 0.01*r2.Float64()
+		coef := 0.05 * r2.NormFloat64()
+		cache.ApplyStep(row, scale, coef, vec)
+		lB.ApplyStep(row, scale, coef, vec)
+	}
+	cache.Flush()
+	if d := mA.MaxAbsDiff(mB); d > 1e-9 {
+		t.Fatalf("cached view diverged from direct by %v", d)
+	}
+}
+
+func TestCachedConcurrentWorkersConvergeOnFlush(t *testing.T) {
+	// Additive-only updates (scale=1): with concurrent cached workers the
+	// total mass must be conserved after all flushes.
+	m := vecmath.NewMatrix(4, 1)
+	l := NewLocked(m)
+	const workers, updates = 6, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c := NewCached(l, 4, 0.9)
+			rng := vecmath.NewRNG(seed)
+			for i := 0; i < updates; i++ {
+				c.ApplyStep(rng.Intn(4), 1, 1, []float64{0.25})
+			}
+			c.Flush()
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var total float64
+	for r := 0; r < 4; r++ {
+		total += m.Row(r)[0]
+	}
+	want := float64(workers*updates) * 0.25
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("mass %v, want %v (cache lost or duplicated updates)", total, want)
+	}
+}
+
+func TestCachedHotLimitClamp(t *testing.T) {
+	m := vecmath.NewMatrix(3, 1)
+	l := NewLocked(m)
+	c := NewCached(l, 100, 0.1) // hotLimit > rows must clamp, not panic
+	c.ApplyStep(2, 1, 1, []float64{1})
+	c.Flush()
+	dst := make([]float64, 1)
+	l.ReadInto(2, dst)
+	if dst[0] != 1 {
+		t.Fatal("clamped cache lost the update")
+	}
+}

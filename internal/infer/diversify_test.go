@@ -1,0 +1,92 @@
+package infer
+
+import (
+	"testing"
+)
+
+func TestDiversifiedRespectsQuota(t *testing.T) {
+	c := composed(t)
+	q := query(c.K())
+	catDepth := c.Tree.Depth() - 1
+	out, err := Diversified(c, q, 20, 2, catDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("got %d items", len(out))
+	}
+	counts := map[int]int{}
+	for _, s := range out {
+		cat := c.Tree.AncestorAtDepth(c.Tree.ItemNode(s.ID), catDepth)
+		counts[cat]++
+		if counts[cat] > 2 {
+			t.Fatalf("category %d exceeded quota", cat)
+		}
+	}
+	// scores still descending
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Fatal("diversified list must stay score-ordered")
+		}
+	}
+}
+
+func TestDiversifiedUnlimitedQuotaEqualsNaive(t *testing.T) {
+	c := composed(t)
+	q := query(c.K())
+	out, err := Diversified(c, q, 15, 1<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := Naive(c, q, 15)
+	for i := range naive {
+		if out[i].ID != naive[i].ID {
+			t.Fatal("huge quota must reduce to the plain ranking")
+		}
+	}
+}
+
+func TestDiversifiedCoversMoreCategories(t *testing.T) {
+	c := composed(t)
+	q := query(c.K())
+	catDepth := c.Tree.Depth() - 1
+	countCats := func(ids []int) int {
+		set := map[int]bool{}
+		for _, id := range ids {
+			set[c.Tree.AncestorAtDepth(c.Tree.ItemNode(id), catDepth)] = true
+		}
+		return len(set)
+	}
+	naive := Naive(c, q, 20)
+	div, err := Diversified(c, q, 20, 1, catDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveIDs, divIDs []int
+	for _, s := range naive {
+		naiveIDs = append(naiveIDs, s.ID)
+	}
+	for _, s := range div {
+		divIDs = append(divIDs, s.ID)
+	}
+	if countCats(divIDs) < countCats(naiveIDs) {
+		t.Fatalf("diversified list covers %d categories, naive %d", countCats(divIDs), countCats(naiveIDs))
+	}
+	if countCats(divIDs) != len(divIDs) {
+		t.Fatalf("quota 1 must give all-distinct categories, got %d of %d", countCats(divIDs), len(divIDs))
+	}
+}
+
+func TestDiversifiedValidation(t *testing.T) {
+	c := composed(t)
+	q := query(c.K())
+	if _, err := Diversified(c, q, 5, 0, 1); err == nil {
+		t.Fatal("expected error for quota 0")
+	}
+	if _, err := Diversified(c, q, 5, 1, 0); err == nil {
+		t.Fatal("expected error for catDepth 0")
+	}
+	if _, err := Diversified(c, q, 5, 1, c.Tree.Depth()); err == nil {
+		t.Fatal("expected error for catDepth == leaf depth")
+	}
+}

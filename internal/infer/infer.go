@@ -1,0 +1,196 @@
+// Package infer implements recommendation over trained TF models: the
+// naive full-scan top-k and the paper's cascaded inference (§5.1), which
+// walks the taxonomy top-down keeping only the best k_i percent of each
+// category level and scores leaves only under the surviving categories —
+// the accuracy/efficiency dial of Figure 8(c,d).
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// Naive scores every item and returns the top-k, the baseline the paper's
+// cascaded inference is measured against.
+func Naive(c *model.Composed, q []float64, k int) []vecmath.Scored {
+	scores := make([]vecmath.Scored, c.NumItems())
+	for item := 0; item < c.NumItems(); item++ {
+		scores[item] = vecmath.Scored{ID: item, Score: c.NodeScore(q, c.Tree.ItemNode(item))}
+	}
+	return vecmath.TopK(scores, k)
+}
+
+// CascadeConfig sets the per-level keep fractions k_i of §5.1:
+// KeepFrac[d-1] applies to taxonomy depth d (the category levels between
+// the root and the items). n_i = ceil(k_i · size(level i)) nodes survive
+// at each level; all leaves under surviving lowest categories are scored.
+type CascadeConfig struct {
+	KeepFrac []float64
+}
+
+// UniformCascade returns a config keeping fraction f at every category
+// level of a depth-deep taxonomy (depth = tree.Depth()).
+func UniformCascade(depth int, f float64) CascadeConfig {
+	kf := make([]float64, depth-1)
+	for i := range kf {
+		kf[i] = f
+	}
+	return CascadeConfig{KeepFrac: kf}
+}
+
+// Validate checks the fractions against a taxonomy of the given depth.
+func (cfg CascadeConfig) Validate(depth int) error {
+	if len(cfg.KeepFrac) != depth-1 {
+		return fmt.Errorf("infer: need %d keep fractions for depth %d, got %d", depth-1, depth, len(cfg.KeepFrac))
+	}
+	for i, f := range cfg.KeepFrac {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("infer: KeepFrac[%d] = %v outside (0,1]", i, f)
+		}
+	}
+	return nil
+}
+
+// Stats reports the work a cascade performed; NodesScored is the number
+// of query–factor dot products (the paper's inference cost unit).
+type Stats struct {
+	// NodesScored counts scored taxonomy nodes, including leaves.
+	NodesScored int
+	// LeavesScored counts scored items (candidates for the final ranking).
+	LeavesScored int
+	// KeptPerLevel records how many nodes survived each category level.
+	KeptPerLevel []int
+}
+
+// walk performs the top-down beam of §5.1 and returns the surviving leaf
+// frontier; leaves are not yet scored (stats count only the interior
+// work so far).
+func walk(c *model.Composed, q []float64, cfg CascadeConfig) ([]int32, *Stats, error) {
+	tree := c.Tree
+	if err := cfg.Validate(tree.Depth()); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	frontier := append([]int32(nil), tree.Level(1)...)
+	for d := 1; d < tree.Depth(); d++ {
+		scored := make([]vecmath.Scored, len(frontier))
+		for i, node := range frontier {
+			scored[i] = vecmath.Scored{ID: int(node), Score: c.NodeScore(q, int(node))}
+		}
+		stats.NodesScored += len(scored)
+
+		levelSize := len(tree.Level(d))
+		keep := int(math.Ceil(cfg.KeepFrac[d-1] * float64(levelSize)))
+		if keep < 1 {
+			keep = 1
+		}
+		top := vecmath.TopK(scored, keep)
+		stats.KeptPerLevel = append(stats.KeptPerLevel, len(top))
+
+		frontier = frontier[:0]
+		for _, s := range top {
+			frontier = append(frontier, tree.Children(s.ID)...)
+		}
+	}
+	return frontier, stats, nil
+}
+
+// Cascade runs §5.1 top-down inference and returns the top-k items among
+// the reached leaves together with work statistics. This is the production
+// serving path: it touches only the beam's nodes, never the full catalog.
+func Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
+	frontier, stats, err := walk(c, q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	candidates := make([]vecmath.Scored, len(frontier))
+	for i, leaf := range frontier {
+		candidates[i] = vecmath.Scored{
+			ID:    c.Tree.NodeItem(int(leaf)),
+			Score: c.NodeScore(q, int(leaf)),
+		}
+	}
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return vecmath.TopK(candidates, k), stats, nil
+}
+
+// CascadeScores runs the cascade and returns a full score array: reached
+// items carry their affinity, unreached items are −Inf. Evaluation uses
+// this to compute the Figure 8(c,d) accuracy ratio (eval.PrunedAUC); the
+// serving path is Cascade, which never materializes the full array.
+func CascadeScores(c *model.Composed, q []float64, cfg CascadeConfig) ([]float64, *Stats, error) {
+	frontier, stats, err := walk(c, q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores := make([]float64, c.Tree.NumItems())
+	for i := range scores {
+		scores[i] = math.Inf(-1)
+	}
+	for _, leaf := range frontier {
+		scores[c.Tree.NodeItem(int(leaf))] = c.NodeScore(q, int(leaf))
+	}
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return scores, stats, nil
+}
+
+// Diversified returns a top-k ranking with at most maxPerCategory items
+// from any single category at taxonomy depth catDepth. Section 1 of the
+// paper motivates exactly this use of the taxonomy: "reduce duplication of
+// items of similar type" in the recommendation list. The ranking is the
+// greedy score-ordered scan that skips items whose category quota is
+// exhausted.
+func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
+	if maxPerCategory <= 0 {
+		return nil, fmt.Errorf("infer: maxPerCategory must be positive, got %d", maxPerCategory)
+	}
+	if catDepth < 1 || catDepth >= c.Tree.Depth() {
+		return nil, fmt.Errorf("infer: catDepth %d outside (0,%d)", catDepth, c.Tree.Depth())
+	}
+	// rank everything, then fill greedily under the quota
+	all := Naive(c, q, c.NumItems())
+	quota := make(map[int]int)
+	out := make([]vecmath.Scored, 0, k)
+	for _, s := range all {
+		if len(out) == k {
+			break
+		}
+		cat := c.Tree.AncestorAtDepth(c.Tree.ItemNode(s.ID), catDepth)
+		if quota[cat] >= maxPerCategory {
+			continue
+		}
+		quota[cat]++
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// StructuredRanking is the per-level output the paper motivates in §1:
+// a ranking of categories at every level of the taxonomy plus the top
+// items, so advertisers can target categories rather than single products.
+type StructuredRanking struct {
+	// Levels[d] holds the ranked nodes of taxonomy depth d+1 (descending
+	// affinity).
+	Levels [][]vecmath.Scored
+	// Items is the final ranked item list.
+	Items []vecmath.Scored
+}
+
+// Structured produces a full structured ranking: every category level
+// ranked completely, and the top-k items from a naive scan. It is meant
+// for presentation, not the hot serving path.
+func Structured(c *model.Composed, q []float64, k int) *StructuredRanking {
+	tree := c.Tree
+	out := &StructuredRanking{}
+	for d := 1; d < tree.Depth(); d++ {
+		level := c.LevelScores(q, d)
+		out.Levels = append(out.Levels, vecmath.TopK(level, len(level)))
+	}
+	out.Items = Naive(c, q, k)
+	return out
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// Composed is an immutable snapshot of a TF model with all path sums
+// materialized: EffNode.Row(n) is the effective factor of taxonomy node n
+// (offsets summed from n to the root, Eq. 1) and EffNext the same for the
+// next-item tree. Inference and evaluation run off a Composed snapshot so
+// each of the millions of per-item scores is a single dot product instead
+// of a path walk. Build one with (*TF).Compose after training.
+type Composed struct {
+	P       Params
+	Tree    *taxonomy.Tree
+	User    *vecmath.Matrix
+	EffNode *vecmath.Matrix
+	EffNext *vecmath.Matrix
+	// EffBias is the composed per-node popularity bias (numNodes x 1);
+	// all zero unless the model trained with UseBias.
+	EffBias *vecmath.Matrix
+	weights []float64
+}
+
+// Compose materializes the effective factors by a single top-down pass:
+// eff(node) = eff(parent) + offset(node). It does not mutate the model and
+// the snapshot does not alias model rows.
+func (m *TF) Compose() *Composed {
+	return &Composed{
+		P:       m.P,
+		Tree:    m.Tree,
+		User:    m.User.Clone(),
+		EffNode: composeTree(m.Tree, m.Node),
+		EffNext: composeTree(m.Tree, m.Next),
+		EffBias: composeTree(m.Tree, m.Bias),
+		weights: m.P.DecayWeights(),
+	}
+}
+
+func composeTree(tree *taxonomy.Tree, offsets *vecmath.Matrix) *vecmath.Matrix {
+	eff := vecmath.NewMatrix(offsets.Rows(), offsets.Cols())
+	root := tree.Root()
+	vecmath.Copy(eff.Row(root), offsets.Row(root))
+	// level order guarantees parents are composed before children
+	for d := 1; d <= tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			n := int(node)
+			row := eff.Row(n)
+			vecmath.Copy(row, eff.Row(tree.Parent(n)))
+			vecmath.Add(row, offsets.Row(n))
+		}
+	}
+	return eff
+}
+
+// K returns the factor dimensionality.
+func (c *Composed) K() int { return c.P.K }
+
+// NumItems returns the item count.
+func (c *Composed) NumItems() int { return c.Tree.NumItems() }
+
+// ItemFactor returns the effective factor of item as a read-only view.
+func (c *Composed) ItemFactor(item int) []float64 {
+	return c.EffNode.Row(c.Tree.ItemNode(item))
+}
+
+// BuildQueryInto mirrors (*TF).BuildQueryInto against the snapshot.
+func (c *Composed) BuildQueryInto(user int, prev []dataset.Basket, q []float64) {
+	vecmath.Copy(q, c.User.Row(user))
+	c.addShortTerm(prev, q)
+}
+
+// BuildSessionQueryInto builds a query for an anonymous session: no user
+// factor, only the short-term Markov term driven by the session's recent
+// baskets (most recent first). With MarkovOrder 0 the query is zero and
+// ranking degenerates to the bias/popularity order.
+func (c *Composed) BuildSessionQueryInto(prev []dataset.Basket, q []float64) {
+	vecmath.Zero(q)
+	c.addShortTerm(prev, q)
+}
+
+func (c *Composed) addShortTerm(prev []dataset.Basket, q []float64) {
+	if c.P.MarkovOrder == 0 {
+		return
+	}
+	for n := 0; n < len(prev) && n < c.P.MarkovOrder; n++ {
+		basket := prev[n]
+		if len(basket) == 0 {
+			continue
+		}
+		coef := c.weights[n] / float64(len(basket))
+		for _, item := range basket {
+			vecmath.AddScaled(q, coef, c.EffNext.Row(c.Tree.ItemNode(int(item))))
+		}
+	}
+}
+
+// ItemScoresInto writes the full affinity (⟨q, vI_j⟩ plus composed bias)
+// for every item j into dst (len == NumItems).
+func (c *Composed) ItemScoresInto(q []float64, dst []float64) {
+	useBias := c.P.UseBias
+	for item := 0; item < c.NumItems(); item++ {
+		node := c.Tree.ItemNode(item)
+		s := vecmath.Dot(q, c.EffNode.Row(node))
+		if useBias {
+			s += c.EffBias.Row(node)[0]
+		}
+		dst[item] = s
+	}
+}
+
+// NodeScore returns ⟨q, eff(node)⟩ (plus the node's composed bias when
+// UseBias) for any taxonomy node; cascaded inference and category-level
+// metrics rank these.
+func (c *Composed) NodeScore(q []float64, node int) float64 {
+	s := vecmath.Dot(q, c.EffNode.Row(node))
+	if c.P.UseBias {
+		s += c.EffBias.Row(node)[0]
+	}
+	return s
+}
+
+// LevelScores returns the scored nodes of taxonomy depth d, unsorted.
+func (c *Composed) LevelScores(q []float64, d int) []vecmath.Scored {
+	level := c.Tree.Level(d)
+	out := make([]vecmath.Scored, len(level))
+	for i, node := range level {
+		out[i] = vecmath.Scored{ID: int(node), Score: c.NodeScore(q, int(node))}
+	}
+	return out
+}
+
+// PrevBaskets mirrors (*TF).PrevBaskets for the snapshot.
+func (c *Composed) PrevBaskets(history []dataset.Basket, t int) []dataset.Basket {
+	if c.P.MarkovOrder == 0 {
+		return nil
+	}
+	var prev []dataset.Basket
+	for n := 1; n <= c.P.MarkovOrder && t-n >= 0; n++ {
+		prev = append(prev, history[t-n])
+	}
+	return prev
+}

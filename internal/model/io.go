@@ -1,0 +1,72 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// persisted is the gob wire form of a TF model: hyper-parameters, the
+// taxonomy's parent array, and the three factor matrices flattened.
+type persisted struct {
+	Params   Params
+	Parents  []int
+	NumUsers int
+	User     []float64
+	Node     []float64
+	Next     []float64
+	Bias     []float64
+}
+
+// Save writes the model (including its taxonomy) to w in gob format.
+func (m *TF) Save(w io.Writer) error {
+	p := persisted{
+		Params:   m.P,
+		Parents:  m.Tree.ParentArray(),
+		NumUsers: m.NumUsers(),
+		User:     m.User.CompactData(),
+		Node:     m.Node.CompactData(),
+		Next:     m.Next.CompactData(),
+		Bias:     m.Bias.CompactData(),
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Load reads a model written by Save, rebuilding and revalidating the
+// taxonomy.
+func Load(r io.Reader) (*TF, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	tree, err := taxonomy.NewFromParents(p.Parents)
+	if err != nil {
+		return nil, fmt.Errorf("model: bad taxonomy in file: %w", err)
+	}
+	m, err := New(tree, p.NumUsers, p.Params, vecmath.NewRNG(0))
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Bias) == 0 {
+		// files written before the bias extension: biases stay zero
+		p.Bias = make([]float64, m.Bias.Rows()*m.Bias.Cols())
+	}
+	for name, pair := range map[string]struct {
+		dst *vecmath.Matrix
+		src []float64
+	}{
+		"user": {m.User, p.User},
+		"node": {m.Node, p.Node},
+		"next": {m.Next, p.Next},
+		"bias": {m.Bias, p.Bias},
+	} {
+		if len(pair.src) != pair.dst.Rows()*pair.dst.Cols() {
+			return nil, fmt.Errorf("model: %s matrix size %d does not match structure %d", name, len(pair.src), pair.dst.Rows()*pair.dst.Cols())
+		}
+		pair.dst.SetCompactData(pair.src)
+	}
+	return m, nil
+}

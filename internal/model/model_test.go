@@ -1,0 +1,377 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func testTree(t *testing.T) *taxonomy.Tree {
+	t.Helper()
+	return taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 6, 12},
+		Items:          60,
+		Skew:           0.3,
+	}, vecmath.NewRNG(5))
+}
+
+func newTF(t *testing.T, tree *taxonomy.Tree, p Params) *TF {
+	t.Helper()
+	m, err := New(tree, 40, p, vecmath.NewRNG(7))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{K: 0, TaxonomyLevels: 1},
+		{K: 5, TaxonomyLevels: 0},
+		{K: 5, TaxonomyLevels: 1, MarkovOrder: -1},
+		{K: 5, TaxonomyLevels: 1, InitStd: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestDecayWeights(t *testing.T) {
+	p := Params{K: 4, TaxonomyLevels: 1, MarkovOrder: 3, Alpha: 2}
+	w := p.DecayWeights()
+	if len(w) != 3 {
+		t.Fatalf("len = %d, want 3", len(w))
+	}
+	for n := 1; n <= 3; n++ {
+		want := 2 * math.Exp(-float64(n)/3)
+		if math.Abs(w[n-1]-want) > 1e-12 {
+			t.Fatalf("w[%d] = %v, want %v", n-1, w[n-1], want)
+		}
+	}
+	// strictly decreasing
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Fatalf("weights not decaying: %v", w)
+	}
+	if (Params{K: 1, TaxonomyLevels: 1}).DecayWeights() != nil {
+		t.Fatal("order 0 should have nil weights")
+	}
+}
+
+func TestItemFactorIsPathSum(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 8, TaxonomyLevels: 4, InitStd: 0.1, Alpha: 1})
+	dst := make([]float64, 8)
+	for item := 0; item < tree.NumItems(); item += 7 {
+		m.ItemFactorInto(item, dst)
+		want := make([]float64, 8)
+		for _, node := range m.ItemPath(item) {
+			vecmath.Add(want, m.Node.Row(int(node)))
+		}
+		for k := range dst {
+			if dst[k] != want[k] {
+				t.Fatalf("item %d factor mismatch", item)
+			}
+		}
+	}
+}
+
+func TestUntrainedLevelsAreZero(t *testing.T) {
+	tree := testTree(t) // depth 4: root + 3 cat levels + items
+	// U=2: only item level and lowest category level trained
+	m := newTF(t, tree, Params{K: 6, TaxonomyLevels: 2, InitStd: 0.1, Alpha: 1})
+	for d := 0; d <= tree.Depth()-2; d++ {
+		for _, node := range tree.Level(d) {
+			if vecmath.Norm2(m.Node.Row(int(node))) != 0 {
+				t.Fatalf("node %d at depth %d should have zero offset under U=2", node, d)
+			}
+			if vecmath.Norm2(m.Next.Row(int(node))) != 0 {
+				t.Fatalf("next offset of node %d should be zero", node)
+			}
+		}
+	}
+	// trained levels are non-zero
+	nz := 0
+	for _, node := range tree.Level(tree.Depth()) {
+		if vecmath.Norm2(m.Node.Row(int(node))) > 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		t.Fatal("leaf offsets should be initialized")
+	}
+}
+
+func TestU1MatchesFlatMF(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 6, TaxonomyLevels: 1, InitStd: 0.1, Alpha: 1})
+	dst := make([]float64, 6)
+	for item := 0; item < tree.NumItems(); item++ {
+		m.ItemFactorInto(item, dst)
+		leaf := m.Node.Row(tree.ItemNode(item))
+		for k := range dst {
+			if dst[k] != leaf[k] {
+				t.Fatalf("U=1 effective factor must equal the leaf offset alone")
+			}
+		}
+	}
+}
+
+func TestScoreMatchesDotOfComposedFactor(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 5, TaxonomyLevels: 4, InitStd: 0.2, Alpha: 1})
+	q := make([]float64, 5)
+	for i := range q {
+		q[i] = float64(i) - 2
+	}
+	f := make([]float64, 5)
+	for item := 0; item < tree.NumItems(); item += 5 {
+		m.ItemFactorInto(item, f)
+		want := vecmath.Dot(q, f)
+		if got := m.Score(q, item); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Score(%d) = %v, want %v", item, got, want)
+		}
+	}
+}
+
+func TestBuildQueryLongTermOnly(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 4, TaxonomyLevels: 2, MarkovOrder: 0, InitStd: 0.1, Alpha: 1})
+	q := make([]float64, 4)
+	m.BuildQueryInto(3, []dataset.Basket{{1, 2}}, q)
+	u := m.User.Row(3)
+	for k := range q {
+		if q[k] != u[k] {
+			t.Fatal("with MarkovOrder=0 the query must equal the user factor")
+		}
+	}
+}
+
+func TestBuildQueryAddsShortTerm(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 4, TaxonomyLevels: 2, MarkovOrder: 2, Alpha: 1, InitStd: 0.1})
+	w := m.P.DecayWeights()
+	prev := []dataset.Basket{{0, 1}, {2}}
+	q := make([]float64, 4)
+	m.BuildQueryInto(0, prev, q)
+
+	want := make([]float64, 4)
+	vecmath.Copy(want, m.User.Row(0))
+	buf := make([]float64, 4)
+	m.NextFactorInto(0, buf)
+	vecmath.AddScaled(want, w[0]/2, buf)
+	m.NextFactorInto(1, buf)
+	vecmath.AddScaled(want, w[0]/2, buf)
+	m.NextFactorInto(2, buf)
+	vecmath.AddScaled(want, w[1], buf)
+
+	for k := range q {
+		if math.Abs(q[k]-want[k]) > 1e-12 {
+			t.Fatalf("query[%d] = %v, want %v", k, q[k], want[k])
+		}
+	}
+}
+
+func TestBuildQueryIgnoresBasketsBeyondOrder(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 4, TaxonomyLevels: 1, MarkovOrder: 1, Alpha: 1, InitStd: 0.1})
+	q1 := make([]float64, 4)
+	q2 := make([]float64, 4)
+	m.BuildQueryInto(0, []dataset.Basket{{1}}, q1)
+	m.BuildQueryInto(0, []dataset.Basket{{1}, {5}, {9}}, q2)
+	for k := range q1 {
+		if q1[k] != q2[k] {
+			t.Fatal("baskets beyond MarkovOrder must not affect the query")
+		}
+	}
+}
+
+func TestPrevBaskets(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 2, TaxonomyLevels: 1, MarkovOrder: 2, Alpha: 1})
+	history := []dataset.Basket{{0}, {1}, {2}, {3}}
+	prev := m.PrevBaskets(history, 3)
+	if len(prev) != 2 || prev[0][0] != 2 || prev[1][0] != 1 {
+		t.Fatalf("PrevBaskets = %v, want [[2] [1]]", prev)
+	}
+	if got := m.PrevBaskets(history, 0); got != nil {
+		t.Fatalf("t=0 should have no context, got %v", got)
+	}
+	if got := m.PrevBaskets(history, 1); len(got) != 1 {
+		t.Fatalf("t=1 should have one basket, got %v", got)
+	}
+}
+
+func TestNodeFactorMatchesItemFactorAtLeaf(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 5, TaxonomyLevels: 4, InitStd: 0.1, Alpha: 1})
+	a := make([]float64, 5)
+	b := make([]float64, 5)
+	item := 17
+	m.ItemFactorInto(item, a)
+	m.NodeFactorInto(tree.ItemNode(item), b)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("NodeFactorInto at a leaf must equal ItemFactorInto")
+		}
+	}
+}
+
+func TestComposeMatchesDirectComposition(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 7, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.15})
+	c := m.Compose()
+	buf := make([]float64, 7)
+	for node := 0; node < tree.NumNodes(); node++ {
+		m.NodeFactorInto(node, buf)
+		eff := c.EffNode.Row(node)
+		for k := range buf {
+			if math.Abs(buf[k]-eff[k]) > 1e-12 {
+				t.Fatalf("node %d composed factor mismatch", node)
+			}
+		}
+	}
+	// next tree too
+	for item := 0; item < tree.NumItems(); item += 11 {
+		m.NextFactorInto(item, buf)
+		eff := c.EffNext.Row(tree.ItemNode(item))
+		for k := range buf {
+			if math.Abs(buf[k]-eff[k]) > 1e-12 {
+				t.Fatalf("item %d next factor mismatch", item)
+			}
+		}
+	}
+}
+
+func TestComposedQueriesAndScoresMatchModel(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 6, TaxonomyLevels: 3, MarkovOrder: 2, Alpha: 0.7, InitStd: 0.1})
+	c := m.Compose()
+	prev := []dataset.Basket{{3, 4}, {10}}
+	qm := make([]float64, 6)
+	qc := make([]float64, 6)
+	m.BuildQueryInto(5, prev, qm)
+	c.BuildQueryInto(5, prev, qc)
+	for k := range qm {
+		if math.Abs(qm[k]-qc[k]) > 1e-12 {
+			t.Fatal("composed query differs from model query")
+		}
+	}
+	scores := make([]float64, tree.NumItems())
+	c.ItemScoresInto(qc, scores)
+	for item := 0; item < tree.NumItems(); item += 9 {
+		if math.Abs(scores[item]-m.Score(qm, item)) > 1e-12 {
+			t.Fatalf("item %d composed score mismatch", item)
+		}
+	}
+}
+
+func TestComposeIsSnapshot(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 3, TaxonomyLevels: 2, InitStd: 0.1, Alpha: 1})
+	c := m.Compose()
+	before := c.EffNode.Row(tree.ItemNode(0))[0]
+	m.Node.Row(tree.ItemNode(0))[0] += 100
+	if c.EffNode.Row(tree.ItemNode(0))[0] != before {
+		t.Fatal("Compose must not alias model storage")
+	}
+}
+
+func TestLevelScores(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 4, TaxonomyLevels: 4, InitStd: 0.1, Alpha: 1})
+	c := m.Compose()
+	q := []float64{1, 0, -1, 0.5}
+	for d := 1; d <= tree.Depth(); d++ {
+		scored := c.LevelScores(q, d)
+		if len(scored) != len(tree.Level(d)) {
+			t.Fatalf("depth %d: %d scores, want %d", d, len(scored), len(tree.Level(d)))
+		}
+		for _, s := range scored {
+			if got := c.NodeScore(q, s.ID); got != s.Score {
+				t.Fatal("LevelScores disagrees with NodeScore")
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 5, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 0.9, InitStd: 0.1})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.P != m.P {
+		t.Fatalf("params changed: %+v vs %+v", back.P, m.P)
+	}
+	if back.User.MaxAbsDiff(m.User) != 0 || back.Node.MaxAbsDiff(m.Node) != 0 || back.Next.MaxAbsDiff(m.Next) != 0 {
+		t.Fatal("factor matrices changed in round trip")
+	}
+	if back.Tree.NumNodes() != tree.NumNodes() {
+		t.Fatal("taxonomy changed in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	tree := testTree(t)
+	if _, err := New(tree, 0, DefaultParams(), vecmath.NewRNG(1)); err == nil {
+		t.Fatal("expected error for 0 users")
+	}
+	if _, err := New(tree, 10, Params{K: 0, TaxonomyLevels: 1}, vecmath.NewRNG(1)); err == nil {
+		t.Fatal("expected error for bad params")
+	}
+}
+
+func TestGrowUsers(t *testing.T) {
+	tree := testTree(t)
+	m := newTF(t, tree, Params{K: 4, TaxonomyLevels: 2, InitStd: 0.1, Alpha: 1})
+	before := append([]float64(nil), m.User.Row(7)...)
+	if err := m.GrowUsers(60, vecmath.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 60 {
+		t.Fatalf("NumUsers = %d, want 60", m.NumUsers())
+	}
+	for k, v := range before {
+		if m.User.Row(7)[k] != v {
+			t.Fatal("existing user factor changed during growth")
+		}
+	}
+	if vecmath.Norm2(m.User.Row(55)) == 0 {
+		t.Fatal("new user rows should be Gaussian-initialized")
+	}
+	// shrinking is rejected, same size is a no-op
+	if err := m.GrowUsers(10, vecmath.NewRNG(9)); err == nil {
+		t.Fatal("expected error for shrink")
+	}
+	if err := m.GrowUsers(60, vecmath.NewRNG(9)); err != nil {
+		t.Fatalf("same-size grow should be a no-op: %v", err)
+	}
+}
+
+func TestTrainedBandClamps(t *testing.T) {
+	tree := testTree(t) // pathLen = 5
+	m := newTF(t, tree, Params{K: 2, TaxonomyLevels: 99, InitStd: 0.1, Alpha: 1})
+	if m.TrainedBand() != 5 {
+		t.Fatalf("TrainedBand = %d, want clamp to 5", m.TrainedBand())
+	}
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// Property: for arbitrary trees and parameters, the composed snapshot
+// agrees with direct path-sum scoring on every item and arbitrary queries.
+func TestQuickComposedMatchesDirect(t *testing.T) {
+	f := func(seed uint16, kRaw, uRaw, bRaw uint8) bool {
+		rng := vecmath.NewRNG(uint64(seed) + 1)
+		top := 2 + int(uRaw)%3
+		tree, err := taxonomy.Generate(taxonomy.GenConfig{
+			CategoryLevels: []int{top, top * 2},
+			Items:          top*2 + 10 + int(kRaw)%40,
+			Skew:           0.3,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		p := Params{
+			K:              1 + int(kRaw)%6,
+			TaxonomyLevels: 1 + int(uRaw)%4,
+			MarkovOrder:    int(bRaw) % 3,
+			Alpha:          1,
+			InitStd:        0.2,
+			UseBias:        bRaw%2 == 0,
+		}
+		m, err := New(tree, 5, p, rng)
+		if err != nil {
+			return false
+		}
+		// random biases so UseBias matters
+		for n := 0; n < tree.NumNodes(); n++ {
+			if m.TrainedNode(n) {
+				m.Bias.Row(n)[0] = rng.NormFloat64() * 0.1
+			}
+		}
+		c := m.Compose()
+		prev := []dataset.Basket{{0}, {int32(tree.NumItems() - 1)}}
+		qm := make([]float64, p.K)
+		qc := make([]float64, p.K)
+		m.BuildQueryInto(2, prev, qm)
+		c.BuildQueryInto(2, prev, qc)
+		for k := range qm {
+			if diff(qm[k], qc[k]) > 1e-9 {
+				return false
+			}
+		}
+		scores := make([]float64, tree.NumItems())
+		c.ItemScoresInto(qc, scores)
+		for item := 0; item < tree.NumItems(); item += 3 {
+			if diff(scores[item], m.Score(qm, item)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Property: save/load round-trips arbitrary models bit-exactly.
+func TestQuickSaveLoadRoundTrip(t *testing.T) {
+	f := func(seed uint16, kRaw, uRaw uint8) bool {
+		rng := vecmath.NewRNG(uint64(seed) + 7)
+		tree, err := taxonomy.Generate(taxonomy.GenConfig{
+			CategoryLevels: []int{2, 5},
+			Items:          20,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		p := Params{K: 1 + int(kRaw)%5, TaxonomyLevels: 1 + int(uRaw)%4, Alpha: 1, InitStd: 0.3, UseBias: true}
+		m, err := New(tree, 4, p, rng)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return false
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return back.User.MaxAbsDiff(m.User) == 0 &&
+			back.Node.MaxAbsDiff(m.Node) == 0 &&
+			back.Next.MaxAbsDiff(m.Next) == 0 &&
+			back.Bias.MaxAbsDiff(m.Bias) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

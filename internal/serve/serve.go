@@ -1,0 +1,184 @@
+// Package serve wraps a trained TF model in a concurrency-safe
+// recommendation service: requests run against an immutable composed
+// snapshot, and a retrained model can be swapped in atomically without
+// blocking in-flight requests — the deployment shape a recommender needs
+// when training (§6.1) runs continuously beside serving (§5).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// Server answers recommendation queries from the latest model snapshot.
+// All methods are safe for concurrent use.
+type Server struct {
+	snap atomic.Pointer[model.Composed]
+	pool sync.Pool // *[]float64 query buffers, length-checked per use
+}
+
+// New builds a server from a trained model (the model is snapshotted; the
+// caller may keep training it and call Update later).
+func New(m *model.TF) *Server {
+	s := &Server{}
+	s.snap.Store(m.Compose())
+	return s
+}
+
+// Update atomically swaps in a fresh snapshot of the (re)trained model.
+// In-flight requests finish on the old snapshot.
+func (s *Server) Update(m *model.TF) {
+	s.snap.Store(m.Compose())
+}
+
+// Snapshot returns the current composed snapshot (for metrics endpoints
+// and tests).
+func (s *Server) Snapshot() *model.Composed {
+	return s.snap.Load()
+}
+
+// getBuf returns a query buffer of length k, recycling across requests.
+func (s *Server) getBuf(k int) []float64 {
+	if v := s.pool.Get(); v != nil {
+		buf := *(v.(*[]float64))
+		if len(buf) == k {
+			return buf
+		}
+	}
+	return make([]float64, k)
+}
+
+func (s *Server) putBuf(buf []float64) {
+	s.pool.Put(&buf)
+}
+
+// Request is one recommendation query. Recent lists the user's latest
+// baskets most-recent first (drives the short-term Markov term); K is the
+// result size. Session requests (no known user) set User to -1.
+type Request struct {
+	User   int
+	Recent []dataset.Basket
+	K      int
+	// Cascade, when non-nil, uses §5.1 cascaded inference instead of the
+	// full scan.
+	Cascade *infer.CascadeConfig
+	// MaxPerCategory > 0 diversifies the result (at CatDepth, default the
+	// lowest category level).
+	MaxPerCategory int
+	CatDepth       int
+}
+
+// Validate checks a request against the snapshot.
+func (r Request) validate(c *model.Composed) error {
+	if r.K <= 0 {
+		return fmt.Errorf("serve: K must be positive, got %d", r.K)
+	}
+	if r.User != -1 && (r.User < 0 || r.User >= c.User.Rows()) {
+		return fmt.Errorf("serve: user %d out of range [0,%d)", r.User, c.User.Rows())
+	}
+	if r.User == -1 && c.P.MarkovOrder == 0 {
+		return fmt.Errorf("serve: session requests need a model with MarkovOrder > 0")
+	}
+	return nil
+}
+
+// Recommend executes one request.
+func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
+	c := s.snap.Load()
+	if err := req.validate(c); err != nil {
+		return nil, err
+	}
+	q := s.getBuf(c.K())
+	defer s.putBuf(q)
+	if req.User == -1 {
+		c.BuildSessionQueryInto(req.Recent, q)
+	} else {
+		c.BuildQueryInto(req.User, req.Recent, q)
+	}
+	switch {
+	case req.Cascade != nil:
+		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
+		return top, err
+	case req.MaxPerCategory > 0:
+		depth := req.CatDepth
+		if depth == 0 {
+			depth = c.Tree.Depth() - 1
+		}
+		return infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
+	default:
+		return infer.Naive(c, q, req.K), nil
+	}
+}
+
+// Response pairs a request's result with its error.
+type Response struct {
+	Items []vecmath.Scored
+	Err   error
+}
+
+// Batch executes requests concurrently across workers goroutines
+// (<=0 uses one per request up to 16) against a single consistent
+// snapshot.
+func (s *Server) Batch(reqs []Request, workers int) []Response {
+	if workers <= 0 {
+		workers = len(reqs)
+		if workers > 16 {
+			workers = 16
+		}
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	// pin one snapshot for the whole batch so results are mutually
+	// consistent even if Update races
+	c := s.snap.Load()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := make([]float64, c.K())
+			for i := w; i < len(reqs); i += workers {
+				out[i] = runOn(c, reqs[i], q)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// runOn executes a request against a pinned snapshot.
+func runOn(c *model.Composed, req Request, q []float64) Response {
+	if err := req.validate(c); err != nil {
+		return Response{Err: err}
+	}
+	if req.User == -1 {
+		c.BuildSessionQueryInto(req.Recent, q)
+	} else {
+		c.BuildQueryInto(req.User, req.Recent, q)
+	}
+	switch {
+	case req.Cascade != nil:
+		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
+		return Response{Items: top, Err: err}
+	case req.MaxPerCategory > 0:
+		depth := req.CatDepth
+		if depth == 0 {
+			depth = c.Tree.Depth() - 1
+		}
+		items, err := infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
+		return Response{Items: items, Err: err}
+	default:
+		return Response{Items: infer.Naive(c, q, req.K)}
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+func trainedModel(t *testing.T) (*model.TF, *dataset.Dataset) {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          270,
+		Skew:           0.4,
+	}, vecmath.NewRNG(61))
+	cfg := synth.DefaultConfig()
+	cfg.Users = 300
+	data, _, err := synth.Generate(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Params{K: 8, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.01}
+	m, err := model.New(tree, data.NumUsers(), p, vecmath.NewRNG(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := train.DefaultConfig()
+	tc.Epochs = 8
+	if _, err := train.Train(m, data, tc); err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+func TestServerBasicRequest(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	resp, err := s.Recommend(Request{User: 3, Recent: data.Users[3].Baskets, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 5 {
+		t.Fatalf("got %d items", len(resp))
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := New(m)
+	if _, err := s.Recommend(Request{User: 3, K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := s.Recommend(Request{User: 99999, K: 5}); err == nil {
+		t.Fatal("expected error for out-of-range user")
+	}
+}
+
+func TestServerSessionRequest(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := New(m)
+	resp, err := s.Recommend(Request{User: -1, Recent: []dataset.Basket{{7}}, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 5 {
+		t.Fatalf("got %d items", len(resp))
+	}
+}
+
+func TestServerCascadeAndDiversify(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := New(m)
+	cc := infer.UniformCascade(m.Tree.Depth(), 1.0)
+	casc, err := s.Recommend(Request{User: 0, K: 8, Cascade: &cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := s.Recommend(Request{User: 0, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive {
+		if casc[i].ID != naive[i].ID {
+			t.Fatal("full-keep cascade must match naive")
+		}
+	}
+	div, err := s.Recommend(Request{User: 0, K: 8, MaxPerCategory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, item := range div {
+		cat := m.Tree.AncestorAtDepth(m.Tree.ItemNode(item.ID), m.Tree.Depth()-1)
+		if seen[cat] {
+			t.Fatal("diversified response repeated a category")
+		}
+		seen[cat] = true
+	}
+}
+
+func TestServerBatchMatchesSerial(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	reqs := make([]Request, 40)
+	for i := range reqs {
+		reqs[i] = Request{User: i % data.NumUsers(), K: 5}
+	}
+	batch := s.Batch(reqs, 8)
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("req %d: %v", i, r.Err)
+		}
+		serial, err := s.Recommend(reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range serial {
+			if serial[j] != r.Items[j] {
+				t.Fatalf("req %d item %d differs", i, j)
+			}
+		}
+	}
+	// bad request inside a batch is isolated
+	reqs[0].User = 1 << 30
+	batch = s.Batch(reqs, 4)
+	if batch[0].Err == nil {
+		t.Fatal("expected error for bad user in batch")
+	}
+	if batch[1].Err != nil {
+		t.Fatal("error leaked to neighbouring request")
+	}
+}
+
+func TestServerConcurrentRequestsDuringUpdates(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// hammer with requests
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Recommend(Request{User: (w*31 + i) % data.NumUsers(), K: 3}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// swap snapshots concurrently
+	for i := 0; i < 20; i++ {
+		s.Update(m)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServerEmptyBatch(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := New(m)
+	if out := s.Batch(nil, 4); len(out) != 0 {
+		t.Fatal("empty batch should return empty result")
+	}
+}

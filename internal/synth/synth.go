@@ -1,0 +1,337 @@
+// Package synth generates synthetic purchase logs that stand in for the
+// proprietary Yahoo! shopping dataset of Kanagal et al. (VLDB 2012) §7.1.
+//
+// The generator is a discrete hierarchical model chosen so that every
+// phenomenon the paper's evaluation depends on is present and tunable:
+//
+//   - Long-term interests: each user owns a stable mixture over a handful
+//     of leaf categories, reached by descending the taxonomy from sampled
+//     top-level interests. Item-level interactions stay extremely sparse
+//     while category-level signal is strong — exactly the regime where the
+//     taxonomy prior pays off.
+//   - Short-term dynamics: an explicit category-to-category successor
+//     chain (camera → flash card → lens). With probability PFollow the
+//     next basket's category follows the successor of the previous
+//     basket's category; with probability PSkip it follows the successor
+//     of the category bought *two* transactions ago, a genuinely
+//     second-order dependency that rewards higher-order Markov models
+//     (Figure 7(f)).
+//   - Popularity: items within a category are drawn from a Zipf
+//     distribution, giving the heavy-tailed popularity of Figure 5(c).
+//   - Cold start: a ColdFrac slice of items carries a late release time
+//     and can only be purchased late in a user's sequence, so under the
+//     µ-split they appear (almost) only in test — the paper's "new items".
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// Config controls the generative model. Zero values are filled in by
+// (*Config).withDefaults; construct via DefaultConfig and override fields.
+type Config struct {
+	// Users is the number of users to simulate.
+	Users int
+	// MeanTxns is the mean number of transactions per user (geometric
+	// tail, minimum 1). The paper's log averages 2.3 purchases per user;
+	// accuracy experiments need a little more history to have a test side.
+	MeanTxns float64
+	// MaxBasket is the largest basket size; sizes are uniform in
+	// [1, MaxBasket].
+	MaxBasket int
+	// Interests is how many leaf categories anchor a user's long-term
+	// preference mixture.
+	Interests int
+	// Explore is the probability that a preference draw ignores the
+	// user's interests and picks a uniformly random leaf category (noise).
+	Explore float64
+	// PFollow is the probability that a basket's category is the
+	// successor of the previous basket's category (first-order dynamics).
+	PFollow float64
+	// PSkip is the probability that a basket's category is the successor
+	// of the category from two baskets ago (second-order dynamics).
+	PSkip float64
+	// ZipfItems is the Zipf exponent for item popularity within a
+	// category.
+	ZipfItems float64
+	// ZipfCats is the Zipf exponent used when descending the taxonomy to
+	// pick interest categories (category popularity skew).
+	ZipfCats float64
+	// ColdFrac is the fraction of items with a late release time.
+	ColdFrac float64
+	// ColdReleaseMin/Max bound the release times (fractions of each
+	// user's sequence) of cold items.
+	ColdReleaseMin, ColdReleaseMax float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the settings used by the experiment harness at
+// "small" scale; only Users typically needs overriding.
+func DefaultConfig() Config {
+	return Config{
+		Users:          2000,
+		MeanTxns:       6,
+		MaxBasket:      2,
+		Interests:      2,
+		Explore:        0.1,
+		PFollow:        0.45,
+		PSkip:          0.15,
+		ZipfItems:      1.1,
+		ZipfCats:       0.8,
+		ColdFrac:       0.08,
+		ColdReleaseMin: 0.55,
+		ColdReleaseMax: 0.95,
+		Seed:           42,
+	}
+}
+
+// GroundTruth records the hidden state of the generator so tests and
+// diagnostics can verify that the intended structure actually made it into
+// the log. Models never see this.
+type GroundTruth struct {
+	// UserCats[u] is user u's interest leaf-category nodes.
+	UserCats [][]int32
+	// Successor[c] is the dense index (see CatIndex) of the successor
+	// leaf-category of the c-th leaf category, driving chain dynamics.
+	Successor []int32
+	// CatIndex maps a leaf-category node id to its dense index.
+	CatIndex map[int32]int
+	// Release[i] is item i's release time in [0,1); 0 = always available.
+	Release []float64
+	// ColdItems lists the item ids with nonzero release times.
+	ColdItems []int32
+}
+
+// Generate simulates a purchase log over the given taxonomy. The returned
+// dataset indexes items by taxonomy item id (leaf order).
+func Generate(tree *taxonomy.Tree, cfg Config, rngSeedOverride ...uint64) (*dataset.Dataset, *GroundTruth, error) {
+	if cfg.Users <= 0 {
+		return nil, nil, fmt.Errorf("synth: Users must be positive, got %d", cfg.Users)
+	}
+	if cfg.MaxBasket <= 0 {
+		return nil, nil, fmt.Errorf("synth: MaxBasket must be positive, got %d", cfg.MaxBasket)
+	}
+	if cfg.MeanTxns < 1 {
+		return nil, nil, fmt.Errorf("synth: MeanTxns must be >= 1, got %v", cfg.MeanTxns)
+	}
+	if tree.Depth() < 2 {
+		return nil, nil, fmt.Errorf("synth: taxonomy depth %d too shallow (need categories above items)", tree.Depth())
+	}
+	if !tree.IsUniformDepth() {
+		return nil, nil, fmt.Errorf("synth: taxonomy must have uniform leaf depth")
+	}
+	seed := cfg.Seed
+	if len(rngSeedOverride) > 0 {
+		seed = rngSeedOverride[0]
+	}
+	rng := vecmath.NewRNG(seed)
+
+	leafCatDepth := tree.Depth() - 1
+	leafCats := tree.Level(leafCatDepth)
+	nCats := len(leafCats)
+	catIndex := make(map[int32]int, nCats)
+	for i, c := range leafCats {
+		catIndex[c] = i
+	}
+
+	gt := &GroundTruth{
+		UserCats: make([][]int32, cfg.Users),
+		CatIndex: catIndex,
+		Release:  make([]float64, tree.NumItems()),
+	}
+
+	// --- successor chain over leaf categories -------------------------
+	// A successor is a "cousin": another leaf category in the same
+	// top-level department but under a different immediate parent
+	// (camera → memory cards: same ELECTRONICS branch, different
+	// subcategory). Keeping successors off the sibling set matters: the
+	// paper's sibling-based training contrasts each category against its
+	// siblings, which must not systematically be the user's next
+	// purchase. Chains of successors arise naturally because every
+	// category gets exactly one successor.
+	gt.Successor = make([]int32, nCats)
+	for i, c := range leafCats {
+		gt.Successor[i] = int32(catIndex[pickCousin(tree, int(c), rng)])
+	}
+
+	// --- per-category item tables and popularity ----------------------
+	catItems := make([][]int32, nCats)
+	for i, c := range leafCats {
+		for _, leaf := range tree.Children(int(c)) {
+			catItems[i] = append(catItems[i], int32(tree.NodeItem(int(leaf))))
+		}
+	}
+	catZipf := make([]*vecmath.Zipf, nCats)
+	for i := range catItems {
+		if len(catItems[i]) > 0 {
+			catZipf[i] = vecmath.NewZipf(rng, len(catItems[i]), cfg.ZipfItems)
+		}
+	}
+
+	// --- cold items ----------------------------------------------------
+	nCold := int(cfg.ColdFrac * float64(tree.NumItems()))
+	perm := rng.Perm(tree.NumItems())
+	for _, item := range perm[:nCold] {
+		span := cfg.ColdReleaseMax - cfg.ColdReleaseMin
+		gt.Release[item] = cfg.ColdReleaseMin + span*rng.Float64()
+		gt.ColdItems = append(gt.ColdItems, int32(item))
+	}
+
+	// --- interest descent sampler --------------------------------------
+	// Descend from the root to a leaf category, at each step choosing a
+	// child by a Zipf draw over the (fixed) child order; this concentrates
+	// interest on "popular" categories the same way real catalogs do.
+	descend := func() int32 {
+		node := tree.Root()
+		for tree.DepthOf(node) < leafCatDepth {
+			children := tree.Children(node)
+			idx := 0
+			if len(children) > 1 {
+				// cheap Zipf-ish draw: repeatedly halve the range
+				idx = zipfIndex(rng, len(children), cfg.ZipfCats)
+			}
+			node = int(children[idx])
+		}
+		return int32(node)
+	}
+
+	d := &dataset.Dataset{NumItems: tree.NumItems(), Users: make([]dataset.History, cfg.Users)}
+	pExtra := 1 - 1/cfg.MeanTxns // geometric continuation probability
+
+	for u := 0; u < cfg.Users; u++ {
+		// stable long-term interests
+		interests := make([]int32, cfg.Interests)
+		for i := range interests {
+			interests[i] = descend()
+		}
+		gt.UserCats[u] = interests
+
+		nTxns := 1
+		for rng.Float64() < pExtra {
+			nTxns++
+		}
+		prevCat, prevCat2 := -1, -1
+		for t := 0; t < nTxns; t++ {
+			tau := float64(t+1) / float64(nTxns+1)
+			cat := chooseCategory(rng, cfg, gt, interests, prevCat, prevCat2, nCats)
+			basket := drawBasket(rng, cfg, catItems[cat], catZipf[cat], gt.Release, tau)
+			if len(basket) == 0 {
+				// every item in the category is unreleased at tau; retry
+				// with a preference draw from released categories
+				for attempts := 0; attempts < 8 && len(basket) == 0; attempts++ {
+					cat = interestOrExplore(rng, cfg, interests, catIndex, nCats)
+					basket = drawBasket(rng, cfg, catItems[cat], catZipf[cat], gt.Release, tau)
+				}
+			}
+			if len(basket) == 0 {
+				continue
+			}
+			d.Users[u].Baskets = append(d.Users[u].Baskets, basket)
+			prevCat2 = prevCat
+			prevCat = cat
+		}
+	}
+	return d, gt, nil
+}
+
+// chooseCategory implements the mixture of first-order chain, second-order
+// skip and long-term preference that drives each basket's category.
+func chooseCategory(rng *vecmath.RNG, cfg Config, gt *GroundTruth, interests []int32, prevCat, prevCat2, nCats int) int {
+	r := rng.Float64()
+	if prevCat >= 0 && r < cfg.PFollow {
+		return int(gt.Successor[prevCat])
+	}
+	if prevCat2 >= 0 && r < cfg.PFollow+cfg.PSkip {
+		return int(gt.Successor[prevCat2])
+	}
+	return interestOrExplore(rng, cfg, interests, gt.CatIndex, nCats)
+}
+
+// interestOrExplore draws a leaf-category index from the user's interests,
+// or a uniform category with probability Explore.
+func interestOrExplore(rng *vecmath.RNG, cfg Config, interests []int32, catIndex map[int32]int, nCats int) int {
+	if rng.Float64() < cfg.Explore {
+		return rng.Intn(nCats)
+	}
+	return catIndex[interests[rng.Intn(len(interests))]]
+}
+
+// drawBasket samples a basket of distinct items from one category,
+// honouring release times. It returns nil if nothing is available.
+func drawBasket(rng *vecmath.RNG, cfg Config, items []int32, zipf *vecmath.Zipf, release []float64, tau float64) dataset.Basket {
+	if len(items) == 0 {
+		return nil
+	}
+	size := 1 + rng.Intn(cfg.MaxBasket)
+	if size > len(items) {
+		size = len(items)
+	}
+	var basket dataset.Basket
+	for attempts := 0; attempts < 12*size && len(basket) < size; attempts++ {
+		item := items[zipf.Draw()]
+		if release[item] > tau {
+			continue
+		}
+		if basket.Contains(item) {
+			continue
+		}
+		basket = append(basket, item)
+	}
+	return basket
+}
+
+// pickCousin returns a leaf category sharing node's top-level ancestor but
+// not its immediate parent; it falls back to any same-level category when
+// the department has no such cousin.
+func pickCousin(tree *taxonomy.Tree, node int, rng *vecmath.RNG) int32 {
+	level := tree.Level(tree.DepthOf(node))
+	dept := tree.AncestorAtDepth(node, 1)
+	parent := tree.Parent(node)
+	for attempts := 0; attempts < 64; attempts++ {
+		c := level[rng.Intn(len(level))]
+		if int(c) == node || tree.Parent(int(c)) == parent {
+			continue
+		}
+		if tree.AncestorAtDepth(int(c), 1) == dept {
+			return c
+		}
+	}
+	for attempts := 0; attempts < 64; attempts++ {
+		c := level[rng.Intn(len(level))]
+		if int(c) != node {
+			return c
+		}
+	}
+	return level[rng.Intn(len(level))]
+}
+
+// zipfIndex draws an index in [0,n) with P(i) proportional to 1/(i+1)^s
+// without building a table (n is small: taxonomy fan-out).
+func zipfIndex(rng *vecmath.RNG, n int, s float64) int {
+	if s <= 0 || n <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return rng.Intn(n)
+	}
+	// inverse-CDF on the fly; fan-outs are tens of nodes so O(n) is fine
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+	}
+	u := rng.Float64() * total
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		if u <= acc {
+			return i
+		}
+	}
+	return n - 1
+}

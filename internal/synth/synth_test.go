@@ -1,0 +1,334 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func testTree(t *testing.T) *taxonomy.Tree {
+	t.Helper()
+	return taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{4, 12, 36},
+		Items:          600,
+		Skew:           0.4,
+	}, vecmath.NewRNG(99))
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 500
+	return cfg
+}
+
+func TestGenerateBasics(t *testing.T) {
+	tree := testTree(t)
+	d, gt, err := Generate(tree, smallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if d.NumUsers() != 500 {
+		t.Fatalf("NumUsers = %d", d.NumUsers())
+	}
+	if d.NumItems != tree.NumItems() {
+		t.Fatalf("NumItems = %d, want %d", d.NumItems, tree.NumItems())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(gt.UserCats) != 500 {
+		t.Fatalf("UserCats len = %d", len(gt.UserCats))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tree := testTree(t)
+	a, _, _ := Generate(tree, smallConfig())
+	b, _, _ := Generate(tree, smallConfig())
+	if a.NumPurchases() != b.NumPurchases() {
+		t.Fatal("same config must generate the same log")
+	}
+	for u := range a.Users {
+		if len(a.Users[u].Baskets) != len(b.Users[u].Baskets) {
+			t.Fatalf("user %d transaction count differs", u)
+		}
+	}
+}
+
+func TestGenerateSeedChangesLog(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	a, _, _ := Generate(tree, cfg)
+	cfg.Seed = 777
+	b, _, _ := Generate(tree, cfg)
+	if a.NumPurchases() == b.NumPurchases() {
+		// counts could coincide; compare first user's first basket too
+		if len(a.Users[0].Baskets) > 0 && len(b.Users[0].Baskets) > 0 &&
+			a.Users[0].Baskets[0][0] == b.Users[0].Baskets[0][0] {
+			t.Log("warning: seeds produced identical prefix; acceptable but unlikely")
+		}
+	}
+}
+
+func TestMeanTransactionsRoughlyMatches(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.Users = 2000
+	cfg.MeanTxns = 5
+	d, _, err := Generate(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(d.NumTransactions()) / float64(d.NumUsers())
+	if mean < 3.5 || mean > 6.5 {
+		t.Fatalf("mean txns per user = %v, want ~5", mean)
+	}
+}
+
+func TestBasketsRespectMaxSize(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.MaxBasket = 3
+	d, _, _ := Generate(tree, cfg)
+	for u := range d.Users {
+		for _, b := range d.Users[u].Baskets {
+			if len(b) == 0 || len(b) > 3 {
+				t.Fatalf("basket size %d out of [1,3]", len(b))
+			}
+			for i := 0; i < len(b); i++ {
+				for j := i + 1; j < len(b); j++ {
+					if b[i] == b[j] {
+						t.Fatalf("duplicate item %d in basket", b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUserInterestsDominatePurchases(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.PFollow = 0 // isolate long-term behaviour
+	cfg.PSkip = 0
+	cfg.Explore = 0.05
+	d, gt, _ := Generate(tree, cfg)
+	leafCatDepth := tree.Depth() - 1
+	inInterest, total := 0, 0
+	for u := range d.Users {
+		interests := make(map[int32]bool)
+		for _, c := range gt.UserCats[u] {
+			interests[c] = true
+		}
+		for _, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				cat := int32(tree.AncestorAtDepth(tree.ItemNode(int(it)), leafCatDepth))
+				if interests[cat] {
+					inInterest++
+				}
+				total++
+			}
+		}
+	}
+	frac := float64(inInterest) / float64(total)
+	if frac < 0.8 {
+		t.Fatalf("only %.2f of purchases fall in user interests, want >= 0.8", frac)
+	}
+}
+
+func TestSuccessorTransitionsHaveLift(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.Users = 3000
+	cfg.PFollow = 0.5
+	d, gt, _ := Generate(tree, cfg)
+	leafCatDepth := tree.Depth() - 1
+	catOf := func(item int32) int {
+		return gt.CatIndex[int32(tree.AncestorAtDepth(tree.ItemNode(int(item)), leafCatDepth))]
+	}
+	followed, transitions := 0, 0
+	for u := range d.Users {
+		bs := d.Users[u].Baskets
+		for t := 1; t < len(bs); t++ {
+			prev := catOf(bs[t-1][0])
+			cur := catOf(bs[t][0])
+			if int32(cur) == gt.Successor[prev] {
+				followed++
+			}
+			transitions++
+		}
+	}
+	if transitions == 0 {
+		t.Fatal("no transitions generated")
+	}
+	rate := float64(followed) / float64(transitions)
+	nCats := len(tree.Level(leafCatDepth))
+	chance := 1.0 / float64(nCats)
+	if rate < 10*chance {
+		t.Fatalf("successor rate %.3f shows no lift over chance %.3f", rate, chance)
+	}
+}
+
+func TestColdItemsAppearLate(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.Users = 3000
+	cfg.ColdFrac = 0.15
+	d, gt, _ := Generate(tree, cfg)
+	cold := make(map[int32]bool)
+	for _, it := range gt.ColdItems {
+		cold[it] = true
+	}
+	if len(cold) == 0 {
+		t.Fatal("no cold items generated")
+	}
+	earlyCold, early := 0, 0
+	for u := range d.Users {
+		bs := d.Users[u].Baskets
+		half := len(bs) / 2
+		for t := 0; t < half; t++ {
+			for _, it := range bs[t] {
+				if cold[it] {
+					earlyCold++
+				}
+				early++
+			}
+		}
+	}
+	if early > 0 {
+		frac := float64(earlyCold) / float64(early)
+		if frac > 0.05 {
+			t.Fatalf("cold items make up %.3f of early purchases, want < 0.05", frac)
+		}
+	}
+	// cold items must exist somewhere in the log (late transactions)
+	freq := d.ItemFrequencies()
+	seenCold := 0
+	for _, it := range gt.ColdItems {
+		if freq[it] > 0 {
+			seenCold++
+		}
+	}
+	if seenCold == 0 {
+		t.Fatal("no cold item was ever purchased; cold-start experiment would be vacuous")
+	}
+}
+
+func TestPopularityHeavyTail(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.Users = 3000
+	d, _, _ := Generate(tree, cfg)
+	freq := d.ItemFrequencies()
+	top := d.TopPopularItems(len(freq) / 100) // top 1%
+	var topMass, total int
+	for _, it := range top {
+		topMass += freq[it]
+	}
+	for _, f := range freq {
+		total += f
+	}
+	share := float64(topMass) / float64(total)
+	if share < 0.08 {
+		t.Fatalf("top 1%% of items hold %.3f of purchases, want a heavy head (>= 0.08)", share)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	tree := testTree(t)
+	bad := []Config{
+		func() Config { c := DefaultConfig(); c.Users = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.MaxBasket = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.MeanTxns = 0.5; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(tree, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// too-shallow taxonomy
+	flat, err := taxonomy.NewFromParents([]int{taxonomy.NoParent, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Generate(flat, DefaultConfig()); err == nil {
+		t.Error("expected error for depth-1 taxonomy")
+	}
+}
+
+// The sparsity headline of the paper: the generated log must be sparse at
+// the item level (each user touches a vanishing fraction of the catalog)
+// while covering categories densely in aggregate.
+func TestSparsityRegime(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	cfg.Users = 2000
+	d, _, _ := Generate(tree, cfg)
+	var maxDistinct int
+	for u := range d.Users {
+		if n := d.Users[u].DistinctItems(); n > maxDistinct {
+			maxDistinct = n
+		}
+	}
+	if frac := float64(maxDistinct) / float64(d.NumItems); frac > 0.2 {
+		t.Fatalf("heaviest user touches %.2f of the catalog; not sparse", frac)
+	}
+	// aggregate category coverage
+	leafCatDepth := tree.Depth() - 1
+	seen := make(map[int]bool)
+	for u := range d.Users {
+		for _, b := range d.Users[u].Baskets {
+			for _, it := range b {
+				seen[tree.AncestorAtDepth(tree.ItemNode(int(it)), leafCatDepth)] = true
+			}
+		}
+	}
+	if cover := float64(len(seen)) / float64(len(tree.Level(leafCatDepth))); cover < 0.9 {
+		t.Fatalf("only %.2f of categories ever purchased", cover)
+	}
+}
+
+// Splitting the synthetic log with the paper's protocol must leave test
+// events for a healthy share of users — otherwise accuracy metrics would
+// be computed over nothing.
+func TestSplitLeavesTestData(t *testing.T) {
+	tree := testTree(t)
+	d, _, _ := Generate(tree, smallConfig())
+	s := d.Split(dataset.DefaultSplitConfig())
+	withTest := 0
+	for u := range s.Test.Users {
+		if len(s.Test.Users[u].Baskets) > 0 {
+			withTest++
+		}
+	}
+	if frac := float64(withTest) / float64(d.NumUsers()); frac < 0.3 {
+		t.Fatalf("only %.2f of users have test data", frac)
+	}
+}
+
+func TestReleaseTimesWithinBounds(t *testing.T) {
+	tree := testTree(t)
+	cfg := smallConfig()
+	_, gt, _ := Generate(tree, cfg)
+	for _, it := range gt.ColdItems {
+		r := gt.Release[it]
+		if r < cfg.ColdReleaseMin || r > cfg.ColdReleaseMax {
+			t.Fatalf("cold release %v outside [%v,%v]", r, cfg.ColdReleaseMin, cfg.ColdReleaseMax)
+		}
+	}
+	nonCold := 0
+	for _, r := range gt.Release {
+		if r == 0 {
+			nonCold++
+		}
+	}
+	if nonCold == 0 {
+		t.Fatal("all items cold?")
+	}
+	if math.Abs(float64(len(gt.ColdItems))-cfg.ColdFrac*float64(tree.NumItems())) > 1 {
+		t.Fatalf("cold count %d does not match ColdFrac", len(gt.ColdItems))
+	}
+}

@@ -1,0 +1,72 @@
+package taxonomy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the tree in a line-oriented text format readable by
+// ReadText: a header line "taxonomy <numNodes>" followed by one
+// "<node> <parent>" line per node (parent is -1 for the root). The format
+// is stable and diff-friendly so generated taxonomies can live in test
+// fixtures.
+func (t *Tree) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "taxonomy %d\n", t.NumNodes()); err != nil {
+		return err
+	}
+	for node := 0; node < t.NumNodes(); node++ {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", node, t.Parent(node)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText and validates the tree.
+func ReadText(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("taxonomy: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "taxonomy" {
+		return nil, fmt.Errorf("taxonomy: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[1])
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("taxonomy: bad node count %q", header[1])
+	}
+	parents := make([]int, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("taxonomy: expected %d node lines, got %d", n, i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("taxonomy: bad node line %q", sc.Text())
+		}
+		node, err1 := strconv.Atoi(fields[0])
+		parent, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || node < 0 || node >= n {
+			return nil, fmt.Errorf("taxonomy: bad node line %q", sc.Text())
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("taxonomy: duplicate node %d", node)
+		}
+		seen[node] = true
+		parents[node] = parent
+	}
+	return NewFromParents(parents)
+}

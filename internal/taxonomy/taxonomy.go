@@ -1,0 +1,255 @@
+// Package taxonomy implements the immutable product taxonomy tree that the
+// TF model (Kanagal et al., VLDB 2012) attaches latent offsets to. Nodes
+// are dense integer ids; leaves are the purchasable items and interior
+// nodes are categories. The package provides construction from parent
+// arrays, a configurable random generator mirroring the Yahoo! shopping
+// taxonomy shape (23 / 270 / 1500 categories over 1.5M products), path and
+// sibling queries used by training, and a text serialization.
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoParent marks the root's parent entry.
+const NoParent = -1
+
+// Tree is an immutable rooted tree over nodes 0..NumNodes()-1. Leaves are
+// items; interior nodes are categories. All accessors are safe for
+// concurrent use once the tree is built.
+type Tree struct {
+	parent   []int32
+	depth    []int32
+	children [][]int32
+	levels   [][]int32 // levels[d] = nodes at depth d (root is depth 0)
+	root     int32
+
+	// item <-> node mapping: items are the leaves, numbered 0..NumItems()-1
+	// in increasing node-id order.
+	itemNode []int32 // item id -> node id
+	nodeItem []int32 // node id -> item id, or -1 for interior nodes
+}
+
+// NewFromParents builds a tree from a parent array: parents[n] is the node
+// id of n's parent, or NoParent for the single root. It validates that the
+// structure is a connected acyclic rooted tree.
+func NewFromParents(parents []int) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, errors.New("taxonomy: empty parent array")
+	}
+	t := &Tree{
+		parent:   make([]int32, n),
+		depth:    make([]int32, n),
+		children: make([][]int32, n),
+		root:     -1,
+	}
+	for node, p := range parents {
+		if p == NoParent {
+			if t.root >= 0 {
+				return nil, fmt.Errorf("taxonomy: multiple roots (%d and %d)", t.root, node)
+			}
+			t.root = int32(node)
+			t.parent[node] = NoParent
+			continue
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("taxonomy: node %d has out-of-range parent %d", node, p)
+		}
+		if p == node {
+			return nil, fmt.Errorf("taxonomy: node %d is its own parent", node)
+		}
+		t.parent[node] = int32(p)
+		t.children[p] = append(t.children[p], int32(node))
+	}
+	if t.root < 0 {
+		return nil, errors.New("taxonomy: no root node")
+	}
+	// BFS from the root assigns depths and detects disconnected nodes
+	// (which, given n-1 edges, also rules out cycles).
+	visited := make([]bool, n)
+	queue := []int32{t.root}
+	visited[t.root] = true
+	t.depth[t.root] = 0
+	maxDepth := int32(0)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[cur] {
+			if visited[c] {
+				return nil, fmt.Errorf("taxonomy: node %d reached twice (cycle)", c)
+			}
+			visited[c] = true
+			t.depth[c] = t.depth[cur] + 1
+			if t.depth[c] > maxDepth {
+				maxDepth = t.depth[c]
+			}
+			queue = append(queue, c)
+		}
+	}
+	for node, v := range visited {
+		if !v {
+			return nil, fmt.Errorf("taxonomy: node %d unreachable from root", node)
+		}
+	}
+	t.levels = make([][]int32, maxDepth+1)
+	for node := 0; node < n; node++ {
+		d := t.depth[node]
+		t.levels[d] = append(t.levels[d], int32(node))
+	}
+	// Items are the leaves, in increasing node-id order.
+	t.nodeItem = make([]int32, n)
+	for node := 0; node < n; node++ {
+		if len(t.children[node]) == 0 {
+			t.nodeItem[node] = int32(len(t.itemNode))
+			t.itemNode = append(t.itemNode, int32(node))
+		} else {
+			t.nodeItem[node] = -1
+		}
+	}
+	if len(t.itemNode) == 0 {
+		return nil, errors.New("taxonomy: tree has no leaves")
+	}
+	return t, nil
+}
+
+// NumNodes returns the total node count (categories + items + root).
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// NumItems returns the number of leaf items.
+func (t *Tree) NumItems() int { return len(t.itemNode) }
+
+// Root returns the root node id.
+func (t *Tree) Root() int { return int(t.root) }
+
+// Depth returns the maximum node depth (the root has depth 0).
+func (t *Tree) Depth() int { return len(t.levels) - 1 }
+
+// Parent returns node's parent id, or NoParent for the root.
+func (t *Tree) Parent(node int) int { return int(t.parent[node]) }
+
+// Children returns node's children. The returned slice must not be
+// modified.
+func (t *Tree) Children(node int) []int32 { return t.children[node] }
+
+// IsLeaf reports whether node is a leaf (an item).
+func (t *Tree) IsLeaf(node int) bool { return len(t.children[node]) == 0 }
+
+// DepthOf returns the depth of node (root = 0).
+func (t *Tree) DepthOf(node int) int { return int(t.depth[node]) }
+
+// Level returns all nodes at depth d. The returned slice must not be
+// modified.
+func (t *Tree) Level(d int) []int32 { return t.levels[d] }
+
+// ItemNode maps an item id to its leaf node id.
+func (t *Tree) ItemNode(item int) int { return int(t.itemNode[item]) }
+
+// NodeItem maps a leaf node id to its item id, or -1 for interior nodes.
+func (t *Tree) NodeItem(node int) int { return int(t.nodeItem[node]) }
+
+// PathToRoot appends the path p0(node)=node, p1=parent(node), ..., root to
+// buf and returns it. Passing a reused buf avoids allocation in the SGD
+// inner loop.
+func (t *Tree) PathToRoot(node int, buf []int32) []int32 {
+	cur := int32(node)
+	for {
+		buf = append(buf, cur)
+		if cur == t.root {
+			return buf
+		}
+		cur = t.parent[cur]
+	}
+}
+
+// Ancestor returns the m-th node on the path from node to the root:
+// Ancestor(node, 0) == node, Ancestor(node, 1) == Parent(node), etc.
+// It returns the root if m exceeds the path length.
+func (t *Tree) Ancestor(node, m int) int {
+	cur := int32(node)
+	for i := 0; i < m && cur != t.root; i++ {
+		cur = t.parent[cur]
+	}
+	return int(cur)
+}
+
+// AncestorAtDepth returns node's ancestor at depth d, or the node itself
+// if d >= DepthOf(node).
+func (t *Tree) AncestorAtDepth(node, d int) int {
+	cur := int32(node)
+	for int(t.depth[cur]) > d {
+		cur = t.parent[cur]
+	}
+	return int(cur)
+}
+
+// NumSiblings returns the number of siblings of node (children of its
+// parent excluding node itself). The root has none.
+func (t *Tree) NumSiblings(node int) int {
+	if int32(node) == t.root {
+		return 0
+	}
+	return len(t.children[t.parent[node]]) - 1
+}
+
+// IsUniformDepth reports whether every leaf sits at the maximum depth; the
+// TF model's additive composition (Eq. 1) assumes this, and the built-in
+// generator guarantees it.
+func (t *Tree) IsUniformDepth() bool {
+	d := int32(t.Depth())
+	for _, leaf := range t.itemNode {
+		if t.depth[leaf] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// InteriorPrefixLen returns n when nodes 0..n−1 are exactly the interior
+// (category) nodes and every node >= n is a leaf, and 0 when the ids are
+// interleaved. Trees built by Generate always have this layout; the
+// trainer's hot-row caches (§6.1) rely on it to identify the frequently
+// updated rows by a single comparison.
+func (t *Tree) InteriorPrefixLen() int {
+	n := t.NumNodes() - t.NumItems()
+	for node := 0; node < n; node++ {
+		if t.IsLeaf(node) {
+			return 0
+		}
+	}
+	return n
+}
+
+// LevelSizes returns the node count per depth, root first. For the paper's
+// taxonomy this is [1, 23, 270, ~1500, 1.5M].
+func (t *Tree) LevelSizes() []int {
+	out := make([]int, len(t.levels))
+	for d, nodes := range t.levels {
+		out[d] = len(nodes)
+	}
+	return out
+}
+
+// Validate re-checks internal invariants; it is used by tests and after
+// deserialization.
+func (t *Tree) Validate() error {
+	rebuilt, err := NewFromParents(t.ParentArray())
+	if err != nil {
+		return err
+	}
+	if rebuilt.NumItems() != t.NumItems() || rebuilt.Depth() != t.Depth() {
+		return errors.New("taxonomy: inconsistent derived state")
+	}
+	return nil
+}
+
+// ParentArray returns a copy of the parent array (NoParent for the root),
+// the canonical serializable form of the tree.
+func (t *Tree) ParentArray() []int {
+	out := make([]int, len(t.parent))
+	for i, p := range t.parent {
+		out[i] = int(p)
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package taxonomy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// fixture builds the Figure-3 tree from the paper:
+//
+//	R(0) -> S(1), T(2)
+//	S -> M(3), N(4), O(5)    T -> P(6), Q(7)
+//	M -> A(8), B(9), C(10), D(11)
+//	N -> E(12)  O -> F(13)... simplified: each of N,O,P,Q gets 2 leaves
+func fixture(t *testing.T) *Tree {
+	t.Helper()
+	parents := []int{
+		NoParent, // 0 R
+		0, 0,     // 1 S, 2 T
+		1, 1, 1, // 3 M, 4 N, 5 O
+		2, 2, // 6 P, 7 Q
+		3, 3, 3, 3, // 8..11 A B C D under M
+		4, 4, // 12,13 under N
+		5, 5, // 14,15 under O
+		6, 6, // 16,17 under P
+		7, 7, // 18,19 under Q
+	}
+	tree, err := NewFromParents(parents)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return tree
+}
+
+func TestFixtureShape(t *testing.T) {
+	tree := fixture(t)
+	if tree.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", tree.NumNodes())
+	}
+	if tree.NumItems() != 12 {
+		t.Fatalf("NumItems = %d, want 12", tree.NumItems())
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", tree.Depth())
+	}
+	if tree.Root() != 0 {
+		t.Fatalf("Root = %d, want 0", tree.Root())
+	}
+	want := []int{1, 2, 5, 12}
+	got := tree.LevelSizes()
+	for d, w := range want {
+		if got[d] != w {
+			t.Fatalf("LevelSizes = %v, want %v", got, want)
+		}
+	}
+	if !tree.IsUniformDepth() {
+		t.Fatal("fixture should be uniform depth")
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tree := fixture(t)
+	path := tree.PathToRoot(8, nil) // A -> M -> S -> R
+	want := []int32{8, 3, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// buffer reuse appends
+	buf := make([]int32, 0, 8)
+	path2 := tree.PathToRoot(8, buf)
+	if len(path2) != 4 || &path2[0] != &buf[:1][0] {
+		t.Fatal("PathToRoot should append into the provided buffer")
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	tree := fixture(t)
+	cases := []struct{ node, m, want int }{
+		{8, 0, 8}, {8, 1, 3}, {8, 2, 1}, {8, 3, 0},
+		{8, 99, 0}, // clamps at root
+		{0, 0, 0}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tree.Ancestor(c.node, c.m); got != c.want {
+			t.Fatalf("Ancestor(%d,%d) = %d, want %d", c.node, c.m, got, c.want)
+		}
+	}
+}
+
+func TestAncestorAtDepth(t *testing.T) {
+	tree := fixture(t)
+	if got := tree.AncestorAtDepth(8, 1); got != 1 {
+		t.Fatalf("AncestorAtDepth(8,1) = %d, want 1 (S)", got)
+	}
+	if got := tree.AncestorAtDepth(8, 3); got != 8 {
+		t.Fatalf("AncestorAtDepth(8,3) = %d, want 8", got)
+	}
+	if got := tree.AncestorAtDepth(8, 9); got != 8 {
+		t.Fatalf("AncestorAtDepth beyond own depth should return node, got %d", got)
+	}
+}
+
+func TestItemNodeRoundTrip(t *testing.T) {
+	tree := fixture(t)
+	for item := 0; item < tree.NumItems(); item++ {
+		node := tree.ItemNode(item)
+		if !tree.IsLeaf(node) {
+			t.Fatalf("item %d maps to non-leaf node %d", item, node)
+		}
+		if back := tree.NodeItem(node); back != item {
+			t.Fatalf("NodeItem(ItemNode(%d)) = %d", item, back)
+		}
+	}
+	if tree.NodeItem(0) != -1 {
+		t.Fatal("root should have no item id")
+	}
+}
+
+func TestNumSiblings(t *testing.T) {
+	tree := fixture(t)
+	if got := tree.NumSiblings(8); got != 3 {
+		t.Fatalf("NumSiblings(A) = %d, want 3", got)
+	}
+	if got := tree.NumSiblings(1); got != 1 {
+		t.Fatalf("NumSiblings(S) = %d, want 1", got)
+	}
+	if got := tree.NumSiblings(0); got != 0 {
+		t.Fatalf("NumSiblings(root) = %d, want 0", got)
+	}
+}
+
+func TestNewFromParentsRejectsBadInput(t *testing.T) {
+	cases := map[string][]int{
+		"empty":          {},
+		"no root":        {1, 0}, // 0->1->0 cycle, no NoParent
+		"two roots":      {NoParent, NoParent},
+		"self parent":    {NoParent, 1},
+		"out of range":   {NoParent, 5},
+		"cycle detached": {NoParent, 2, 1}, // 1<->2 cycle unreachable from root
+	}
+	for name, parents := range cases {
+		if _, err := NewFromParents(parents); err == nil {
+			t.Errorf("%s: expected error for %v", name, parents)
+		}
+	}
+}
+
+func TestSingleNodeTreeIsLeafOnly(t *testing.T) {
+	tree, err := NewFromParents([]int{NoParent})
+	if err != nil {
+		t.Fatalf("single node: %v", err)
+	}
+	if tree.NumItems() != 1 || tree.Depth() != 0 {
+		t.Fatalf("single node tree: items=%d depth=%d", tree.NumItems(), tree.Depth())
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	rng := vecmath.NewRNG(1)
+	cfg := GenConfig{CategoryLevels: []int{3, 9, 27}, Items: 200, Skew: 0.5}
+	tree := MustGenerate(cfg, rng)
+	sizes := tree.LevelSizes()
+	want := []int{1, 3, 9, 27, 200}
+	for d, w := range want {
+		if sizes[d] != w {
+			t.Fatalf("LevelSizes = %v, want %v", sizes, want)
+		}
+	}
+	if !tree.IsUniformDepth() {
+		t.Fatal("generated tree must have uniform leaf depth")
+	}
+	if tree.NumItems() != 200 {
+		t.Fatalf("NumItems = %d, want 200", tree.NumItems())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGenerateEveryParentHasAChild(t *testing.T) {
+	rng := vecmath.NewRNG(2)
+	tree := MustGenerate(GenConfig{CategoryLevels: []int{4, 16}, Items: 40, Skew: 1.2}, rng)
+	for d := 0; d < tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			if len(tree.Children(int(node))) == 0 {
+				t.Fatalf("interior node %d at depth %d has no children", node, d)
+			}
+		}
+	}
+}
+
+func TestGenerateInteriorNodesAreLowIDs(t *testing.T) {
+	rng := vecmath.NewRNG(3)
+	tree := MustGenerate(GenConfig{CategoryLevels: []int{2, 4}, Items: 30}, rng)
+	nInterior := 1 + 2 + 4
+	for node := 0; node < nInterior; node++ {
+		if tree.IsLeaf(node) {
+			t.Fatalf("node %d should be interior", node)
+		}
+	}
+	for node := nInterior; node < tree.NumNodes(); node++ {
+		if !tree.IsLeaf(node) {
+			t.Fatalf("node %d should be a leaf", node)
+		}
+	}
+}
+
+func TestGenerateSkewConcentratesChildren(t *testing.T) {
+	rng := vecmath.NewRNG(4)
+	skewed := MustGenerate(GenConfig{CategoryLevels: []int{10}, Items: 5000, Skew: 1.2}, rng)
+	even := MustGenerate(GenConfig{CategoryLevels: []int{10}, Items: 5000, Skew: 0}, vecmath.NewRNG(4))
+	maxChildren := func(tr *Tree) int {
+		max := 0
+		for _, node := range tr.Level(1) {
+			if n := len(tr.Children(int(node))); n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	if maxChildren(skewed) <= maxChildren(even) {
+		t.Fatalf("skewed max fan-out %d should exceed even %d", maxChildren(skewed), maxChildren(even))
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	rng := vecmath.NewRNG(5)
+	if _, err := Generate(GenConfig{CategoryLevels: []int{3}, Items: 0}, rng); err == nil {
+		t.Fatal("expected error for Items=0")
+	}
+	if _, err := Generate(GenConfig{CategoryLevels: []int{0}, Items: 5}, rng); err == nil {
+		t.Fatal("expected error for zero-size level")
+	}
+}
+
+func TestPaperShapeScales(t *testing.T) {
+	full := PaperShape(1)
+	if full.Items != 1500000 || full.CategoryLevels[0] != 23 || full.CategoryLevels[2] != 1500 {
+		t.Fatalf("PaperShape(1) = %+v", full)
+	}
+	small := PaperShape(1000)
+	if small.Items != 1500 {
+		t.Fatalf("PaperShape(1000).Items = %d, want 1500", small.Items)
+	}
+	if small.CategoryLevels[0] < 2 || small.CategoryLevels[1] < small.CategoryLevels[0] {
+		t.Fatalf("PaperShape(1000) levels malformed: %v", small.CategoryLevels)
+	}
+	// must actually generate
+	tree := MustGenerate(small, vecmath.NewRNG(6))
+	if tree.Depth() != 4 {
+		t.Fatalf("paper-shaped tree depth = %d, want 4", tree.Depth())
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tree := fixture(t)
+	var buf bytes.Buffer
+	if err := tree.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if back.NumNodes() != tree.NumNodes() || back.NumItems() != tree.NumItems() || back.Depth() != tree.Depth() {
+		t.Fatal("round trip changed the tree shape")
+	}
+	for node := 0; node < tree.NumNodes(); node++ {
+		if back.Parent(node) != tree.Parent(node) {
+			t.Fatalf("parent of %d changed: %d vs %d", node, back.Parent(node), tree.Parent(node))
+		}
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nonsense 5\n",
+		"taxonomy x\n",
+		"taxonomy 2\n0 -1\n",          // missing line
+		"taxonomy 2\n0 -1\n0 0\n",     // duplicate node
+		"taxonomy 2\n0 -1\n1 7\n",     // parent out of range
+		"taxonomy 1\nbad line here\n", // malformed
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestPathPropertyRandomTrees(t *testing.T) {
+	rng := vecmath.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		top := 1 + rng.Intn(4)
+		cfg := GenConfig{
+			CategoryLevels: []int{top, top + rng.Intn(8)},
+			Items:          20 + rng.Intn(100),
+			Skew:           rng.Float64(),
+		}
+		tree := MustGenerate(cfg, rng)
+		// property: for every item, path length == depth+1, strictly
+		// decreasing depth, ends at root
+		for item := 0; item < tree.NumItems(); item++ {
+			node := tree.ItemNode(item)
+			path := tree.PathToRoot(node, nil)
+			if len(path) != tree.Depth()+1 {
+				t.Fatalf("path length %d, want %d", len(path), tree.Depth()+1)
+			}
+			for i, n := range path {
+				if tree.DepthOf(int(n)) != tree.Depth()-i {
+					t.Fatalf("path depth broken at %d: %v", i, path)
+				}
+			}
+			if int(path[len(path)-1]) != tree.Root() {
+				t.Fatal("path must end at root")
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package train orchestrates BPR-SGD training of TF models (Kanagal et
+// al., VLDB 2012 §4, §6.1): epoch loops over uniformly sampled positive
+// events, mixing of random-negative steps with sibling-based training, and
+// the multi-core execution model — shared factor matrices behind per-row
+// locks, with optional per-worker caches for the hot interior-taxonomy
+// rows.
+package train
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bpr"
+	"repro/internal/dataset"
+	"repro/internal/factors"
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// Config are the training hyper-parameters.
+type Config struct {
+	// Epochs is the number of passes; each epoch draws SamplesPerEpoch
+	// uniform samples (with replacement, as in §2.2).
+	Epochs int
+	// SamplesPerEpoch defaults to the number of positive events (one
+	// nominal pass over the non-zero entries).
+	SamplesPerEpoch int
+	// LearnRate is ε of Eq. 7.
+	LearnRate float64
+	// LearnRateDecay shrinks ε per epoch: ε_e = LearnRate/(1+decay·e).
+	LearnRateDecay float64
+	// Lambda is the regularization constant λ.
+	Lambda float64
+	// SiblingMix is the probability that a sample additionally runs the
+	// §4.2 sibling-based pass after its random-negative step ("we mix
+	// random sampling with sibling-based training"); 0 disables sibling
+	// training (the paper's "no sibling" ablation of Fig. 7d).
+	SiblingMix float64
+	// Workers is the goroutine count; <=1 uses the deterministic
+	// single-threaded path with no locks.
+	Workers int
+	// CacheThreshold, when > 0, enables the §6.1 per-worker caches on the
+	// interior-taxonomy rows with the given reconciliation threshold
+	// (the paper's experiments use 0.1). Ignored on the serial path.
+	CacheThreshold float64
+	// ForceLocked routes even Workers <= 1 through the locked parallel
+	// machinery. Training is normally fastest on the lock-free serial
+	// path, but scaling measurements (Figure 8) need the 1-thread
+	// baseline to pay the same synchronization costs as the n-thread
+	// runs.
+	ForceLocked bool
+	// RegularizeEffective selects the paper's literal Eq. 6 shrinkage
+	// (regularize offsets by the effective factor) instead of the default
+	// offset-wise Gaussian prior; see bpr.StepConfig and DESIGN.md §6.
+	RegularizeEffective bool
+	// OnEpoch, when set, runs after every epoch with the epoch index and
+	// its mean ln σ(x); returning true stops training early (all caches
+	// are already flushed at the epoch barrier). Use it for early stopping
+	// on a validation metric or for checkpointing.
+	OnEpoch func(epoch int, avgLogLik float64) (stop bool)
+	// Seed makes runs reproducible; every worker derives its own stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the settings the experiment harness uses before
+// any cross-validation: 30 nominal epochs, ε=0.05, λ=0.01, an even
+// sibling/random mix, single-threaded.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:     30,
+		LearnRate:  0.05,
+		Lambda:     0.01,
+		SiblingMix: 0.5,
+		Workers:    1,
+		Seed:       1,
+	}
+}
+
+// Stats reports per-epoch measurements of a training run.
+type Stats struct {
+	// Samples is the total number of SGD samples drawn.
+	Samples int64
+	// EpochTime holds the wall-clock duration of each epoch; Figure 8(a)
+	// plots its mean against the worker count.
+	EpochTime []time.Duration
+	// AvgLogLik is the mean ln σ(x) of the samples of each epoch (before
+	// their updates); it should climb toward 0 as ranking improves.
+	AvgLogLik []float64
+}
+
+// MeanEpochTime returns the average epoch duration.
+func (s *Stats) MeanEpochTime() time.Duration {
+	if len(s.EpochTime) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.EpochTime {
+		total += d
+	}
+	return total / time.Duration(len(s.EpochTime))
+}
+
+// Train fits the model to the dataset's positive events in place and
+// returns per-epoch statistics. With Workers <= 1 the run is fully
+// deterministic given Config.Seed.
+func Train(m *model.TF, data *dataset.Dataset, cfg Config) (*Stats, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: Epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("train: LearnRate must be positive, got %v", cfg.LearnRate)
+	}
+	if cfg.SiblingMix < 0 || cfg.SiblingMix > 1 {
+		return nil, fmt.Errorf("train: SiblingMix must be in [0,1], got %v", cfg.SiblingMix)
+	}
+	if data.NumItems != m.NumItems() {
+		return nil, fmt.Errorf("train: dataset has %d items, model %d", data.NumItems, m.NumItems())
+	}
+	if data.NumUsers() > m.NumUsers() {
+		return nil, fmt.Errorf("train: dataset has %d users, model only %d", data.NumUsers(), m.NumUsers())
+	}
+	events := data.Events()
+	if len(events) == 0 {
+		return nil, fmt.Errorf("train: dataset has no purchase events")
+	}
+	samples := cfg.SamplesPerEpoch
+	if samples <= 0 {
+		samples = len(events)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	stats := &Stats{}
+	if workers == 1 && !cfg.ForceLocked {
+		trainSerial(m, data, events, cfg, samples, stats)
+	} else {
+		trainParallel(m, data, events, cfg, samples, workers, stats)
+	}
+	// Divergence guard: an oversized learning rate drives σ into
+	// saturation and the factors to ±Inf/NaN; surface that as an error
+	// instead of handing back a silently poisoned model.
+	for e, ll := range stats.AvgLogLik {
+		if math.IsNaN(ll) || math.IsInf(ll, 0) {
+			return stats, fmt.Errorf("train: diverged at epoch %d (log-likelihood %v); lower LearnRate or raise Lambda", e, ll)
+		}
+	}
+	return stats, nil
+}
+
+// epochRate returns the learning rate for epoch e under the decay
+// schedule.
+func epochRate(cfg Config, e int) float64 {
+	return cfg.LearnRate / (1 + cfg.LearnRateDecay*float64(e))
+}
+
+// runSamples executes n SGD samples on one stepper and returns the summed
+// log-likelihood of the random-negative steps. It is the shared inner loop
+// of both execution modes: every sample takes a plain BPR step, and with
+// probability siblingMix also runs the sibling fine-tuning pass on the
+// same positive.
+func runSamples(st *bpr.Stepper, m *model.TF, data *dataset.Dataset, events []dataset.Event, rng *vecmath.RNG, siblingMix float64, n int) float64 {
+	var ll float64
+	for s := 0; s < n; s++ {
+		ev := events[rng.Intn(len(events))]
+		u, t, i := int(ev.User), int(ev.Txn), int(ev.Item)
+		history := data.Users[u].Baskets
+		prev := m.PrevBaskets(history, t)
+		j := st.SampleNegative(history[t])
+		ll += st.Step(u, i, j, prev)
+		if siblingMix > 0 && rng.Float64() < siblingMix {
+			st.SiblingPass(u, i, prev)
+		}
+	}
+	return ll
+}
+
+// stepConfig translates the trainer's knobs into a per-step config.
+func stepConfig(cfg Config) bpr.StepConfig {
+	return bpr.StepConfig{
+		LearnRate:           cfg.LearnRate,
+		Lambda:              cfg.Lambda,
+		RegularizeEffective: cfg.RegularizeEffective,
+	}
+}
+
+func trainSerial(m *model.TF, data *dataset.Dataset, events []dataset.Event, cfg Config, samples int, stats *Stats) {
+	rng := vecmath.NewRNG(cfg.Seed)
+	st := bpr.NewStepper(m, bpr.PlainStores(m), stepConfig(cfg), rng.Split())
+	for e := 0; e < cfg.Epochs; e++ {
+		st.SetLearnRate(epochRate(cfg, e))
+		start := time.Now()
+		ll := runSamples(st, m, data, events, rng, cfg.SiblingMix, samples)
+		stats.EpochTime = append(stats.EpochTime, time.Since(start))
+		stats.AvgLogLik = append(stats.AvgLogLik, ll/float64(samples))
+		stats.Samples += int64(samples)
+		if cfg.OnEpoch != nil && cfg.OnEpoch(e, ll/float64(samples)) {
+			return
+		}
+	}
+}
+
+// trainParallel runs a persistent worker pool: each worker goroutine
+// allocates its own stepper, RNG and (optionally) hot-row caches — in its
+// own goroutine so the hot per-worker state lands in separate heap spans
+// rather than adjacent allocations that false-share cache lines. Epochs
+// are dispatched over channels; caches flush at every epoch barrier.
+func trainParallel(m *model.TF, data *dataset.Dataset, events []dataset.Event, cfg Config, samples, workers int, stats *Stats) {
+	userStore := factors.NewLocked(m.User)
+	nodeStore := factors.NewLocked(m.Node)
+	nextStore := factors.NewLocked(m.Next)
+	biasStore := factors.NewLocked(m.Bias)
+
+	hotLimit := 0
+	if cfg.CacheThreshold > 0 {
+		hotLimit = m.Tree.InteriorPrefixLen()
+	}
+
+	type epochJob struct {
+		rate float64
+		n    int
+	}
+	jobs := make([]chan epochJob, workers)
+	done := make(chan float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		jobs[w] = make(chan epochJob)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// deterministic per-worker stream, derived without sharing
+			// state with other workers
+			rng := vecmath.NewRNG(cfg.Seed + 0x9e3779b97f4a7c15*uint64(w+1))
+			stores := bpr.Stores{User: userStore, Node: nodeStore, Next: nextStore, Bias: biasStore}
+			if hotLimit > 0 {
+				stores.Node = factors.NewCached(nodeStore, hotLimit, cfg.CacheThreshold)
+				stores.Next = factors.NewCached(nextStore, hotLimit, cfg.CacheThreshold)
+				stores.Bias = factors.NewCached(biasStore, hotLimit, cfg.CacheThreshold)
+			}
+			st := bpr.NewStepper(m, stores, stepConfig(cfg), rng.Split())
+			for job := range jobs[w] {
+				st.SetLearnRate(job.rate)
+				ll := runSamples(st, m, data, events, rng, cfg.SiblingMix, job.n)
+				st.Flush()
+				done <- ll
+			}
+		}(w)
+	}
+
+	for e := 0; e < cfg.Epochs; e++ {
+		rate := epochRate(cfg, e)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			n := samples / workers
+			if w == 0 {
+				n += samples % workers
+			}
+			jobs[w] <- epochJob{rate: rate, n: n}
+		}
+		var ll float64
+		for w := 0; w < workers; w++ {
+			ll += <-done
+		}
+		stats.EpochTime = append(stats.EpochTime, time.Since(start))
+		stats.AvgLogLik = append(stats.AvgLogLik, ll/float64(samples))
+		stats.Samples += int64(samples)
+		if cfg.OnEpoch != nil && cfg.OnEpoch(e, ll/float64(samples)) {
+			break
+		}
+	}
+	for w := 0; w < workers; w++ {
+		close(jobs[w])
+	}
+	wg.Wait()
+}
+
+// SearchLambda performs the paper's exhaustive cross-validation over λ
+// (§2.2): it trains one fresh model per candidate with build() supplying
+// identically initialized models, scores each with score (higher is
+// better, e.g. validation AUC), and returns the winning λ alongside all
+// scores.
+func SearchLambda(lambdas []float64, build func() (*model.TF, error), data *dataset.Dataset, cfg Config, score func(*model.TF) float64) (float64, []float64, error) {
+	if len(lambdas) == 0 {
+		return 0, nil, fmt.Errorf("train: no lambda candidates")
+	}
+	scores := make([]float64, len(lambdas))
+	bestIdx := 0
+	for idx, lam := range lambdas {
+		m, err := build()
+		if err != nil {
+			return 0, nil, fmt.Errorf("train: build model for lambda %v: %w", lam, err)
+		}
+		c := cfg
+		c.Lambda = lam
+		if _, err := Train(m, data, c); err != nil {
+			return 0, nil, err
+		}
+		scores[idx] = score(m)
+		if scores[idx] > scores[bestIdx] {
+			bestIdx = idx
+		}
+	}
+	return lambdas[bestIdx], scores, nil
+}

@@ -1,0 +1,75 @@
+package tsne
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// ClusterStats quantifies what Figure 7(e) shows visually: learned factors
+// of taxonomy nodes sit near their ancestors. ChildParentDist is the mean
+// distance between a node's vector and its parent's; RandomPairDist is the
+// mean distance between random node pairs of the same level set. A ratio
+// well below 1 means the taxonomy clusters the latent space.
+type ClusterStats struct {
+	ChildParentDist float64
+	RandomPairDist  float64
+	Pairs           int
+}
+
+// Ratio returns ChildParentDist / RandomPairDist (0 when degenerate).
+func (s ClusterStats) Ratio() float64 {
+	if s.RandomPairDist == 0 {
+		return 0
+	}
+	return s.ChildParentDist / s.RandomPairDist
+}
+
+// HierarchyClustering measures the clustering of vectors (indexed by
+// taxonomy node id) over the nodes of depths [minDepth, maxDepth]: each
+// child-parent edge contributes to ChildParentDist, and an equal number of
+// random same-range pairs to RandomPairDist.
+func HierarchyClustering(tree *taxonomy.Tree, vectors *vecmath.Matrix, minDepth, maxDepth int, rng *vecmath.RNG) (ClusterStats, error) {
+	if minDepth < 1 || maxDepth > tree.Depth() || minDepth > maxDepth {
+		return ClusterStats{}, fmt.Errorf("tsne: bad depth range [%d,%d] for tree depth %d", minDepth, maxDepth, tree.Depth())
+	}
+	var nodes []int32
+	for d := minDepth; d <= maxDepth; d++ {
+		nodes = append(nodes, tree.Level(d)...)
+	}
+	if len(nodes) < 2 {
+		return ClusterStats{}, fmt.Errorf("tsne: not enough nodes in range")
+	}
+	var stats ClusterStats
+	for _, node := range nodes {
+		parent := tree.Parent(int(node))
+		if parent == taxonomy.NoParent || tree.DepthOf(parent) < minDepth {
+			continue
+		}
+		stats.ChildParentDist += vecmath.Dist2(vectors.Row(int(node)), vectors.Row(parent))
+		a, b := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+		for a == b {
+			b = nodes[rng.Intn(len(nodes))]
+		}
+		stats.RandomPairDist += vecmath.Dist2(vectors.Row(int(a)), vectors.Row(int(b)))
+		stats.Pairs++
+	}
+	if stats.Pairs == 0 {
+		return ClusterStats{}, fmt.Errorf("tsne: no child-parent edges inside depth range")
+	}
+	stats.ChildParentDist /= float64(stats.Pairs)
+	stats.RandomPairDist /= float64(stats.Pairs)
+	return stats, nil
+}
+
+// GatherRows copies the given node ids' rows of src into a compact matrix
+// (row i = src row of ids[i]); the embedding functions operate on the
+// compacted form.
+func GatherRows(src *vecmath.Matrix, ids []int32) *vecmath.Matrix {
+	out := vecmath.NewMatrix(len(ids), src.Cols())
+	for i, id := range ids {
+		vecmath.Copy(out.Row(i), src.Row(int(id)))
+	}
+	return out
+}

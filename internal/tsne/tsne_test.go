@@ -1,0 +1,212 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// threeClusters builds n points in d dims forming three well-separated
+// Gaussian blobs; returns the points and their cluster labels.
+func threeClusters(n, d int, seed uint64) (*vecmath.Matrix, []int) {
+	rng := vecmath.NewRNG(seed)
+	centers := vecmath.NewMatrix(3, d)
+	for c := 0; c < 3; c++ {
+		for k := 0; k < d; k++ {
+			centers.Row(c)[k] = 10 * rng.NormFloat64()
+		}
+	}
+	x := vecmath.NewMatrix(n, d)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for k := 0; k < d; k++ {
+			x.Row(i)[k] = centers.Row(c)[k] + 0.3*rng.NormFloat64()
+		}
+	}
+	return x, labels
+}
+
+// separation computes mean within-cluster distance over mean
+// between-cluster distance in the embedding; small is good.
+func separation(y *vecmath.Matrix, labels []int) float64 {
+	var within, between float64
+	var nw, nb int
+	for i := 0; i < y.Rows(); i++ {
+		for j := i + 1; j < y.Rows(); j++ {
+			d := vecmath.Dist2(y.Row(i), y.Row(j))
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	return (within / float64(nw)) / (between / float64(nb))
+}
+
+func TestPCASeparatesClusters(t *testing.T) {
+	x, labels := threeClusters(90, 10, 3)
+	y := PCA(x, vecmath.NewRNG(5))
+	if y.Rows() != 90 || y.Cols() != 2 {
+		t.Fatalf("PCA shape %dx%d", y.Rows(), y.Cols())
+	}
+	if s := separation(y, labels); s > 0.3 {
+		t.Fatalf("PCA separation ratio %v, want < 0.3", s)
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	x, _ := threeClusters(60, 8, 4)
+	a := PCA(x, vecmath.NewRNG(9))
+	b := PCA(x, vecmath.NewRNG(9))
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("PCA must be deterministic for fixed seed")
+	}
+}
+
+func TestPCAPreservesVarianceOrdering(t *testing.T) {
+	// data with dominant variance along dim 0
+	rng := vecmath.NewRNG(6)
+	x := vecmath.NewMatrix(200, 3)
+	for i := 0; i < 200; i++ {
+		x.Row(i)[0] = 10 * rng.NormFloat64()
+		x.Row(i)[1] = 1 * rng.NormFloat64()
+		x.Row(i)[2] = 0.1 * rng.NormFloat64()
+	}
+	y := PCA(x, vecmath.NewRNG(7))
+	var v0, v1 float64
+	for i := 0; i < y.Rows(); i++ {
+		v0 += y.Row(i)[0] * y.Row(i)[0]
+		v1 += y.Row(i)[1] * y.Row(i)[1]
+	}
+	if v0 <= v1 {
+		t.Fatalf("first component variance %v should exceed second %v", v0, v1)
+	}
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	x, labels := threeClusters(60, 8, 8)
+	cfg := DefaultConfig()
+	cfg.Iters = 200
+	y, err := TSNE(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows() != 60 || y.Cols() != 2 {
+		t.Fatalf("TSNE shape %dx%d", y.Rows(), y.Cols())
+	}
+	if s := separation(y, labels); s > 0.5 {
+		t.Fatalf("t-SNE separation ratio %v, want < 0.5", s)
+	}
+	for _, v := range y.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("embedding contains non-finite values")
+		}
+	}
+}
+
+func TestTSNERejectsBadConfig(t *testing.T) {
+	x, _ := threeClusters(30, 4, 2)
+	cases := []Config{
+		{Perplexity: 0, Iters: 10, LearnRate: 100},
+		{Perplexity: 100, Iters: 10, LearnRate: 100}, // >= n
+		{Perplexity: 5, Iters: 0, LearnRate: 100},
+	}
+	for i, cfg := range cases {
+		if _, err := TSNE(x, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	tiny := vecmath.NewMatrix(3, 2)
+	if _, err := TSNE(tiny, DefaultConfig()); err == nil {
+		t.Error("expected error for too few points")
+	}
+}
+
+func TestHierarchyClusteringDetectsStructure(t *testing.T) {
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{4, 16, 64},
+		Items:          128,
+		Skew:           0,
+	}, vecmath.NewRNG(11))
+	// construct vectors that genuinely follow the hierarchy: each node =
+	// parent + small noise
+	rng := vecmath.NewRNG(13)
+	vectors := vecmath.NewMatrix(tree.NumNodes(), 6)
+	for d := 1; d <= tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			row := vectors.Row(int(node))
+			vecmath.Copy(row, vectors.Row(tree.Parent(int(node))))
+			for k := range row {
+				row[k] += 0.3 * rng.NormFloat64()
+			}
+		}
+	}
+	// root-level spread
+	for _, node := range tree.Level(1) {
+		for k := 0; k < 6; k++ {
+			vectors.Row(int(node))[k] += 5 * rng.NormFloat64()
+		}
+	}
+	// recompose children after moving level-1 (simulate spread clusters)
+	for d := 2; d <= tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			row := vectors.Row(int(node))
+			parent := vectors.Row(tree.Parent(int(node)))
+			for k := range row {
+				row[k] = parent[k] + 0.3*rng.NormFloat64()
+			}
+		}
+	}
+	stats, err := HierarchyClustering(tree, vectors, 1, 3, vecmath.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ratio() > 0.5 {
+		t.Fatalf("clustering ratio %v, want well below 1 for hierarchical vectors", stats.Ratio())
+	}
+	// shuffled vectors must show no clustering
+	flat := vecmath.NewMatrix(tree.NumNodes(), 6)
+	flat.FillGaussian(vecmath.NewRNG(19), 1)
+	nostats, err := HierarchyClustering(tree, flat, 1, 3, vecmath.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nostats.Ratio() < 0.8 {
+		t.Fatalf("random vectors show ratio %v; metric is broken", nostats.Ratio())
+	}
+}
+
+func TestHierarchyClusteringValidation(t *testing.T) {
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{2, 4},
+		Items:          8,
+	}, vecmath.NewRNG(1))
+	v := vecmath.NewMatrix(tree.NumNodes(), 2)
+	if _, err := HierarchyClustering(tree, v, 0, 2, vecmath.NewRNG(1)); err == nil {
+		t.Error("minDepth 0 must be rejected")
+	}
+	if _, err := HierarchyClustering(tree, v, 2, 1, vecmath.NewRNG(1)); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+	if _, err := HierarchyClustering(tree, v, 1, 99, vecmath.NewRNG(1)); err == nil {
+		t.Error("out-of-range maxDepth must be rejected")
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	src := vecmath.NewMatrix(5, 2)
+	for i := 0; i < 5; i++ {
+		src.Row(i)[0] = float64(i)
+	}
+	out := GatherRows(src, []int32{4, 0, 2})
+	if out.Rows() != 3 || out.Row(0)[0] != 4 || out.Row(1)[0] != 0 || out.Row(2)[0] != 2 {
+		t.Fatalf("GatherRows wrong: %+v", out.Data())
+	}
+}

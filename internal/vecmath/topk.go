@@ -1,0 +1,100 @@
+package vecmath
+
+import "sort"
+
+// Scored pairs an integer id with a float score; the inference code ranks
+// items, categories and taxonomy nodes as Scored slices.
+type Scored struct {
+	ID    int
+	Score float64
+}
+
+// TopK returns the k highest-scoring entries of items in descending score
+// order. Ties break toward the lower ID so results are deterministic.
+// If k >= len(items) the whole input is returned sorted. The input slice is
+// not modified.
+func TopK(items []Scored, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(items) {
+		out := make([]Scored, len(items))
+		copy(out, items)
+		sortScoredDesc(out)
+		return out
+	}
+	// Bounded min-heap of size k over the scores seen so far.
+	h := make([]Scored, 0, k)
+	for _, it := range items {
+		if len(h) < k {
+			h = append(h, it)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if scoredLess(h[0], it) {
+			h[0] = it
+			siftDown(h, 0)
+		}
+	}
+	sortScoredDesc(h)
+	return h
+}
+
+// scoredLess reports whether a ranks strictly below b (lower score, or equal
+// score with higher ID).
+func scoredLess(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func sortScoredDesc(s []Scored) {
+	sort.Slice(s, func(i, j int) bool { return scoredLess(s[j], s[i]) })
+}
+
+func siftUp(h []Scored, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !scoredLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []Scored, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && scoredLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && scoredLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// RankOf returns the 1-based rank of target within scores: 1 + the number
+// of entries with a strictly higher score, counting ties conservatively
+// (an equal score placed before target counts against it only by ID order).
+// This matches the paper's r(x) numerical rank used in the AUC and
+// meanRank metrics.
+func RankOf(scores []float64, target int) int {
+	t := scores[target]
+	rank := 1
+	for id, s := range scores {
+		if s > t || (s == t && id < target) {
+			rank++
+		}
+	}
+	return rank
+}

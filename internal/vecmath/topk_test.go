@@ -1,0 +1,89 @@
+package vecmath
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestTopKBasic(t *testing.T) {
+	items := []Scored{{0, 1.0}, {1, 3.0}, {2, 2.0}, {3, 5.0}, {4, 4.0}}
+	got := TopK(items, 3)
+	want := []int{3, 4, 1}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, w := range want {
+		if got[i].ID != w {
+			t.Fatalf("TopK order = %v, want ids %v", got, want)
+		}
+	}
+}
+
+func TestTopKZeroAndOversized(t *testing.T) {
+	items := []Scored{{0, 1}, {1, 2}}
+	if got := TopK(items, 0); got != nil {
+		t.Fatalf("TopK k=0 = %v, want nil", got)
+	}
+	got := TopK(items, 10)
+	if len(got) != 2 || got[0].ID != 1 {
+		t.Fatalf("TopK oversized = %v", got)
+	}
+}
+
+func TestTopKDoesNotMutateInput(t *testing.T) {
+	items := []Scored{{0, 3}, {1, 1}, {2, 2}}
+	TopK(items, 2)
+	if items[0].ID != 0 || items[1].ID != 1 || items[2].ID != 2 {
+		t.Fatalf("input mutated: %v", items)
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	items := []Scored{{5, 1.0}, {2, 1.0}, {9, 1.0}, {1, 1.0}}
+	got := TopK(items, 2)
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("tie-break should prefer lower id: %v", got)
+	}
+}
+
+func TestTopKMatchesFullSortProperty(t *testing.T) {
+	rng := NewRNG(31)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(n)
+		items := make([]Scored, n)
+		for i := range items {
+			// small integer scores force plenty of ties
+			items[i] = Scored{ID: i, Score: float64(rng.Intn(10))}
+		}
+		got := TopK(items, k)
+		full := make([]Scored, n)
+		copy(full, items)
+		sort.Slice(full, func(i, j int) bool { return scoredLess(full[j], full[i]) })
+		for i := 0; i < k; i++ {
+			if got[i] != full[i] {
+				t.Fatalf("trial %d: TopK[%d] = %v, full sort %v", trial, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	scores := []float64{0.5, 0.9, 0.1, 0.7}
+	cases := map[int]int{1: 1, 3: 2, 0: 3, 2: 4}
+	for target, want := range cases {
+		if got := RankOf(scores, target); got != want {
+			t.Fatalf("RankOf(%d) = %d, want %d", target, got, want)
+		}
+	}
+}
+
+func TestRankOfTies(t *testing.T) {
+	scores := []float64{1, 1, 1}
+	if got := RankOf(scores, 0); got != 1 {
+		t.Fatalf("tie rank for id 0 = %d, want 1", got)
+	}
+	if got := RankOf(scores, 2); got != 3 {
+		t.Fatalf("tie rank for id 2 = %d, want 3", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package vecmath provides the small dense linear-algebra kernel used by
+// the TF recommender: float64 vectors stored as plain slices, flat row-major
+// matrices, a deterministic pseudo-random number generator, and top-k
+// selection. Everything is stdlib-only and allocation-conscious: the SGD
+// inner loop calls Dot and AddScaled millions of times per epoch.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// AddScaled sets dst = dst + alpha*src (the BLAS axpy operation).
+// It panics if the lengths differ.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, sv := range src {
+		dst[i] += alpha * sv
+	}
+}
+
+// Add sets dst = dst + src.
+func Add(dst, src []float64) {
+	AddScaled(dst, 1, src)
+}
+
+// Sub sets dst = dst - src.
+func Sub(dst, src []float64) {
+	AddScaled(dst, -1, src)
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Zero sets every element of v to zero.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Copy copies src into dst and panics if the lengths differ.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// SqNorm2 returns the squared Euclidean norm of v.
+func SqNorm2(v []float64) float64 {
+	return Dot(v, v)
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dist2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sigmoid returns 1/(1+e^-x), computed in a numerically stable form for
+// large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogSigmoid returns ln(sigmoid(x)) without overflow for large negative x.
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// Matrix is a dense row-major matrix of float64. Rows are returned as
+// sub-slices of the flat backing array, so mutating a row mutates the
+// matrix. The zero value is an empty matrix; use NewMatrix to allocate.
+//
+// A matrix may carry a row stride larger than its column count
+// (NewMatrixPadded): the pad keeps every row on its own cache lines so
+// goroutines updating different rows concurrently never false-share. The
+// SGD trainer's factor matrices are padded; padding is invisible through
+// Row but visible as zero gaps through Data.
+type Matrix struct {
+	rows, cols, stride int
+	data               []float64
+}
+
+// NewMatrix allocates a rows x cols matrix of zeros with compact rows.
+func NewMatrix(rows, cols int) *Matrix {
+	return newMatrixStride(rows, cols, cols)
+}
+
+// NewMatrixPadded allocates a rows x cols matrix whose row stride is
+// rounded up to a 64-byte multiple, preventing false sharing between
+// concurrent row writers.
+func NewMatrixPadded(rows, cols int) *Matrix {
+	return newMatrixStride(rows, cols, (cols+7)&^7)
+}
+
+func newMatrixStride(rows, cols, stride int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: NewMatrix negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, stride: stride, data: make([]float64, rows*stride)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i as a mutable slice view of exactly Cols elements
+// (padding, if any, is excluded and capacity-clipped).
+func (m *Matrix) Row(i int) []float64 {
+	start := i * m.stride
+	return m.data[start : start+m.cols : start+m.cols]
+}
+
+// Data returns the flat backing slice, including any row padding.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Padded reports whether rows carry alignment padding.
+func (m *Matrix) Padded() bool { return m.stride != m.cols }
+
+// Clone returns a deep copy of the matrix (same stride).
+func (m *Matrix) Clone() *Matrix {
+	c := newMatrixStride(m.rows, m.cols, m.stride)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyRowsFrom copies the row contents (not padding) of src, which must
+// have the same rows x cols shape; strides may differ. Model
+// serialization uses it to move between compact and padded layouts.
+func (m *Matrix) CopyRowsFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic("vecmath: CopyRowsFrom shape mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// CompactData returns the row-major contents without padding; when the
+// matrix is compact this is the backing slice itself.
+func (m *Matrix) CompactData() []float64 {
+	if !m.Padded() {
+		return m.data
+	}
+	out := make([]float64, m.rows*m.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(out[i*m.cols:(i+1)*m.cols], m.Row(i))
+	}
+	return out
+}
+
+// SetCompactData fills the matrix's rows from a compact row-major slice.
+func (m *Matrix) SetCompactData(src []float64) {
+	if len(src) != m.rows*m.cols {
+		panic(fmt.Sprintf("vecmath: SetCompactData length %d, want %d", len(src), m.rows*m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i), src[i*m.cols:(i+1)*m.cols])
+	}
+}
+
+// FillGaussian fills the matrix rows with independent N(0, stddev^2) draws
+// from rng; padding stays zero and the draw sequence is independent of the
+// stride.
+func (m *Matrix) FillGaussian(rng *RNG, stddev float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for k := range row {
+			row[k] = rng.NormFloat64() * stddev
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between m
+// and other (row contents only). It panics on shape mismatch.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic("vecmath: MaxAbsDiff shape mismatch")
+	}
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		ra, rb := m.Row(i), other.Row(i)
+		for k := range ra {
+			d := math.Abs(ra[k] - rb[k])
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

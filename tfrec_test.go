@@ -1,0 +1,291 @@
+package tfrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildWorld generates a small taxonomy + log through the public API.
+func buildWorld(t *testing.T) (*Taxonomy, *Dataset) {
+	t.Helper()
+	tree, err := GenerateTaxonomy(TaxonomyConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          270,
+		Skew:           0.4,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSynthConfig()
+	cfg.Users = 400
+	log, _, err := GenerateLog(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, log
+}
+
+func trainedRecommender(t *testing.T, tree *Taxonomy, data *Dataset) *Recommender {
+	t.Helper()
+	p := DefaultParams()
+	p.K = 8
+	p.TaxonomyLevels = tree.Depth()
+	p.MarkovOrder = 1
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 10
+	rec, stats, err := Train(tree, data, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples == 0 {
+		t.Fatal("no training happened")
+	}
+	return rec
+}
+
+func TestEndToEndTrainRecommend(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+
+	top, err := rec.Recommend(0, log.Users[0].Baskets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("got %d recommendations", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("recommendations not sorted")
+		}
+	}
+}
+
+func TestRecommendRejectsBadUser(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	if _, err := rec.Recommend(-1, nil, 5); err == nil {
+		t.Fatal("expected error for negative user")
+	}
+	if _, err := rec.Recommend(10_000_000, nil, 5); err == nil {
+		t.Fatal("expected error for out-of-range user")
+	}
+}
+
+func TestCascadedMatchesNaiveAtFullKeep(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	naive, err := rec.Recommend(3, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, err := rec.RecommendCascaded(3, nil, rec.UniformCascade(1.0), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive {
+		if naive[i].ID != casc[i].ID {
+			t.Fatalf("rank %d differs: %v vs %v", i, naive[i], casc[i])
+		}
+	}
+}
+
+func TestStructuredRankingLevels(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	sr, err := rec.RecommendStructured(5, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Levels) != tree.Depth()-1 {
+		t.Fatalf("levels = %d, want %d", len(sr.Levels), tree.Depth()-1)
+	}
+	if len(sr.Items) != 5 {
+		t.Fatalf("items = %d", len(sr.Items))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRecommender(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rec.Recommend(2, nil, 5)
+	b, err := back.Recommend(2, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model recommends differently")
+		}
+	}
+}
+
+func TestSplitAndEvaluate(t *testing.T) {
+	tree, log := buildWorld(t)
+	split := log.Split(DefaultSplitConfig())
+	history := Concat(split.Train, split.Validation)
+
+	p := DefaultParams()
+	p.K = 8
+	p.TaxonomyLevels = tree.Depth()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 12
+	rec, _, err := Train(tree, history, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rec.Evaluate(history, split.Test, DefaultEvalConfig())
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if res.AUC < 0.6 {
+		t.Fatalf("end-to-end AUC = %v, want > 0.6", res.AUC)
+	}
+}
+
+func TestRecommendSession(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log) // MarkovOrder=1
+	// anonymous session: recommendations react to the session basket
+	basketA := []Basket{{0}}
+	basketB := []Basket{{int32(log.NumItems - 1)}}
+	a, err := rec.RecommendSession(basketA, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rec.RecommendSession(basketB, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].ID == b[i].ID {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("session context had no effect on the ranking")
+	}
+	// a model without a Markov term must refuse
+	p := DefaultParams()
+	p.K = 4
+	p.TaxonomyLevels = tree.Depth()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	noMarkov, _, err := Train(tree, log, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noMarkov.RecommendSession(basketA, 5); err == nil {
+		t.Fatal("expected error for session rec without Markov term")
+	}
+}
+
+func TestRecommendDiversified(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	catDepth := tree.Depth() - 1
+	out, err := rec.RecommendDiversified(0, nil, 12, 1, catDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range out {
+		cat := tree.AncestorAtDepth(tree.ItemNode(s.ID), catDepth)
+		if seen[cat] {
+			t.Fatal("diversified list repeated a category despite quota 1")
+		}
+		seen[cat] = true
+	}
+}
+
+func TestEvaluateTopKFacade(t *testing.T) {
+	tree, log := buildWorld(t)
+	split := log.Split(DefaultSplitConfig())
+	history := Concat(split.Train, split.Validation)
+	p := DefaultParams()
+	p.K = 8
+	p.TaxonomyLevels = tree.Depth()
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 12
+	rec, _, err := Train(tree, history, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.EvaluateTopK(history, split.Test, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NDCG < 0 || res.NDCG > 1 {
+		t.Fatalf("NDCG = %v out of range", res.NDCG)
+	}
+	if res.Users == 0 {
+		t.Fatal("nothing evaluated")
+	}
+}
+
+func TestPaperTaxonomyConfig(t *testing.T) {
+	cfg := PaperTaxonomyConfig(1000)
+	tree, err := GenerateTaxonomy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", tree.Depth())
+	}
+}
+
+func TestWarmStartGrowsUsers(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	before := rec.Model().NumUsers()
+
+	// new users arrive with fresh transactions
+	grown := &Dataset{NumItems: log.NumItems}
+	grown.Users = append(grown.Users, log.Users...)
+	for i := 0; i < 50; i++ {
+		grown.Users = append(grown.Users, log.Users[i%len(log.Users)])
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	if _, err := rec.WarmStart(grown, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Model().NumUsers() != before+50 {
+		t.Fatalf("users = %d, want %d", rec.Model().NumUsers(), before+50)
+	}
+	// the new users are recommendable
+	top, err := rec.Recommend(before+10, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatal("no recommendations for grown user")
+	}
+}
+
+func TestRefreshPicksUpModelChanges(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	before, _ := rec.Recommend(1, nil, 3)
+	// zero out all factors directly: recommendations must change after
+	// Refresh (scores collapse to ties)
+	m := rec.Model()
+	for i := range m.Node.Data() {
+		m.Node.Data()[i] = 0
+	}
+	rec.Refresh()
+	after, _ := rec.Recommend(1, nil, 3)
+	if after[0].Score != 0 {
+		t.Fatalf("after zeroing, top score = %v, want 0", after[0].Score)
+	}
+	_ = before
+}
