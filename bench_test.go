@@ -307,6 +307,93 @@ func BenchmarkNaiveInference(b *testing.B) {
 	}
 }
 
+// legacyNaiveTopK reproduces the pre-index serving path — materialize a
+// catalog-sized []Scored via per-item tree-indirected Row lookups, then
+// rank it — as the baseline the streaming ScoringIndex sweep is measured
+// against.
+func legacyNaiveTopK(c *model.Composed, q []float64, k int) []vecmath.Scored {
+	scores := make([]vecmath.Scored, c.NumItems())
+	for item := 0; item < c.NumItems(); item++ {
+		node := c.Tree.ItemNode(item)
+		s := vecmath.Dot(q, c.EffNode.Row(node))
+		if c.P.UseBias {
+			s += c.EffBias.Row(node)[0]
+		}
+		scores[item] = vecmath.Scored{ID: item, Score: s}
+	}
+	return vecmath.TopK(scores, k)
+}
+
+func benchComposedForTopK(b *testing.B) (*model.Composed, []float64) {
+	tree, data := benchWorld(b)
+	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})
+	q := make([]float64, 20)
+	for k := range q {
+		q[k] = float64(k%5) - 2
+	}
+	return m.Compose(), q
+}
+
+func BenchmarkTopKLegacyFullScan(b *testing.B) {
+	c, q := benchComposedForTopK(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		legacyNaiveTopK(c, q, 10)
+	}
+}
+
+func BenchmarkTopKIndexStreaming(b *testing.B) {
+	c, q := benchComposedForTopK(b)
+	st := vecmath.NewTopKStream(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset(10)
+		infer.NaiveInto(c, q, st)
+		_ = st.Ranked()
+	}
+}
+
+// The parallel pair measures serving throughput with all cores busy — the
+// regime the ROADMAP's heavy-traffic target cares about — where the legacy
+// path's 41KB/query of garbage also costs GC time across the fleet.
+func BenchmarkTopKLegacyFullScanParallel(b *testing.B) {
+	c, q := benchComposedForTopK(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			legacyNaiveTopK(c, q, 10)
+		}
+	})
+}
+
+func BenchmarkTopKIndexStreamingParallel(b *testing.B) {
+	c, q := benchComposedForTopK(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		st := vecmath.NewTopKStream(10)
+		for pb.Next() {
+			st.Reset(10)
+			infer.NaiveInto(c, q, st)
+			_ = st.Ranked()
+		}
+	})
+}
+
+func BenchmarkDiversifiedInference(b *testing.B) {
+	c, q := benchComposedForTopK(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infer.Diversified(c, q, 10, 2, c.Tree.Depth()-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCascadedInference(b *testing.B) {
 	tree, data := benchWorld(b)
 	m := benchModel(b, tree, data.NumUsers(), model.Params{K: 20, TaxonomyLevels: 4, MarkovOrder: 0, Alpha: 1, InitStd: 0.01})

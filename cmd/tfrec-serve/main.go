@@ -1,0 +1,86 @@
+// Command tfrec-serve exposes a model trained by tfrec-train as an
+// HTTP/JSON recommendation service: user, session, cascaded and
+// diversified endpoints plus snapshot stats (see serve.HTTP for the wire
+// format). SIGHUP re-reads the model file and hot-swaps the serving
+// snapshot without dropping in-flight requests; SIGINT/SIGTERM shut down
+// gracefully.
+//
+// Usage:
+//
+//	tfrec-serve -model model.gob -addr :8080
+//	curl -d '{"user":17,"k":10}' localhost:8080/v1/recommend/user
+//	kill -HUP $(pidof tfrec-serve)   # after tfrec-train rewrites model.gob
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func loadModel(path string) (*model.TF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.Load(f)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tfrec-serve: ")
+
+	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(m)
+	h := serve.NewHTTP(srv, func() (*model.TF, error) { return loadModel(*modelPath) })
+	log.Printf("serving %d users x %d items (K=%d) on %s", m.NumUsers(), m.NumItems(), m.K(), *addr)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := h.Reload(); err != nil {
+				log.Printf("reload failed, keeping current snapshot: %v", err)
+				continue
+			}
+			log.Printf("reloaded %s", *modelPath)
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: h.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, os.Interrupt, syscall.SIGTERM)
+		<-quit
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/infer"
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
@@ -37,8 +38,7 @@ func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (Top
 	}
 	res := TopKResult{K: k}
 	q := make([]float64, c.K())
-	scores := make([]float64, c.NumItems())
-	scored := make([]vecmath.Scored, c.NumItems())
+	st := vecmath.NewTopKStream(k)
 	for u := 0; u < test.NumUsers(); u++ {
 		baskets := test.Users[u].Baskets
 		if len(baskets) == 0 {
@@ -46,11 +46,11 @@ func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (Top
 		}
 		seq := history.Users[u].Baskets
 		c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
-		c.ItemScoresInto(q, scores)
-		for item, s := range scores {
-			scored[item] = vecmath.Scored{ID: item, Score: s}
-		}
-		top := vecmath.TopK(scored, k)
+		// stream the index sweep straight into a reused bounded heap
+		// instead of materializing a catalog-sized score array per user
+		st.Reset(k)
+		infer.NaiveInto(c, q, st)
+		top := st.Ranked()
 
 		positives := baskets[0]
 		hits := 0

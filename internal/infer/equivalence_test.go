@@ -1,0 +1,234 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// The reference implementations below are the pre-index full-scan paths
+// (materialize a catalog-sized []Scored, rank it, then select). The
+// streaming index-backed rewrites must reproduce their rankings exactly,
+// including tie-breaks.
+
+func legacyNaive(c *model.Composed, q []float64, k int) []vecmath.Scored {
+	scores := make([]vecmath.Scored, c.NumItems())
+	for item := 0; item < c.NumItems(); item++ {
+		scores[item] = vecmath.Scored{ID: item, Score: legacyNodeScore(c, q, c.Tree.ItemNode(item))}
+	}
+	return vecmath.TopK(scores, k)
+}
+
+func legacyNodeScore(c *model.Composed, q []float64, node int) float64 {
+	s := vecmath.Dot(q, c.EffNode.Row(node))
+	if c.P.UseBias {
+		s += c.EffBias.Row(node)[0]
+	}
+	return s
+}
+
+func legacyCascade(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
+	tree := c.Tree
+	if err := cfg.Validate(tree.Depth()); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	frontier := append([]int32(nil), tree.Level(1)...)
+	for d := 1; d < tree.Depth(); d++ {
+		scored := make([]vecmath.Scored, len(frontier))
+		for i, node := range frontier {
+			scored[i] = vecmath.Scored{ID: int(node), Score: legacyNodeScore(c, q, int(node))}
+		}
+		stats.NodesScored += len(scored)
+		levelSize := len(tree.Level(d))
+		keep := int(math.Ceil(cfg.KeepFrac[d-1] * float64(levelSize)))
+		if keep < 1 {
+			keep = 1
+		}
+		top := vecmath.TopK(scored, keep)
+		stats.KeptPerLevel = append(stats.KeptPerLevel, len(top))
+		frontier = frontier[:0]
+		for _, s := range top {
+			frontier = append(frontier, tree.Children(s.ID)...)
+		}
+	}
+	candidates := make([]vecmath.Scored, len(frontier))
+	for i, leaf := range frontier {
+		candidates[i] = vecmath.Scored{ID: tree.NodeItem(int(leaf)), Score: legacyNodeScore(c, q, int(leaf))}
+	}
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return vecmath.TopK(candidates, k), stats, nil
+}
+
+func legacyDiversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) []vecmath.Scored {
+	all := legacyNaive(c, q, c.NumItems())
+	quota := make(map[int]int)
+	out := make([]vecmath.Scored, 0, k)
+	for _, s := range all {
+		if len(out) == k {
+			break
+		}
+		cat := c.Tree.AncestorAtDepth(c.Tree.ItemNode(s.ID), catDepth)
+		if quota[cat] >= maxPerCategory {
+			continue
+		}
+		quota[cat]++
+		out = append(out, s)
+	}
+	return out
+}
+
+func assertSameRanking(t *testing.T, name string, got, want []vecmath.Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d vs %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s rank %d: id %d vs %d", name, i, got[i].ID, want[i].ID)
+		}
+		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("%s rank %d: score %v vs %v", name, i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// tiedComposed builds a snapshot whose items produce many exactly equal
+// scores (quantized factors), exercising deterministic tie-breaking.
+func tiedComposed(t *testing.T, useBias bool) *model.Composed {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{4, 12, 36},
+		Items:          400,
+		Skew:           0.4,
+	}, vecmath.NewRNG(3))
+	m, err := model.New(tree, 10, model.Params{K: 8, TaxonomyLevels: 4, InitStd: 0.3, Alpha: 1, UseBias: useBias}, vecmath.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quantize every offset so distinct items collide on scores
+	for _, mat := range []*vecmath.Matrix{m.Node, m.Bias} {
+		data := mat.Data()
+		for i, v := range data {
+			data[i] = math.Round(v*2) / 2
+		}
+	}
+	return m.Compose()
+}
+
+func TestNaiveMatchesLegacyFullScan(t *testing.T) {
+	for _, useBias := range []bool{false, true} {
+		c := tiedComposed(t, useBias)
+		q := query(c.K())
+		for _, k := range []int{1, 10, 137, c.NumItems(), c.NumItems() + 5} {
+			assertSameRanking(t, "naive", Naive(c, q, k), legacyNaive(c, q, k))
+		}
+	}
+}
+
+func TestCascadeMatchesLegacy(t *testing.T) {
+	for _, useBias := range []bool{false, true} {
+		c := tiedComposed(t, useBias)
+		q := query(c.K())
+		for _, f := range []float64{0.1, 0.3, 0.5, 1.0} {
+			cfg := UniformCascade(c.Tree.Depth(), f)
+			got, gotStats, err := Cascade(c, q, cfg, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantStats, err := legacyCascade(c, q, cfg, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRanking(t, "cascade", got, want)
+			if gotStats.NodesScored != wantStats.NodesScored ||
+				gotStats.LeavesScored != wantStats.LeavesScored {
+				t.Fatalf("f=%v stats differ: %+v vs %+v", f, gotStats, wantStats)
+			}
+			for i := range wantStats.KeptPerLevel {
+				if gotStats.KeptPerLevel[i] != wantStats.KeptPerLevel[i] {
+					t.Fatalf("f=%v kept[%d] %d vs %d", f, i, gotStats.KeptPerLevel[i], wantStats.KeptPerLevel[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCascadeScoresMatchesLegacyReachability(t *testing.T) {
+	c := tiedComposed(t, false)
+	q := query(c.K())
+	cfg := UniformCascade(c.Tree.Depth(), 0.4)
+	scores, _, err := CascadeScores(c, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reached set and scores must agree with the legacy walk's frontier
+	_, wantStats, err := legacyCascade(c, q, cfg, c.NumItems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for item, s := range scores {
+		if math.IsInf(s, -1) {
+			continue
+		}
+		reached++
+		want := legacyNodeScore(c, q, c.Tree.ItemNode(item))
+		if math.Abs(s-want) > 1e-12 {
+			t.Fatalf("item %d: %v vs %v", item, s, want)
+		}
+	}
+	if reached != wantStats.LeavesScored {
+		t.Fatalf("reached %d vs legacy %d", reached, wantStats.LeavesScored)
+	}
+}
+
+func TestDiversifiedMatchesLegacyGreedy(t *testing.T) {
+	for _, useBias := range []bool{false, true} {
+		c := tiedComposed(t, useBias)
+		q := query(c.K())
+		for _, maxPer := range []int{1, 2, 5, 1 << 30} {
+			for _, depth := range []int{1, 2, c.Tree.Depth() - 1} {
+				for _, k := range []int{1, 8, 30} {
+					got, err := Diversified(c, q, k, maxPer, depth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := legacyDiversified(c, q, k, maxPer, depth)
+					assertSameRanking(t, "diversified", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroKMatchesLegacyEmptyResult(t *testing.T) {
+	c := tiedComposed(t, false)
+	q := query(c.K())
+	if got := Naive(c, q, 0); len(got) != 0 {
+		t.Fatalf("Naive k=0 returned %d items", len(got))
+	}
+	got, _, err := Cascade(c, q, UniformCascade(c.Tree.Depth(), 0.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Cascade k=0 returned %d items", len(got))
+	}
+}
+
+func TestNaiveIntoReusesCollector(t *testing.T) {
+	c := tiedComposed(t, false)
+	q := query(c.K())
+	st := vecmath.NewTopKStream(12)
+	NaiveInto(c, q, st)
+	first := append([]vecmath.Scored(nil), st.Ranked()...)
+	st.Reset(12)
+	NaiveInto(c, q, st)
+	assertSameRanking(t, "naiveinto-reuse", st.Ranked(), first)
+	assertSameRanking(t, "naiveinto-vs-naive", first, Naive(c, q, 12))
+}

@@ -3,6 +3,12 @@
 // walks the taxonomy top-down keeping only the best k_i percent of each
 // category level and scores leaves only under the surviving categories —
 // the accuracy/efficiency dial of Figure 8(c,d).
+//
+// All ranking paths run off the snapshot's model.ScoringIndex: scores are
+// produced by blocked sweeps over contiguous factor slabs and consumed by
+// streaming bounded-heap collectors, so a query never materializes a
+// catalog-sized score array. NaiveInto is the allocation-free core; Naive,
+// Cascade and Diversified wrap it for callers that want fresh slices.
 package infer
 
 import (
@@ -13,14 +19,66 @@ import (
 	"repro/internal/vecmath"
 )
 
+// blockItems is the number of contiguous items scored per sweep step; the
+// block buffer lives on the stack and one block of float64 fits in L1.
+const blockItems = 256
+
+// sweepScores scores every item through the index in L1-sized blocks and
+// hands each (item, score) pair to visit. Diversified and other
+// whole-catalog consumers build on it; NaiveInto keeps its own fused copy
+// of the block loop because the indirect visit call would cost it the
+// inlined threshold rejection on the latency-critical top-k path.
+func sweepScores(ix *model.ScoringIndex, q []float64, visit func(item int, score float64)) {
+	var block [blockItems]float64
+	n := ix.NumItems()
+	for lo := 0; lo < n; lo += blockItems {
+		hi := lo + blockItems
+		if hi > n {
+			hi = n
+		}
+		buf := block[:hi-lo]
+		ix.ItemScoresRangeInto(q, lo, hi, buf)
+		for i, s := range buf {
+			visit(lo+i, s)
+		}
+	}
+}
+
+// NaiveInto streams every item's score through the scoring index into an
+// armed TopKStream. It performs no heap allocation, making it the
+// zero-garbage serving core; pair it with a pooled collector and read the
+// ranking with Ranked.
+func NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream) {
+	ix := c.Index
+	var block [blockItems]float64
+	n := ix.NumItems()
+	th, full := st.Threshold()
+	for lo := 0; lo < n; lo += blockItems {
+		hi := lo + blockItems
+		if hi > n {
+			hi = n
+		}
+		buf := block[:hi-lo]
+		ix.ItemScoresRangeInto(q, lo, hi, buf)
+		for i, s := range buf {
+			// once the heap is full, items strictly below the k-th score
+			// can be rejected with this one inlined comparison; ties must
+			// go through Push so the lower-ID tie-break still applies
+			if full && s < th {
+				continue
+			}
+			st.Push(lo+i, s)
+			th, full = st.Threshold()
+		}
+	}
+}
+
 // Naive scores every item and returns the top-k, the baseline the paper's
 // cascaded inference is measured against.
 func Naive(c *model.Composed, q []float64, k int) []vecmath.Scored {
-	scores := make([]vecmath.Scored, c.NumItems())
-	for item := 0; item < c.NumItems(); item++ {
-		scores[item] = vecmath.Scored{ID: item, Score: c.NodeScore(q, c.Tree.ItemNode(item))}
-	}
-	return vecmath.TopK(scores, k)
+	st := vecmath.NewTopKStream(k)
+	NaiveInto(c, q, st)
+	return st.Ranked()
 }
 
 // CascadeConfig sets the per-level keep fractions k_i of §5.1:
@@ -65,29 +123,32 @@ type Stats struct {
 	KeptPerLevel []int
 }
 
-// walk performs the top-down beam of §5.1 and returns the surviving leaf
-// frontier; leaves are not yet scored (stats count only the interior
-// work so far).
+// walk performs the top-down beam of §5.1 over the index's node-major slab
+// and returns the surviving leaf frontier; leaves are not yet scored
+// (stats count only the interior work so far). Each level's survivors are
+// selected with a streaming bounded heap instead of materializing and
+// fully ranking the level.
 func walk(c *model.Composed, q []float64, cfg CascadeConfig) ([]int32, *Stats, error) {
 	tree := c.Tree
+	ix := c.Index
 	if err := cfg.Validate(tree.Depth()); err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{}
 	frontier := append([]int32(nil), tree.Level(1)...)
+	st := vecmath.NewTopKStream(0)
 	for d := 1; d < tree.Depth(); d++ {
-		scored := make([]vecmath.Scored, len(frontier))
-		for i, node := range frontier {
-			scored[i] = vecmath.Scored{ID: int(node), Score: c.NodeScore(q, int(node))}
-		}
-		stats.NodesScored += len(scored)
-
 		levelSize := len(tree.Level(d))
 		keep := int(math.Ceil(cfg.KeepFrac[d-1] * float64(levelSize)))
 		if keep < 1 {
 			keep = 1
 		}
-		top := vecmath.TopK(scored, keep)
+		st.Reset(keep)
+		for _, node := range frontier {
+			st.Push(int(node), ix.ScoreNode(int(node), q))
+		}
+		stats.NodesScored += len(frontier)
+		top := st.Ranked()
 		stats.KeptPerLevel = append(stats.KeptPerLevel, len(top))
 
 		frontier = frontier[:0]
@@ -100,22 +161,21 @@ func walk(c *model.Composed, q []float64, cfg CascadeConfig) ([]int32, *Stats, e
 
 // Cascade runs §5.1 top-down inference and returns the top-k items among
 // the reached leaves together with work statistics. This is the production
-// serving path: it touches only the beam's nodes, never the full catalog.
+// serving path: it touches only the beam's nodes, never the full catalog,
+// and streams the reached leaves straight into a bounded heap.
 func Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
 	frontier, stats, err := walk(c, q, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	candidates := make([]vecmath.Scored, len(frontier))
-	for i, leaf := range frontier {
-		candidates[i] = vecmath.Scored{
-			ID:    c.Tree.NodeItem(int(leaf)),
-			Score: c.NodeScore(q, int(leaf)),
-		}
+	ix := c.Index
+	st := vecmath.NewTopKStream(k)
+	for _, leaf := range frontier {
+		st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
 	}
 	stats.NodesScored += len(frontier)
 	stats.LeavesScored = len(frontier)
-	return vecmath.TopK(candidates, k), stats, nil
+	return st.Ranked(), stats, nil
 }
 
 // CascadeScores runs the cascade and returns a full score array: reached
@@ -127,12 +187,13 @@ func CascadeScores(c *model.Composed, q []float64, cfg CascadeConfig) ([]float64
 	if err != nil {
 		return nil, nil, err
 	}
+	ix := c.Index
 	scores := make([]float64, c.Tree.NumItems())
 	for i := range scores {
 		scores[i] = math.Inf(-1)
 	}
 	for _, leaf := range frontier {
-		scores[c.Tree.NodeItem(int(leaf))] = c.NodeScore(q, int(leaf))
+		scores[c.Tree.NodeItem(int(leaf))] = ix.ScoreNode(int(leaf), q)
 	}
 	stats.NodesScored += len(frontier)
 	stats.LeavesScored = len(frontier)
@@ -142,9 +203,14 @@ func CascadeScores(c *model.Composed, q []float64, cfg CascadeConfig) ([]float64
 // Diversified returns a top-k ranking with at most maxPerCategory items
 // from any single category at taxonomy depth catDepth. Section 1 of the
 // paper motivates exactly this use of the taxonomy: "reduce duplication of
-// items of similar type" in the recommendation list. The ranking is the
-// greedy score-ordered scan that skips items whose category quota is
-// exhausted.
+// items of similar type" in the recommendation list.
+//
+// The selection streams over the index once, keeping a bounded min-heap of
+// the best min(maxPerCategory, k) items per touched category: an item
+// outside its category's per-quota top can never be chosen by the greedy
+// score-ordered scan, so the global top-k of the retained union is exactly
+// the ranking the old full-catalog sort-then-scan produced — without ever
+// sorting the catalog.
 func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
 	if maxPerCategory <= 0 {
 		return nil, fmt.Errorf("infer: maxPerCategory must be positive, got %d", maxPerCategory)
@@ -152,22 +218,33 @@ func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int
 	if catDepth < 1 || catDepth >= c.Tree.Depth() {
 		return nil, fmt.Errorf("infer: catDepth %d outside (0,%d)", catDepth, c.Tree.Depth())
 	}
-	// rank everything, then fill greedily under the quota
-	all := Naive(c, q, c.NumItems())
-	quota := make(map[int]int)
-	out := make([]vecmath.Scored, 0, k)
-	for _, s := range all {
-		if len(out) == k {
-			break
+	ix := c.Index
+	perCat := maxPerCategory
+	if perCat > k {
+		perCat = k
+	}
+	// one dense slot per category at catDepth, keyed by level offset;
+	// heaps arm lazily so only touched categories allocate
+	cats := make([]vecmath.TopKStream, len(c.Tree.Level(catDepth)))
+	armed := make([]bool, len(cats))
+	sweepScores(ix, q, func(item int, s float64) {
+		p := ix.LevelPos(ix.ItemCategory(item, catDepth))
+		if !armed[p] {
+			cats[p].Reset(perCat)
+			armed[p] = true
 		}
-		cat := c.Tree.AncestorAtDepth(c.Tree.ItemNode(s.ID), catDepth)
-		if quota[cat] >= maxPerCategory {
+		cats[p].Push(item, s)
+	})
+	final := vecmath.NewTopKStream(k)
+	for p := range cats {
+		if !armed[p] {
 			continue
 		}
-		quota[cat]++
-		out = append(out, s)
+		for _, s := range cats[p].Ranked() {
+			final.Push(s.ID, s.Score)
+		}
 	}
-	return out, nil
+	return final.Ranked(), nil
 }
 
 // StructuredRanking is the per-level output the paper motivates in §1:

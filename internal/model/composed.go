@@ -21,14 +21,19 @@ type Composed struct {
 	// EffBias is the composed per-node popularity bias (numNodes x 1);
 	// all zero unless the model trained with UseBias.
 	EffBias *vecmath.Matrix
+	// Index is the flattened scoring view of EffNode/EffBias — contiguous
+	// item-major and node-major slabs with the bias folded in. All scoring
+	// methods of Composed run off it; infer and serve use it directly.
+	Index   *ScoringIndex
 	weights []float64
 }
 
 // Compose materializes the effective factors by a single top-down pass:
-// eff(node) = eff(parent) + offset(node). It does not mutate the model and
-// the snapshot does not alias model rows.
+// eff(node) = eff(parent) + offset(node), then flattens them into the
+// scoring index. It does not mutate the model and the snapshot does not
+// alias model rows.
 func (m *TF) Compose() *Composed {
-	return &Composed{
+	c := &Composed{
 		P:       m.P,
 		Tree:    m.Tree,
 		User:    m.User.Clone(),
@@ -37,6 +42,8 @@ func (m *TF) Compose() *Composed {
 		EffBias: composeTree(m.Tree, m.Bias),
 		weights: m.P.DecayWeights(),
 	}
+	c.Index = buildIndex(m.Tree, c.EffNode, c.EffBias, m.P.UseBias)
+	return c
 }
 
 func composeTree(tree *taxonomy.Tree, offsets *vecmath.Matrix) *vecmath.Matrix {
@@ -63,7 +70,7 @@ func (c *Composed) NumItems() int { return c.Tree.NumItems() }
 
 // ItemFactor returns the effective factor of item as a read-only view.
 func (c *Composed) ItemFactor(item int) []float64 {
-	return c.EffNode.Row(c.Tree.ItemNode(item))
+	return c.Index.ItemFactor(item)
 }
 
 // BuildQueryInto mirrors (*TF).BuildQueryInto against the snapshot.
@@ -98,28 +105,17 @@ func (c *Composed) addShortTerm(prev []dataset.Basket, q []float64) {
 }
 
 // ItemScoresInto writes the full affinity (⟨q, vI_j⟩ plus composed bias)
-// for every item j into dst (len == NumItems).
+// for every item j into dst (len == NumItems) with one blocked sweep over
+// the scoring index.
 func (c *Composed) ItemScoresInto(q []float64, dst []float64) {
-	useBias := c.P.UseBias
-	for item := 0; item < c.NumItems(); item++ {
-		node := c.Tree.ItemNode(item)
-		s := vecmath.Dot(q, c.EffNode.Row(node))
-		if useBias {
-			s += c.EffBias.Row(node)[0]
-		}
-		dst[item] = s
-	}
+	c.Index.ItemScoresInto(q, dst)
 }
 
 // NodeScore returns ⟨q, eff(node)⟩ (plus the node's composed bias when
 // UseBias) for any taxonomy node; cascaded inference and category-level
 // metrics rank these.
 func (c *Composed) NodeScore(q []float64, node int) float64 {
-	s := vecmath.Dot(q, c.EffNode.Row(node))
-	if c.P.UseBias {
-		s += c.EffBias.Row(node)[0]
-	}
-	return s
+	return c.Index.ScoreNode(node, q)
 }
 
 // LevelScores returns the scored nodes of taxonomy depth d, unsorted.
@@ -127,7 +123,7 @@ func (c *Composed) LevelScores(q []float64, d int) []vecmath.Scored {
 	level := c.Tree.Level(d)
 	out := make([]vecmath.Scored, len(level))
 	for i, node := range level {
-		out[i] = vecmath.Scored{ID: int(node), Score: c.NodeScore(q, int(node))}
+		out[i] = vecmath.Scored{ID: int(node), Score: c.Index.ScoreNode(int(node), q)}
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// ScoringIndex is the flattened serving view of a Composed snapshot: the
+// effective factors laid out as contiguous row-major slabs so the hot
+// scoring loops are branch-free sequential sweeps instead of
+// tree-indirected Row lookups. Compose builds one per snapshot; it is
+// immutable and safe for concurrent use.
+//
+// Two slabs are kept. The item-major slab orders the leaves by item id and
+// backs the full-catalog sweep (ItemScoresInto, streaming top-k). The
+// node-major slab orders every taxonomy node by node id and backs cascaded
+// inference, which scores arbitrary per-level frontiers. The composed
+// popularity bias is folded into a parallel array per slab — all zeros for
+// models trained without UseBias — so scoring never branches on P.UseBias.
+type ScoringIndex struct {
+	k        int
+	numItems int
+
+	itemFactors []float64 // numItems x k, item-major
+	itemBias    []float64 // numItems
+
+	nodeFactors []float64 // numNodes x k, node-major
+	nodeBias    []float64 // numNodes
+
+	// itemCat[d][i] is item i's ancestor node at taxonomy depth d
+	// (itemCat[0] is all-root, itemCat[Depth] the leaf nodes themselves);
+	// diversified ranking resolves category quotas through it without
+	// walking parent pointers per item.
+	itemCat [][]int32
+
+	// levelPos[node] is the node's offset within its taxonomy level
+	// (tree.Level(depth(node))); per-level dense tables are indexed by it.
+	levelPos []int32
+}
+
+// buildIndex flattens the composed factor matrices for a taxonomy. Bias is
+// folded only when useBias is set, matching the scoring semantics of
+// Composed.NodeScore.
+func buildIndex(tree *taxonomy.Tree, eff *vecmath.Matrix, effBias *vecmath.Matrix, useBias bool) *ScoringIndex {
+	k := eff.Cols()
+	numItems := tree.NumItems()
+	numNodes := tree.NumNodes()
+	ix := &ScoringIndex{
+		k:           k,
+		numItems:    numItems,
+		itemFactors: make([]float64, numItems*k),
+		itemBias:    make([]float64, numItems),
+		nodeFactors: make([]float64, numNodes*k),
+		nodeBias:    make([]float64, numNodes),
+	}
+	for node := 0; node < numNodes; node++ {
+		copy(ix.nodeFactors[node*k:(node+1)*k], eff.Row(node))
+		if useBias {
+			ix.nodeBias[node] = effBias.Row(node)[0]
+		}
+	}
+	for item := 0; item < numItems; item++ {
+		node := tree.ItemNode(item)
+		copy(ix.itemFactors[item*k:(item+1)*k], ix.nodeFactors[node*k:(node+1)*k])
+		ix.itemBias[item] = ix.nodeBias[node]
+	}
+	ix.itemCat = make([][]int32, tree.Depth()+1)
+	for d := range ix.itemCat {
+		col := make([]int32, numItems)
+		for item := 0; item < numItems; item++ {
+			col[item] = int32(tree.AncestorAtDepth(tree.ItemNode(item), d))
+		}
+		ix.itemCat[d] = col
+	}
+	ix.levelPos = make([]int32, numNodes)
+	for d := 0; d <= tree.Depth(); d++ {
+		for i, node := range tree.Level(d) {
+			ix.levelPos[node] = int32(i)
+		}
+	}
+	return ix
+}
+
+// K returns the factor dimensionality.
+func (ix *ScoringIndex) K() int { return ix.k }
+
+// NumItems returns the leaf count.
+func (ix *ScoringIndex) NumItems() int { return ix.numItems }
+
+// ItemFactor returns item's effective factor as a read-only view into the
+// item-major slab.
+func (ix *ScoringIndex) ItemFactor(item int) []float64 {
+	return ix.itemFactors[item*ix.k : (item+1)*ix.k : (item+1)*ix.k]
+}
+
+// ScoreItem returns item's affinity bias + ⟨q, vI_item⟩.
+func (ix *ScoringIndex) ScoreItem(item int, q []float64) float64 {
+	return vecmath.DotBias(q, ix.ItemFactor(item), ix.itemBias[item])
+}
+
+// ScoreNode returns the affinity of any taxonomy node (category or leaf).
+func (ix *ScoringIndex) ScoreNode(node int, q []float64) float64 {
+	return vecmath.DotBias(q, ix.nodeFactors[node*ix.k:(node+1)*ix.k:(node+1)*ix.k], ix.nodeBias[node])
+}
+
+// ItemScoresInto writes the affinity of every item into dst
+// (len == NumItems) with one blocked matrix–vector sweep.
+func (ix *ScoringIndex) ItemScoresInto(q, dst []float64) {
+	vecmath.MatVecBias(ix.itemFactors, ix.k, ix.itemBias, q, dst)
+}
+
+// ItemScoresRangeInto scores the contiguous item range [lo, hi) into
+// dst[:hi-lo]; the streaming top-k sweep uses it to score fixed-size blocks
+// into a stack buffer.
+func (ix *ScoringIndex) ItemScoresRangeInto(q []float64, lo, hi int, dst []float64) {
+	vecmath.MatVecBias(ix.itemFactors[lo*ix.k:hi*ix.k], ix.k, ix.itemBias[lo:hi], q, dst[:hi-lo])
+}
+
+// ItemCategory returns item's ancestor node at the given taxonomy depth.
+func (ix *ScoringIndex) ItemCategory(item, depth int) int {
+	return int(ix.itemCat[depth][item])
+}
+
+// LevelPos returns node's offset within its taxonomy level, a dense key
+// for per-level tables.
+func (ix *ScoringIndex) LevelPos(node int) int {
+	return int(ix.levelPos[node])
+}

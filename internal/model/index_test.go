@@ -1,0 +1,140 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func indexWorld(t *testing.T, useBias bool) (*TF, *Composed) {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          240,
+		Skew:           0.4,
+	}, vecmath.NewRNG(17))
+	p := Params{K: 6, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.3, UseBias: useBias}
+	m, err := New(tree, 20, p, vecmath.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, m.Compose()
+}
+
+func indexQuery(k int, seed uint64) []float64 {
+	q := make([]float64, k)
+	rng := vecmath.NewRNG(seed)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	return q
+}
+
+// effScore recomputes a node score straight from the composed matrices —
+// the pre-index reference the slabs must reproduce exactly.
+func effScore(c *Composed, q []float64, node int) float64 {
+	s := vecmath.Dot(q, c.EffNode.Row(node))
+	if c.P.UseBias {
+		s += c.EffBias.Row(node)[0]
+	}
+	return s
+}
+
+func TestIndexMatchesEffectiveFactors(t *testing.T) {
+	for _, useBias := range []bool{false, true} {
+		_, c := indexWorld(t, useBias)
+		q := indexQuery(c.K(), 3)
+		ix := c.Index
+		if ix.K() != c.K() || ix.NumItems() != c.NumItems() {
+			t.Fatal("index shape mismatch")
+		}
+		for node := 0; node < c.Tree.NumNodes(); node++ {
+			want := effScore(c, q, node)
+			if got := ix.ScoreNode(node, q); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("useBias=%v node %d: ScoreNode %v want %v", useBias, node, got, want)
+			}
+		}
+		for item := 0; item < c.NumItems(); item++ {
+			want := effScore(c, q, c.Tree.ItemNode(item))
+			if got := ix.ScoreItem(item, q); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("useBias=%v item %d: ScoreItem %v want %v", useBias, item, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexItemScoresIntoMatchesPerItem(t *testing.T) {
+	for _, useBias := range []bool{false, true} {
+		_, c := indexWorld(t, useBias)
+		q := indexQuery(c.K(), 5)
+		dst := make([]float64, c.NumItems())
+		c.ItemScoresInto(q, dst)
+		for item, got := range dst {
+			want := effScore(c, q, c.Tree.ItemNode(item))
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("useBias=%v item %d: sweep %v want %v", useBias, item, got, want)
+			}
+		}
+		// range sweep over an interior window agrees with the full sweep
+		lo, hi := 7, c.NumItems()-7
+		window := make([]float64, hi-lo)
+		c.Index.ItemScoresRangeInto(q, lo, hi, window)
+		for i, got := range window {
+			if got != dst[lo+i] {
+				t.Fatalf("range sweep item %d differs", lo+i)
+			}
+		}
+	}
+}
+
+func TestIndexBiasIgnoredWithoutUseBias(t *testing.T) {
+	m, _ := indexWorld(t, false)
+	// poison the raw bias offsets: a bias-free model must not see them
+	m.Bias.FillGaussian(vecmath.NewRNG(99), 1.0)
+	c := m.Compose()
+	q := indexQuery(c.K(), 7)
+	for item := 0; item < c.NumItems(); item++ {
+		want := vecmath.Dot(q, c.EffNode.Row(c.Tree.ItemNode(item)))
+		if got := c.Index.ScoreItem(item, q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("item %d: bias leaked into bias-free scoring", item)
+		}
+	}
+}
+
+func TestIndexItemCategory(t *testing.T) {
+	_, c := indexWorld(t, false)
+	tree := c.Tree
+	for d := 0; d <= tree.Depth(); d++ {
+		for item := 0; item < c.NumItems(); item++ {
+			want := tree.AncestorAtDepth(tree.ItemNode(item), d)
+			if got := c.Index.ItemCategory(item, d); got != want {
+				t.Fatalf("depth %d item %d: ItemCategory %d want %d", d, item, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexLevelPos(t *testing.T) {
+	_, c := indexWorld(t, false)
+	tree := c.Tree
+	for d := 0; d <= tree.Depth(); d++ {
+		for i, node := range tree.Level(d) {
+			if got := c.Index.LevelPos(int(node)); got != i {
+				t.Fatalf("depth %d node %d: LevelPos %d want %d", d, node, got, i)
+			}
+		}
+	}
+}
+
+func TestIndexFactorsDoNotAliasModel(t *testing.T) {
+	m, c := indexWorld(t, false)
+	before := append([]float64(nil), c.Index.ItemFactor(0)...)
+	m.Node.FillGaussian(vecmath.NewRNG(123), 1.0)
+	for i, v := range c.Index.ItemFactor(0) {
+		if v != before[i] {
+			t.Fatal("index factors alias mutable model storage")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// HTTP exposes a Server over JSON endpoints — the network-facing
+// deployment shape of the recommender. Endpoints:
+//
+//	POST /v1/recommend/user        {"user":17,"recent":[[3,5]],"k":10}
+//	POST /v1/recommend/session     {"recent":[[3,5]],"k":10}
+//	POST /v1/recommend/cascade     {"user":17,"k":10,"keep":0.2} or {"keep_frac":[...]}
+//	POST /v1/recommend/diversified {"user":17,"k":10,"max_per_category":2,"cat_depth":1}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// "recent" lists the subject's latest baskets most-recent first; session
+// and cascade requests may set "user" to -1 (the session endpoint forces
+// it). Responses carry {"items":[{"item":id,"score":s},...]}; errors are
+// {"error":"..."} with a 4xx/5xx status.
+//
+// Reload hot-swaps a retrained snapshot: in-flight requests finish on the
+// snapshot they loaded, new requests see the new one (Server.Update is an
+// atomic pointer swap, so nothing blocks or drops). cmd/tfrec-serve wires
+// Reload to SIGHUP.
+type HTTP struct {
+	srv    *Server
+	reload func() (*model.TF, error)
+	start  time.Time
+
+	users       atomic.Int64
+	sessions    atomic.Int64
+	cascades    atomic.Int64
+	diversified atomic.Int64
+	errors      atomic.Int64
+	reloads     atomic.Int64
+}
+
+// NewHTTP wraps srv. reload, which may be nil, produces a fresh model for
+// Reload (typically by re-reading the model file).
+func NewHTTP(srv *Server, reload func() (*model.TF, error)) *HTTP {
+	return &HTTP{srv: srv, reload: reload, start: time.Now()}
+}
+
+// Reload fetches a retrained model via the reload hook and swaps it in
+// without disturbing in-flight requests.
+func (h *HTTP) Reload() error {
+	if h.reload == nil {
+		return fmt.Errorf("serve: no reload source configured")
+	}
+	m, err := h.reload()
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	h.srv.Update(m)
+	h.reloads.Add(1)
+	return nil
+}
+
+// Handler returns the route table.
+func (h *HTTP) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recommend/user", h.recommend(&h.users, modeUser))
+	mux.HandleFunc("POST /v1/recommend/session", h.recommend(&h.sessions, modeSession))
+	mux.HandleFunc("POST /v1/recommend/cascade", h.recommend(&h.cascades, modeCascade))
+	mux.HandleFunc("POST /v1/recommend/diversified", h.recommend(&h.diversified, modeDiversified))
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+type endpointMode int
+
+const (
+	modeUser endpointMode = iota
+	modeSession
+	modeCascade
+	modeDiversified
+)
+
+// wireRequest is the JSON request body shared by the recommend endpoints.
+type wireRequest struct {
+	User   int       `json:"user"`
+	Recent [][]int32 `json:"recent"`
+	K      int       `json:"k"`
+	// cascade: either per-level fractions or one uniform fraction
+	KeepFrac []float64 `json:"keep_frac"`
+	Keep     float64   `json:"keep"`
+	// diversified
+	MaxPerCategory int `json:"max_per_category"`
+	CatDepth       int `json:"cat_depth"`
+}
+
+type wireItem struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+}
+
+type wireResponse struct {
+	Items []wireItem `json:"items"`
+}
+
+// toRequest translates the wire form for one endpoint mode against the
+// current snapshot.
+func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, error) {
+	req := Request{User: wr.User, K: wr.K}
+	for _, b := range wr.Recent {
+		req.Recent = append(req.Recent, dataset.Basket(b))
+	}
+	switch mode {
+	case modeSession:
+		req.User = -1
+	case modeCascade:
+		kf := wr.KeepFrac
+		if len(kf) == 0 {
+			if wr.Keep <= 0 {
+				return req, fmt.Errorf("cascade request needs keep_frac or keep")
+			}
+			kf = infer.UniformCascade(c.Tree.Depth(), wr.Keep).KeepFrac
+		}
+		req.Cascade = &infer.CascadeConfig{KeepFrac: kf}
+	case modeDiversified:
+		if wr.MaxPerCategory <= 0 {
+			return req, fmt.Errorf("diversified request needs max_per_category > 0")
+		}
+		req.MaxPerCategory = wr.MaxPerCategory
+		req.CatDepth = wr.CatDepth
+	}
+	return req, nil
+}
+
+func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var wr wireRequest
+		if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+			h.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		// pin one snapshot for both request translation and execution, so
+		// a concurrent hot swap (which may change taxonomy depth) cannot
+		// invalidate a request between the two steps
+		c := h.srv.Snapshot()
+		req, err := wr.toRequest(mode, c)
+		if err != nil {
+			h.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := h.srv.run(c, req)
+		if resp.Err != nil {
+			h.fail(w, http.StatusBadRequest, resp.Err)
+			return
+		}
+		counter.Add(1)
+		h.writeJSON(w, toWire(resp.Items))
+	}
+}
+
+func toWire(items []vecmath.Scored) wireResponse {
+	out := wireResponse{Items: make([]wireItem, len(items))}
+	for i, s := range items {
+		out.Items[i] = wireItem{Item: s.ID, Score: s.Score}
+	}
+	return out
+}
+
+// statsResponse describes the live snapshot and the service counters.
+type statsResponse struct {
+	Model struct {
+		Users       int  `json:"users"`
+		Items       int  `json:"items"`
+		Nodes       int  `json:"nodes"`
+		Depth       int  `json:"depth"`
+		K           int  `json:"k"`
+		MarkovOrder int  `json:"markov_order"`
+		UseBias     bool `json:"use_bias"`
+	} `json:"model"`
+	Served struct {
+		User        int64 `json:"user"`
+		Session     int64 `json:"session"`
+		Cascade     int64 `json:"cascade"`
+		Diversified int64 `json:"diversified"`
+		Errors      int64 `json:"errors"`
+	} `json:"served"`
+	Reloads       int64   `json:"reloads"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
+	c := h.srv.Snapshot()
+	var out statsResponse
+	out.Model.Users = c.User.Rows()
+	out.Model.Items = c.NumItems()
+	out.Model.Nodes = c.Tree.NumNodes()
+	out.Model.Depth = c.Tree.Depth()
+	out.Model.K = c.K()
+	out.Model.MarkovOrder = c.P.MarkovOrder
+	out.Model.UseBias = c.P.UseBias
+	out.Served.User = h.users.Load()
+	out.Served.Session = h.sessions.Load()
+	out.Served.Cascade = h.cascades.Load()
+	out.Served.Diversified = h.diversified.Load()
+	out.Served.Errors = h.errors.Load()
+	out.Reloads = h.reloads.Load()
+	out.UptimeSeconds = time.Since(h.start).Seconds()
+	h.writeJSON(w, out)
+}
+
+func (h *HTTP) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		h.errors.Add(1)
+	}
+}
+
+func (h *HTTP) fail(w http.ResponseWriter, status int, err error) {
+	h.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, wireResponse) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out wireResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	h := NewHTTP(s, nil)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	// user recommendations match the in-process path
+	resp, out := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user", `{"user":3,"k":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("user: status %d", resp.StatusCode)
+	}
+	want, err := s.Recommend(Request{User: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 5 {
+		t.Fatalf("user: got %d items", len(out.Items))
+	}
+	for i := range want {
+		if out.Items[i].Item != want[i].ID || out.Items[i].Score != want[i].Score {
+			t.Fatalf("user rank %d: %+v vs %+v", i, out.Items[i], want[i])
+		}
+	}
+
+	// recent baskets round-trip through JSON
+	recent, _ := json.Marshal(data.Users[3].Baskets)
+	resp, out = postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user",
+		fmt.Sprintf(`{"user":3,"recent":%s,"k":4}`, recent))
+	if resp.StatusCode != http.StatusOK || len(out.Items) != 4 {
+		t.Fatalf("user+recent: status %d items %d", resp.StatusCode, len(out.Items))
+	}
+
+	// session ignores any user field
+	resp, out = postJSON(t, ts.Client(), ts.URL+"/v1/recommend/session", `{"user":99999,"recent":[[7]],"k":5}`)
+	if resp.StatusCode != http.StatusOK || len(out.Items) != 5 {
+		t.Fatalf("session: status %d items %d", resp.StatusCode, len(out.Items))
+	}
+
+	// full-keep cascade equals the naive user ranking
+	resp, out = postJSON(t, ts.Client(), ts.URL+"/v1/recommend/cascade", `{"user":3,"k":5,"keep":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cascade: status %d", resp.StatusCode)
+	}
+	for i := range want {
+		if out.Items[i].Item != want[i].ID {
+			t.Fatalf("cascade rank %d: %d vs %d", i, out.Items[i].Item, want[i].ID)
+		}
+	}
+
+	// diversified respects the quota
+	resp, out = postJSON(t, ts.Client(), ts.URL+"/v1/recommend/diversified", `{"user":3,"k":5,"max_per_category":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diversified: status %d", resp.StatusCode)
+	}
+	seen := map[int]bool{}
+	for _, it := range out.Items {
+		cat := m.Tree.AncestorAtDepth(m.Tree.ItemNode(it.Item), m.Tree.Depth()-1)
+		if seen[cat] {
+			t.Fatal("diversified repeated a category")
+		}
+		seen[cat] = true
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	m, _ := trainedModel(t)
+	h := NewHTTP(New(m), nil)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	for name, probe := range map[string]struct{ path, body string }{
+		"bad json":       {"/v1/recommend/user", `{"user":`},
+		"bad user":       {"/v1/recommend/user", `{"user":99999,"k":5}`},
+		"zero k":         {"/v1/recommend/user", `{"user":1}`},
+		"cascade nokeep": {"/v1/recommend/cascade", `{"user":1,"k":5}`},
+		"div noquota":    {"/v1/recommend/diversified", `{"user":1,"k":5}`},
+	} {
+		resp, _ := postJSON(t, ts.Client(), ts.URL+probe.path, probe.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	var st statsResponse
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served.Errors != 5 {
+		t.Fatalf("errors counter = %d, want 5", st.Served.Errors)
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	m, _ := trainedModel(t)
+	h := NewHTTP(New(m), nil)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user", `{"user":1,"k":3}`)
+	postJSON(t, ts.Client(), ts.URL+"/v1/recommend/session", `{"recent":[[2]],"k":3}`)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Model.Items != m.Tree.NumItems() || st.Model.K != m.P.K || st.Model.Depth != m.Tree.Depth() {
+		t.Fatalf("stats model block wrong: %+v", st.Model)
+	}
+	if st.Served.User != 1 || st.Served.Session != 1 {
+		t.Fatalf("stats counters wrong: %+v", st.Served)
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+}
+
+// TestHTTPHotSwap hammers the service with requests while the model is
+// hot-swapped via Reload: no request may fail or observe a torn snapshot.
+func TestHTTPHotSwap(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	reloaded := 0
+	h := NewHTTP(s, func() (*model.TF, error) {
+		reloaded++
+		return m, nil
+	})
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"user":%d,"k":3}`, (w*13+i)%data.NumUsers())
+				resp, err := ts.Client().Post(ts.URL+"/v1/recommend/user", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("in-flight request failed during hot swap: %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if reloaded != 10 || h.reloads.Load() != 10 {
+		t.Fatalf("reloads = %d / counter %d, want 10", reloaded, h.reloads.Load())
+	}
+
+	// a reload source failure must not disturb the serving snapshot
+	h2 := NewHTTP(s, func() (*model.TF, error) { return nil, fmt.Errorf("boom") })
+	if err := h2.Reload(); err == nil {
+		t.Fatal("expected reload error")
+	}
+	if _, err := s.Recommend(Request{User: 0, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

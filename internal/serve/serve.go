@@ -88,11 +88,17 @@ func (r Request) validate(c *model.Composed) error {
 	return nil
 }
 
-// Recommend executes one request.
+// Recommend executes one request against the current snapshot.
 func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
-	c := s.snap.Load()
+	resp := s.run(s.snap.Load(), req)
+	return resp.Items, resp.Err
+}
+
+// run executes one request against a pinned snapshot with a pooled query
+// buffer. It is the single dispatch point shared by Recommend and Batch.
+func (s *Server) run(c *model.Composed, req Request) Response {
 	if err := req.validate(c); err != nil {
-		return nil, err
+		return Response{Err: err}
 	}
 	q := s.getBuf(c.K())
 	defer s.putBuf(q)
@@ -104,15 +110,16 @@ func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
 	switch {
 	case req.Cascade != nil:
 		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
-		return top, err
+		return Response{Items: top, Err: err}
 	case req.MaxPerCategory > 0:
 		depth := req.CatDepth
 		if depth == 0 {
 			depth = c.Tree.Depth() - 1
 		}
-		return infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
+		items, err := infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
+		return Response{Items: items, Err: err}
 	default:
-		return infer.Naive(c, q, req.K), nil
+		return Response{Items: infer.Naive(c, q, req.K)}
 	}
 }
 
@@ -124,7 +131,8 @@ type Response struct {
 
 // Batch executes requests concurrently across workers goroutines
 // (<=0 uses one per request up to 16) against a single consistent
-// snapshot.
+// snapshot. Query buffers come from the server's pool, so a steady batch
+// load allocates no per-request scratch.
 func (s *Server) Batch(reqs []Request, workers int) []Response {
 	if workers <= 0 {
 		workers = len(reqs)
@@ -147,38 +155,11 @@ func (s *Server) Batch(reqs []Request, workers int) []Response {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			q := make([]float64, c.K())
 			for i := w; i < len(reqs); i += workers {
-				out[i] = runOn(c, reqs[i], q)
+				out[i] = s.run(c, reqs[i])
 			}
 		}(w)
 	}
 	wg.Wait()
 	return out
-}
-
-// runOn executes a request against a pinned snapshot.
-func runOn(c *model.Composed, req Request, q []float64) Response {
-	if err := req.validate(c); err != nil {
-		return Response{Err: err}
-	}
-	if req.User == -1 {
-		c.BuildSessionQueryInto(req.Recent, q)
-	} else {
-		c.BuildQueryInto(req.User, req.Recent, q)
-	}
-	switch {
-	case req.Cascade != nil:
-		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
-		return Response{Items: top, Err: err}
-	case req.MaxPerCategory > 0:
-		depth := req.CatDepth
-		if depth == 0 {
-			depth = c.Tree.Depth() - 1
-		}
-		items, err := infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
-		return Response{Items: items, Err: err}
-	default:
-		return Response{Items: infer.Naive(c, q, req.K)}
-	}
 }

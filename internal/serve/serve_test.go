@@ -169,6 +169,56 @@ func TestServerConcurrentRequestsDuringUpdates(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServerConcurrentBatchDuringUpdates drives Batch (with its pooled
+// query buffers) and single Recommends while snapshots swap underneath;
+// run under -race this pins down the Update/run pool interaction.
+func TestServerConcurrentBatchDuringUpdates(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	cc := infer.UniformCascade(m.Tree.Depth(), 0.5)
+	reqs := make([]Request, 24)
+	for i := range reqs {
+		reqs[i] = Request{User: i % data.NumUsers(), K: 4}
+		switch i % 3 {
+		case 1:
+			reqs[i].Cascade = &cc
+		case 2:
+			reqs[i].MaxPerCategory = 2
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w%2 == 0 {
+					for j, r := range s.Batch(reqs, 3) {
+						if r.Err != nil {
+							t.Errorf("batch req %d: %v", j, r.Err)
+							return
+						}
+					}
+				} else if _, err := s.Recommend(reqs[i%len(reqs)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 30; i++ {
+		s.Update(m)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestServerEmptyBatch(t *testing.T) {
 	m, _ := trainedModel(t)
 	s := New(m)

@@ -1,0 +1,121 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDotBiasMatchesDotPlusBias(t *testing.T) {
+	rng := NewRNG(7)
+	a := make([]float64, 13)
+	b := make([]float64, 13)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	want := Dot(a, b) + 0.25
+	if got := DotBias(a, b, 0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DotBias = %v, want %v", got, want)
+	}
+	if got := DotBias(nil, nil, 1.5); got != 1.5 {
+		t.Fatalf("empty DotBias = %v, want bias", got)
+	}
+}
+
+func TestMatVecBiasMatchesRowDots(t *testing.T) {
+	rng := NewRNG(9)
+	// cover remainders 0..3 of the 4-row blocking plus tiny slabs
+	for _, rows := range []int{0, 1, 2, 3, 4, 5, 7, 8, 33} {
+		for _, k := range []int{1, 3, 8} {
+			factors := make([]float64, rows*k)
+			bias := make([]float64, rows)
+			q := make([]float64, k)
+			for i := range factors {
+				factors[i] = rng.NormFloat64()
+			}
+			for i := range bias {
+				bias[i] = rng.NormFloat64()
+			}
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			dst := make([]float64, rows)
+			MatVecBias(factors, k, bias, q, dst)
+			for r := 0; r < rows; r++ {
+				want := Dot(q, factors[r*k:(r+1)*k]) + bias[r]
+				if math.Abs(dst[r]-want) > 1e-12 {
+					t.Fatalf("rows=%d k=%d row %d: got %v want %v", rows, k, r, dst[r], want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatVecBiasPanicsOnMismatch(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("slab", func() { MatVecBias(make([]float64, 5), 2, make([]float64, 3), make([]float64, 2), make([]float64, 3)) })
+	assertPanics("bias", func() { MatVecBias(make([]float64, 6), 2, make([]float64, 2), make([]float64, 2), make([]float64, 3)) })
+	assertPanics("query", func() { MatVecBias(make([]float64, 6), 2, make([]float64, 3), make([]float64, 3), make([]float64, 3)) })
+}
+
+func TestTopKStreamMatchesTopK(t *testing.T) {
+	rng := NewRNG(21)
+	items := make([]Scored, 500)
+	for i := range items {
+		// coarse quantization forces plenty of score ties
+		items[i] = Scored{ID: i, Score: math.Floor(rng.NormFloat64() * 4)}
+	}
+	st := NewTopKStream(0)
+	for _, k := range []int{1, 3, 17, 499, 500, 600} {
+		want := TopK(items, k)
+		st.Reset(k)
+		for _, it := range items {
+			st.Push(it.ID, it.Score)
+		}
+		got := st.Ranked()
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: len %d vs %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d rank %d: stream %v vs TopK %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKStreamThreshold(t *testing.T) {
+	st := NewTopKStream(2)
+	if _, full := st.Threshold(); full {
+		t.Fatal("empty stream reported full")
+	}
+	st.Push(0, 1)
+	st.Push(1, 5)
+	th, full := st.Threshold()
+	if !full || th != 1 {
+		t.Fatalf("Threshold = %v,%v want 1,true", th, full)
+	}
+	st.Push(2, 3)
+	if th, _ := st.Threshold(); th != 3 {
+		t.Fatalf("Threshold after displacement = %v, want 3", th)
+	}
+}
+
+func TestTopKStreamZeroK(t *testing.T) {
+	st := NewTopKStream(0)
+	if th, full := st.Threshold(); !full || !math.IsInf(th, 1) {
+		t.Fatalf("k=0 Threshold = %v,%v want +Inf,true", th, full)
+	}
+	st.Push(1, 2)
+	if st.Len() != 0 || len(st.Ranked()) != 0 {
+		t.Fatal("k=0 stream must retain nothing")
+	}
+}

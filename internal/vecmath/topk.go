@@ -1,6 +1,9 @@
 package vecmath
 
-import "sort"
+import (
+	"math"
+	"slices"
+)
 
 // Scored pairs an integer id with a float score; the inference code ranks
 // items, categories and taxonomy nodes as Scored slices.
@@ -40,6 +43,76 @@ func TopK(items []Scored, k int) []Scored {
 	return h
 }
 
+// TopKStream is a bounded min-heap that consumes (id, score) pairs one at
+// a time and retains the k best seen so far — the streaming counterpart of
+// TopK for producers that never materialize a full []Scored. Obtain one
+// with NewTopKStream, or arm a zero value with Reset; recycle across
+// queries with Reset. Tie-breaking matches TopK exactly (equal scores rank
+// by lower ID), so a stream over the same pairs yields the same ranking.
+type TopKStream struct {
+	h []Scored
+	k int
+}
+
+// NewTopKStream returns a collector retaining the k best pushed entries.
+func NewTopKStream(k int) *TopKStream {
+	return &TopKStream{h: make([]Scored, 0, k), k: k}
+}
+
+// Reset empties the collector and re-arms it for k entries, growing the
+// backing array only when k exceeds its capacity.
+func (t *TopKStream) Reset(k int) {
+	if k > cap(t.h) {
+		t.h = make([]Scored, 0, k)
+	}
+	t.h = t.h[:0]
+	t.k = k
+}
+
+// Push offers one entry. When the collector is full the entry is compared
+// against the current k-th best and dropped without heap movement unless it
+// ranks above it.
+func (t *TopKStream) Push(id int, score float64) {
+	if t.k <= 0 {
+		return
+	}
+	it := Scored{ID: id, Score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, it)
+		siftUp(t.h, len(t.h)-1)
+		return
+	}
+	if scoredLess(t.h[0], it) {
+		t.h[0] = it
+		siftDown(t.h, 0)
+	}
+}
+
+// Len returns how many entries are currently retained.
+func (t *TopKStream) Len() int { return len(t.h) }
+
+// Threshold returns the score an entry must strictly beat (or tie with a
+// lower ID) to enter a full collector, and whether the collector is full.
+// Producers can use it to skip work for entries that cannot qualify. A
+// k<=0 collector reports full at +Inf: nothing can ever enter it.
+func (t *TopKStream) Threshold() (float64, bool) {
+	if t.k <= 0 {
+		return math.Inf(1), true
+	}
+	if len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].Score, true
+}
+
+// Ranked sorts the retained entries into descending order and returns them.
+// The returned slice aliases the collector's storage: it stays valid until
+// the next Reset, and the collector must be Reset before reuse.
+func (t *TopKStream) Ranked() []Scored {
+	sortScoredDesc(t.h)
+	return t.h
+}
+
 // scoredLess reports whether a ranks strictly below b (lower score, or equal
 // score with higher ID).
 func scoredLess(a, b Scored) bool {
@@ -50,7 +123,16 @@ func scoredLess(a, b Scored) bool {
 }
 
 func sortScoredDesc(s []Scored) {
-	sort.Slice(s, func(i, j int) bool { return scoredLess(s[j], s[i]) })
+	slices.SortFunc(s, func(a, b Scored) int {
+		switch {
+		case scoredLess(b, a):
+			return -1
+		case scoredLess(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 func siftUp(h []Scored, i int) {

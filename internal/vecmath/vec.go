@@ -23,6 +23,76 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// DotBias returns bias + ⟨a, b⟩, the fused affinity kernel of the scoring
+// index: folding the composed popularity bias into the accumulator keeps
+// the per-item scoring loop branch-free (bias is simply zero for models
+// trained without UseBias). It accumulates in the exact same two-way
+// pairwise order as a MatVecBias row, so a score computed one item at a
+// time is bitwise identical to the same score from a blocked sweep. It
+// panics if the lengths differ.
+func DotBias(a, b []float64, bias float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: DotBias length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := bias
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		s += a[i]*b[i] + a[i+1]*b[i+1]
+	}
+	if i < len(a) {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MatVecBias computes dst[r] = bias[r] + ⟨q, factors[r*k : (r+1)*k]⟩ for
+// every row r of a contiguous row-major factor slab. It is the blocked
+// matrix–vector sweep at the heart of index-backed scoring: rows are
+// processed four at a time so the loads of q are shared across rows and
+// the four accumulators pipeline independently. It panics when the slab
+// size is not len(dst)*k or the bias length differs from dst.
+func MatVecBias(factors []float64, k int, bias, q, dst []float64) {
+	rows := len(dst)
+	if len(factors) != rows*k {
+		panic(fmt.Sprintf("vecmath: MatVecBias slab %d != rows %d * k %d", len(factors), rows, k))
+	}
+	if len(bias) != rows {
+		panic(fmt.Sprintf("vecmath: MatVecBias bias length %d != rows %d", len(bias), rows))
+	}
+	if len(q) != k {
+		panic(fmt.Sprintf("vecmath: MatVecBias query length %d != k %d", len(q), k))
+	}
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		// re-slicing each row to len(q) lets the compiler drop the bounds
+		// checks inside the shared-q inner loop
+		r0 := factors[r*k:][:len(q)]
+		r1 := factors[(r+1)*k:][:len(q)]
+		r2 := factors[(r+2)*k:][:len(q)]
+		r3 := factors[(r+3)*k:][:len(q)]
+		s0, s1, s2, s3 := bias[r], bias[r+1], bias[r+2], bias[r+3]
+		i := 0
+		for ; i+2 <= len(q); i += 2 {
+			qa, qb := q[i], q[i+1]
+			s0 += qa*r0[i] + qb*r0[i+1]
+			s1 += qa*r1[i] + qb*r1[i+1]
+			s2 += qa*r2[i] + qb*r2[i+1]
+			s3 += qa*r3[i] + qb*r3[i+1]
+		}
+		if i < len(q) {
+			qa := q[i]
+			s0 += qa * r0[i]
+			s1 += qa * r1[i]
+			s2 += qa * r2[i]
+			s3 += qa * r3[i]
+		}
+		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+	}
+	for ; r < rows; r++ {
+		dst[r] = DotBias(q, factors[r*k:(r+1)*k], bias[r])
+	}
+}
+
 // AddScaled sets dst = dst + alpha*src (the BLAS axpy operation).
 // It panics if the lengths differ.
 func AddScaled(dst []float64, alpha float64, src []float64) {
