@@ -82,7 +82,7 @@ func main() {
 		fmt.Printf("  coldAUC      %.4f over %d new-item purchases\n", res.ColdAUC, res.ColdCount)
 	}
 
-	tk, err := eval.EvaluateTopK(c, history, split.Test, *topk)
+	tk, err := eval.EvaluateTopKWorkers(c, history, split.Test, *topk, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,15 +43,22 @@ func main() {
 	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	workers := flag.Int("workers", 0, "inference pool parallelism (0 = GOMAXPROCS, 1 = serial sweeps)")
+	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent full-scan requests per sweep (0 = batching off)")
+	batchWindow := flag.Duration("batch-window", 500*time.Microsecond, "max wait to fill a request batch")
 	flag.Parse()
 
 	m, err := loadModel(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(m)
+	srv := serve.New(m, serve.WithWorkers(*workers))
 	h := serve.NewHTTP(srv, func() (*model.TF, error) { return loadModel(*modelPath) })
-	log.Printf("serving %d users x %d items (K=%d) on %s", m.NumUsers(), m.NumItems(), m.K(), *addr)
+	if *batchMax > 0 {
+		h.EnableBatching(*batchMax, *batchWindow)
+	}
+	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, batching max=%d window=%s",
+		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), *batchMax, *batchWindow)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

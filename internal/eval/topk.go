@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/infer"
@@ -31,53 +33,53 @@ type TopKResult struct {
 
 // EvaluateTopK computes precision/recall/hit-rate at cut k over each
 // user's first test transaction, using the same context protocol as
-// Evaluate.
+// Evaluate. It runs single-threaded; EvaluateTopKWorkers shards users
+// over goroutines for large test sets.
 func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (TopKResult, error) {
+	return EvaluateTopKWorkers(c, history, test, k, 1)
+}
+
+// EvaluateTopKWorkers is EvaluateTopK partitioned over workers goroutines
+// (<= 0 uses GOMAXPROCS), mirroring the §6.2 user-sharded evaluation.
+// Each worker owns a query buffer and a bounded top-k heap and evaluates
+// an interleaved user slice; per-worker partial sums are reduced in
+// worker order, so the result is deterministic for a given worker count.
+func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, workers int) (TopKResult, error) {
 	if k <= 0 {
 		return TopKResult{}, fmt.Errorf("eval: k must be positive, got %d", k)
 	}
-	res := TopKResult{K: k}
-	q := make([]float64, c.K())
-	st := vecmath.NewTopKStream(k)
-	for u := 0; u < test.NumUsers(); u++ {
-		baskets := test.Users[u].Baskets
-		if len(baskets) == 0 {
-			continue
-		}
-		seq := history.Users[u].Baskets
-		c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
-		// stream the index sweep straight into a reused bounded heap
-		// instead of materializing a catalog-sized score array per user
-		st.Reset(k)
-		infer.NaiveInto(c, q, st)
-		top := st.Ranked()
-
-		positives := baskets[0]
-		hits := 0
-		var dcg float64
-		for rank, t := range top {
-			if positives.Contains(int32(t.ID)) {
-				hits++
-				dcg += 1 / log2(float64(rank+2))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > test.NumUsers() {
+		workers = test.NumUsers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([]TopKResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := &partials[w]
+			part.K = k
+			q := make([]float64, c.K())
+			st := vecmath.NewTopKStream(k)
+			for u := w; u < test.NumUsers(); u += workers {
+				evaluateTopKUser(c, history, test, u, k, q, st, part)
 			}
-		}
-		var idcg float64
-		ideal := len(positives)
-		if ideal > k {
-			ideal = k
-		}
-		for rank := 0; rank < ideal; rank++ {
-			idcg += 1 / log2(float64(rank+2))
-		}
-		res.Precision += float64(hits) / float64(k)
-		res.Recall += float64(hits) / float64(len(positives))
-		if idcg > 0 {
-			res.NDCG += dcg / idcg
-		}
-		if hits > 0 {
-			res.HitRate++
-		}
-		res.Users++
+		}(w)
+	}
+	wg.Wait()
+	res := TopKResult{K: k}
+	for _, part := range partials {
+		res.Precision += part.Precision
+		res.Recall += part.Recall
+		res.HitRate += part.HitRate
+		res.NDCG += part.NDCG
+		res.Users += part.Users
 	}
 	if res.Users > 0 {
 		n := float64(res.Users)
@@ -87,6 +89,49 @@ func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (Top
 		res.NDCG /= n
 	}
 	return res, nil
+}
+
+// evaluateTopKUser scores one user's first test transaction into part,
+// accumulating unnormalized metric sums.
+func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k int, q []float64, st *vecmath.TopKStream, part *TopKResult) {
+	baskets := test.Users[u].Baskets
+	if len(baskets) == 0 {
+		return
+	}
+	seq := history.Users[u].Baskets
+	c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
+	// stream the index sweep straight into a reused bounded heap
+	// instead of materializing a catalog-sized score array per user
+	st.Reset(k)
+	infer.NaiveInto(c, q, st)
+	top := st.Ranked()
+
+	positives := baskets[0]
+	hits := 0
+	var dcg float64
+	for rank, t := range top {
+		if positives.Contains(int32(t.ID)) {
+			hits++
+			dcg += 1 / log2(float64(rank+2))
+		}
+	}
+	var idcg float64
+	ideal := len(positives)
+	if ideal > k {
+		ideal = k
+	}
+	for rank := 0; rank < ideal; rank++ {
+		idcg += 1 / log2(float64(rank+2))
+	}
+	part.Precision += float64(hits) / float64(k)
+	part.Recall += float64(hits) / float64(len(positives))
+	if idcg > 0 {
+		part.NDCG += dcg / idcg
+	}
+	if hits > 0 {
+		part.HitRate++
+	}
+	part.Users++
 }
 
 func log2(x float64) float64 { return math.Log2(x) }

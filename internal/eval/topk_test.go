@@ -42,3 +42,34 @@ func TestEvaluateTopKMonotoneInK(t *testing.T) {
 		t.Fatalf("hit rate must grow with k: %v -> %v", small.HitRate, big.HitRate)
 	}
 }
+
+func TestEvaluateTopKWorkersMatchesSerial(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	want, err := EvaluateTopK(c, hist, test, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7} {
+		got, err := EvaluateTopKWorkers(c, hist, test, 10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Users != want.Users || got.K != want.K {
+			t.Fatalf("workers=%d: users/k mismatch: %+v vs %+v", workers, got, want)
+		}
+		// per-user contributions are identical; only the float reduction
+		// order differs across worker counts
+		const tol = 1e-12
+		if diffAbs(got.Precision, want.Precision) > tol || diffAbs(got.Recall, want.Recall) > tol ||
+			diffAbs(got.HitRate, want.HitRate) > tol || diffAbs(got.NDCG, want.NDCG) > tol {
+			t.Fatalf("workers=%d: metrics diverged: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
+func diffAbs(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -49,14 +49,20 @@ func sweepScores(ix *model.ScoringIndex, q []float64, visit func(item int, score
 // zero-garbage serving core; pair it with a pooled collector and read the
 // ranking with Ranked.
 func NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream) {
-	ix := c.Index
 	var block [blockItems]float64
-	n := ix.NumItems()
+	sweepRangeInto(c.Index, q, 0, c.Index.NumItems(), block[:], st)
+}
+
+// sweepRangeInto scores the item range [rangeLo, rangeHi) in block-sized
+// steps into an armed TopKStream, sharing the caller's block buffer so
+// the whole sweep is allocation-free. It is the per-shard unit of work of
+// the parallel pool and the whole-catalog body of NaiveInto.
+func sweepRangeInto(ix *model.ScoringIndex, q []float64, rangeLo, rangeHi int, block []float64, st *vecmath.TopKStream) {
 	th, full := st.Threshold()
-	for lo := 0; lo < n; lo += blockItems {
-		hi := lo + blockItems
-		if hi > n {
-			hi = n
+	for lo := rangeLo; lo < rangeHi; lo += len(block) {
+		hi := lo + len(block)
+		if hi > rangeHi {
+			hi = rangeHi
 		}
 		buf := block[:hi-lo]
 		ix.ItemScoresRangeInto(q, lo, hi, buf)
@@ -213,10 +219,10 @@ func CascadeScores(c *model.Composed, q []float64, cfg CascadeConfig) ([]float64
 // sorting the catalog.
 func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
 	if maxPerCategory <= 0 {
-		return nil, fmt.Errorf("infer: maxPerCategory must be positive, got %d", maxPerCategory)
+		return nil, errMaxPerCategory(maxPerCategory)
 	}
 	if catDepth < 1 || catDepth >= c.Tree.Depth() {
-		return nil, fmt.Errorf("infer: catDepth %d outside (0,%d)", catDepth, c.Tree.Depth())
+		return nil, errCatDepth(catDepth, c.Tree.Depth())
 	}
 	ix := c.Index
 	perCat := maxPerCategory
@@ -245,6 +251,14 @@ func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int
 		}
 	}
 	return final.Ranked(), nil
+}
+
+func errMaxPerCategory(got int) error {
+	return fmt.Errorf("infer: maxPerCategory must be positive, got %d", got)
+}
+
+func errCatDepth(got, depth int) error {
+	return fmt.Errorf("infer: catDepth %d outside (0,%d)", got, depth)
 }
 
 // StructuredRanking is the per-level output the paper motivates in §1:

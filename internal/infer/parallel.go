@@ -1,0 +1,474 @@
+package infer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// Pool is a persistent worker pool for sharded parallel inference. The
+// scoring index partitions the item-major slab into cache-sized shards
+// (model.ScoringIndex.Shard); a query is fanned out to the pool, each
+// participant claims shards off a shared atomic counter, sweeps them into
+// its own bounded top-k heap, and the partial heaps are merged into the
+// caller's collector. Because a bounded heap retains exactly the k best
+// entries under the (score desc, ID asc) total order, the merged ranking
+// is byte-identical to the serial sweep — order and tie-breaks included —
+// for any shard size and worker count.
+//
+// The submitting goroutine always works too: a pool of n workers runs
+// n-1 background goroutines and the caller claims shards alongside them,
+// so Pool parallelism equals the requested worker count and a pool is
+// never idle-waiting on itself. All methods are safe for concurrent use
+// and fall back to the serial path when the pool is nil, sized 1, or the
+// catalog has a single shard. Steady-state queries perform no heap
+// allocation: tasks and scratch heaps are recycled via sync.Pool and
+// per-worker state persists across queries.
+type Pool struct {
+	workers   int
+	tasks     chan task
+	scratches sync.Pool // *scratch for submitting goroutines
+	sweeps    sync.Pool // *sweepTask
+	leaves    sync.Pool // *leafTask
+	divs      sync.Pool // *divTask
+	multis    sync.Pool // *multiTask
+	closeOnce sync.Once
+}
+
+// task is one fanned-out unit of query work; run executes the receiving
+// participant's share and base exposes the completion group.
+type task interface {
+	run(sc *scratch)
+	base() *taskBase
+}
+
+// taskBase carries the per-dispatch completion group shared by all task
+// kinds.
+type taskBase struct {
+	wg sync.WaitGroup
+}
+
+func (b *taskBase) base() *taskBase { return b }
+
+// scratch is the per-participant reusable state: one bounded heap for
+// single-query sweeps, per-query heaps for batched sweeps, and per-category
+// heaps for diversified sweeps. Background workers own one for life;
+// submitting goroutines borrow one from the pool per dispatch.
+type scratch struct {
+	st    vecmath.TopKStream
+	multi []vecmath.TopKStream
+	cats  []vecmath.TopKStream
+	armed []bool
+}
+
+// NewPool starts a pool of the given total parallelism; workers <= 0 uses
+// runtime.GOMAXPROCS(0). Call Close when done to release the background
+// goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan task, workers*2)}
+	p.scratches.New = func() any { return new(scratch) }
+	for i := 1; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's total parallelism (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close shuts the background workers down. It must not race with
+// in-flight queries; a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() { close(p.tasks) })
+}
+
+func (p *Pool) worker() {
+	sc := new(scratch)
+	for t := range p.tasks {
+		t.run(sc)
+		t.base().wg.Done()
+	}
+}
+
+// fanout caps the participants for a query: the pool size, the caller's
+// per-request limit (maxWorkers, 0 = no limit), and the number of
+// independent work parts all bound it. A result of 1 means "run serial".
+func (p *Pool) fanout(maxWorkers, parts int) int {
+	if p == nil {
+		return 1
+	}
+	fan := p.workers
+	if maxWorkers > 0 && maxWorkers < fan {
+		fan = maxWorkers
+	}
+	if parts < fan {
+		fan = parts
+	}
+	return fan
+}
+
+// dispatch hands the task to fan-1 background workers, runs the caller's
+// share on a borrowed scratch, and waits for everyone.
+func (p *Pool) dispatch(t task, fan int) {
+	b := t.base()
+	b.wg.Add(fan - 1)
+	for i := 0; i < fan-1; i++ {
+		p.tasks <- t
+	}
+	sc := p.scratches.Get().(*scratch)
+	t.run(sc)
+	p.scratches.Put(sc)
+	b.wg.Wait()
+}
+
+// ---- single-query sharded sweep -----------------------------------------
+
+// sweepTask is the fan-out state of one parallel NaiveInto: participants
+// claim shard indices from next and merge their partial heaps into out.
+type sweepTask struct {
+	taskBase
+	ix        *model.ScoringIndex
+	q         []float64
+	k         int
+	numShards int32
+	next      atomic.Int32
+	mu        sync.Mutex
+	out       *vecmath.TopKStream
+}
+
+func (t *sweepTask) run(sc *scratch) {
+	st := &sc.st
+	st.Reset(t.k)
+	var block [blockItems]float64
+	for {
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		lo, hi := t.ix.Shard(s)
+		sweepRangeInto(t.ix, t.q, lo, hi, block[:], st)
+	}
+	if st.Len() > 0 {
+		t.mu.Lock()
+		t.out.Merge(st)
+		t.mu.Unlock()
+	}
+}
+
+// NaiveInto is the sharded parallel counterpart of NaiveInto: it streams
+// every item's score into the armed collector st using up to maxWorkers
+// participants (0 = the whole pool). Results are byte-identical to the
+// serial path; steady-state calls allocate nothing.
+func (p *Pool) NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 {
+		NaiveInto(c, q, st)
+		return
+	}
+	t, _ := p.sweeps.Get().(*sweepTask)
+	if t == nil {
+		t = new(sweepTask)
+	}
+	t.ix, t.q, t.k, t.out = ix, q, st.K(), st
+	t.numShards = int32(ix.NumShards())
+	t.next.Store(0)
+	p.dispatch(t, fan)
+	t.ix, t.q, t.out = nil, nil, nil
+	p.sweeps.Put(t)
+}
+
+// Naive returns the top-k items by parallel full sweep — the drop-in
+// multi-core replacement for Naive. maxWorkers caps the fan-out (0 = the
+// whole pool).
+func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmath.Scored {
+	st := vecmath.NewTopKStream(k)
+	p.NaiveInto(c, q, st, maxWorkers)
+	return st.Ranked()
+}
+
+// ---- cascaded inference: parallel leaf frontier -------------------------
+
+// leafChunk is the unit of work when scoring a cascade's leaf frontier in
+// parallel; the frontier is an arbitrary node subset, so work is claimed
+// in index chunks rather than slab shards.
+const leafChunk = 512
+
+type leafTask struct {
+	taskBase
+	tree   *taxonomy.Tree
+	ix     *model.ScoringIndex
+	q      []float64
+	k      int
+	leaves []int32
+	next   atomic.Int32
+	mu     sync.Mutex
+	out    *vecmath.TopKStream
+}
+
+func (t *leafTask) run(sc *scratch) {
+	st := &sc.st
+	st.Reset(t.k)
+	chunks := (len(t.leaves) + leafChunk - 1) / leafChunk
+	for {
+		ci := int(t.next.Add(1)) - 1
+		if ci >= chunks {
+			break
+		}
+		lo := ci * leafChunk
+		hi := lo + leafChunk
+		if hi > len(t.leaves) {
+			hi = len(t.leaves)
+		}
+		for _, leaf := range t.leaves[lo:hi] {
+			st.Push(t.tree.NodeItem(int(leaf)), t.ix.ScoreNode(int(leaf), t.q))
+		}
+	}
+	if st.Len() > 0 {
+		t.mu.Lock()
+		t.out.Merge(st)
+		t.mu.Unlock()
+	}
+}
+
+// Cascade runs §5.1 top-down inference with the surviving leaf frontier
+// scored across the pool. The beam walk itself stays serial — category
+// levels are tiny compared to the catalog — but the frontier, which can
+// approach catalog size at high keep fractions, is chunked over the
+// workers. Ranking and stats match the serial Cascade exactly.
+func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
+	frontier, stats, err := walk(c, q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := c.Index
+	st := vecmath.NewTopKStream(k)
+	chunks := (len(frontier) + leafChunk - 1) / leafChunk
+	if fan := p.fanout(maxWorkers, chunks); fan > 1 {
+		t, _ := p.leaves.Get().(*leafTask)
+		if t == nil {
+			t = new(leafTask)
+		}
+		t.tree, t.ix, t.q, t.k, t.leaves, t.out = c.Tree, ix, q, k, frontier, st
+		t.next.Store(0)
+		p.dispatch(t, fan)
+		t.tree, t.ix, t.q, t.leaves, t.out = nil, nil, nil, nil, nil
+		p.leaves.Put(t)
+	} else {
+		for _, leaf := range frontier {
+			st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+		}
+	}
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return st.Ranked(), stats, nil
+}
+
+// ---- diversified inference: sharded per-category quota heaps ------------
+
+type divTask struct {
+	taskBase
+	ix        *model.ScoringIndex
+	q         []float64
+	perCat    int
+	catDepth  int
+	numShards int32
+	next      atomic.Int32
+	mu        sync.Mutex
+	gcats     []vecmath.TopKStream
+	garmed    []bool
+}
+
+func (t *divTask) run(sc *scratch) {
+	width := len(t.gcats)
+	if cap(sc.cats) < width {
+		sc.cats = make([]vecmath.TopKStream, width)
+		sc.armed = make([]bool, width)
+	}
+	cats, armed := sc.cats[:width], sc.armed[:width]
+	for i := range armed {
+		armed[i] = false
+	}
+	var block [blockItems]float64
+	for {
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		shardLo, shardHi := t.ix.Shard(s)
+		for lo := shardLo; lo < shardHi; lo += blockItems {
+			hi := lo + blockItems
+			if hi > shardHi {
+				hi = shardHi
+			}
+			buf := block[:hi-lo]
+			t.ix.ItemScoresRangeInto(t.q, lo, hi, buf)
+			for i, score := range buf {
+				item := lo + i
+				pos := t.ix.LevelPos(t.ix.ItemCategory(item, t.catDepth))
+				if !armed[pos] {
+					cats[pos].Reset(t.perCat)
+					armed[pos] = true
+				}
+				cats[pos].Push(item, score)
+			}
+		}
+	}
+	t.mu.Lock()
+	for pos := range cats {
+		if !armed[pos] {
+			continue
+		}
+		if !t.garmed[pos] {
+			t.gcats[pos].Reset(t.perCat)
+			t.garmed[pos] = true
+		}
+		t.gcats[pos].Merge(&cats[pos])
+	}
+	t.mu.Unlock()
+}
+
+// Diversified is the sharded parallel counterpart of Diversified: each
+// participant keeps per-category quota heaps over its claimed shards, the
+// per-category heaps are merged (a bounded-heap union preserves each
+// category's exact quota top), and the final ranking is selected from the
+// merged category heaps — identical to the serial result.
+func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 {
+		return Diversified(c, q, k, maxPerCategory, catDepth)
+	}
+	if maxPerCategory <= 0 {
+		return nil, errMaxPerCategory(maxPerCategory)
+	}
+	if catDepth < 1 || catDepth >= c.Tree.Depth() {
+		return nil, errCatDepth(catDepth, c.Tree.Depth())
+	}
+	perCat := maxPerCategory
+	if perCat > k {
+		perCat = k
+	}
+	width := len(c.Tree.Level(catDepth))
+	t, _ := p.divs.Get().(*divTask)
+	if t == nil {
+		t = new(divTask)
+	}
+	if cap(t.gcats) < width {
+		t.gcats = make([]vecmath.TopKStream, width)
+		t.garmed = make([]bool, width)
+	}
+	t.gcats, t.garmed = t.gcats[:width], t.garmed[:width]
+	for i := range t.garmed {
+		t.garmed[i] = false
+	}
+	t.ix, t.q, t.perCat, t.catDepth = ix, q, perCat, catDepth
+	t.numShards = int32(ix.NumShards())
+	t.next.Store(0)
+	p.dispatch(t, fan)
+	final := vecmath.NewTopKStream(k)
+	for pos := range t.gcats {
+		if !t.garmed[pos] {
+			continue
+		}
+		final.Merge(&t.gcats[pos])
+	}
+	t.ix, t.q = nil, nil
+	p.divs.Put(t)
+	return final.Ranked(), nil
+}
+
+// ---- batched multi-query sweep ------------------------------------------
+
+type multiTask struct {
+	taskBase
+	ix        *model.ScoringIndex
+	qs        [][]float64
+	numShards int32
+	next      atomic.Int32
+	mu        sync.Mutex
+	outs      []*vecmath.TopKStream
+}
+
+func (t *multiTask) run(sc *scratch) {
+	b := len(t.qs)
+	if cap(sc.multi) < b {
+		sc.multi = make([]vecmath.TopKStream, b)
+	}
+	parts := sc.multi[:b]
+	for i := range parts {
+		parts[i].Reset(t.outs[i].K())
+	}
+	var block [blockItems]float64
+	for {
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		lo, hi := t.ix.Shard(s)
+		// query-major within one cache-resident shard: the shard's factor
+		// rows are loaded once and scored against every query in the batch
+		for i, q := range t.qs {
+			sweepRangeInto(t.ix, q, lo, hi, block[:], &parts[i])
+		}
+	}
+	t.mu.Lock()
+	for i := range parts {
+		if parts[i].Len() > 0 {
+			t.outs[i].Merge(&parts[i])
+		}
+	}
+	t.mu.Unlock()
+}
+
+// MultiNaiveInto scores a batch of queries in one pass over the shared
+// item slab: each cache-sized shard is swept once and dotted against
+// every query before moving on, so a coalesced batch of B requests reads
+// the catalog's factors once instead of B times. Each query's collector
+// receives exactly the ranking the serial single-query sweep produces.
+func MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
+	ix := c.Index
+	var block [blockItems]float64
+	for s, n := 0, ix.NumShards(); s < n; s++ {
+		lo, hi := ix.Shard(s)
+		for i, q := range qs {
+			sweepRangeInto(ix, q, lo, hi, block[:], outs[i])
+		}
+	}
+}
+
+// MultiNaiveInto fans the batched sweep across the pool: participants
+// claim shards and score the whole batch against each claimed shard.
+func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 || len(qs) == 0 {
+		MultiNaiveInto(c, qs, outs)
+		return
+	}
+	t, _ := p.multis.Get().(*multiTask)
+	if t == nil {
+		t = new(multiTask)
+	}
+	t.ix, t.qs, t.outs = ix, qs, outs
+	t.numShards = int32(ix.NumShards())
+	t.next.Store(0)
+	p.dispatch(t, fan)
+	t.ix, t.qs, t.outs = nil, nil, nil
+	p.multis.Put(t)
+}

@@ -21,6 +21,13 @@ type ScoringIndex struct {
 	k        int
 	numItems int
 
+	// shardItems is the item count per sweep shard (the last shard may be
+	// short). Shards partition the item-major slab into cache-sized
+	// contiguous ranges that the parallel inference pool sweeps
+	// concurrently; scores are identical whichever shard an item lands in
+	// because every row's dot product is computed independently.
+	shardItems int
+
 	itemFactors []float64 // numItems x k, item-major
 	itemBias    []float64 // numItems
 
@@ -78,7 +85,61 @@ func buildIndex(tree *taxonomy.Tree, eff *vecmath.Matrix, effBias *vecmath.Matri
 			ix.levelPos[node] = int32(i)
 		}
 	}
+	ix.shardItems = defaultShardItems(k)
 	return ix
+}
+
+// shardTargetBytes is the factor-slab footprint a sweep shard aims for:
+// small enough that a shard's rows stay resident in a core's L2 while its
+// worker streams through them, large enough that shard-claiming overhead
+// (one atomic increment per shard) is noise.
+const shardTargetBytes = 256 << 10
+
+// defaultShardItems derives the per-shard item count from the factor
+// dimensionality, rounded to a multiple of 64 rows so shard boundaries
+// stay cache-line aligned for any k.
+func defaultShardItems(k int) int {
+	if k <= 0 {
+		return 64
+	}
+	n := shardTargetBytes / (k * 8)
+	n &^= 63
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// ShardItems returns the current items-per-shard of the sweep partition.
+func (ix *ScoringIndex) ShardItems() int { return ix.shardItems }
+
+// SetShardItems overrides the sweep shard size — a tuning knob for
+// hardware with unusual cache geometry and a lever for tests that need
+// specific shard counts. Values below 1 are clamped to 1. It must be
+// called before the index is shared across goroutines; the slabs remain
+// immutable.
+func (ix *ScoringIndex) SetShardItems(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ix.shardItems = n
+}
+
+// NumShards returns how many shards partition the catalog (zero for an
+// empty catalog).
+func (ix *ScoringIndex) NumShards() int {
+	return (ix.numItems + ix.shardItems - 1) / ix.shardItems
+}
+
+// Shard returns the item range [lo, hi) of shard s; the final shard is
+// truncated at the catalog end.
+func (ix *ScoringIndex) Shard(s int) (lo, hi int) {
+	lo = s * ix.shardItems
+	hi = lo + ix.shardItems
+	if hi > ix.numItems {
+		hi = ix.numItems
+	}
+	return lo, hi
 }
 
 // K returns the factor dimensionality.

@@ -1,13 +1,39 @@
 package model
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
 )
+
+// errGobDecode marks failures of the gob layer itself, as opposed to
+// semantic validation of a successfully decoded payload. Load uses the
+// distinction to phrase its errors: only a gob failure means "this isn't
+// (or no longer is) a model file"; a validation failure on a decoded
+// payload is reported as what it is.
+var errGobDecode = errors.New("gob decode failed")
+
+// Model files start with a fixed magic and a format version so Load can
+// tell a tfrec model from arbitrary bytes and a current file from one
+// written by a future build, instead of surfacing a bare gob decode
+// error. Files written before the header existed (raw gob) remain
+// readable: Load falls back to a headerless decode when the magic is
+// absent.
+var fileMagic = [8]byte{'T', 'F', 'R', 'E', 'C', 'M', 'D', 'L'}
+
+// fileVersion is the current on-disk format. Bump it when the persisted
+// struct changes incompatibly; Load rejects newer versions with a clear
+// error instead of a decode failure deep inside gob.
+const fileVersion uint32 = 1
+
+// headerLen is the magic plus a big-endian uint32 version.
+const headerLen = len(fileMagic) + 4
 
 // persisted is the gob wire form of a TF model: hyper-parameters, the
 // taxonomy's parent array, and the three factor matrices flattened.
@@ -21,8 +47,15 @@ type persisted struct {
 	Bias     []float64
 }
 
-// Save writes the model (including its taxonomy) to w in gob format.
+// Save writes the model (including its taxonomy) to w: the versioned
+// header followed by the gob payload.
 func (m *TF) Save(w io.Writer) error {
+	var header [headerLen]byte
+	copy(header[:], fileMagic[:])
+	binary.BigEndian.PutUint32(header[len(fileMagic):], fileVersion)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("model: write header: %w", err)
+	}
 	p := persisted{
 		Params:   m.P,
 		Parents:  m.Tree.ParentArray(),
@@ -36,15 +69,55 @@ func (m *TF) Save(w io.Writer) error {
 }
 
 // Load reads a model written by Save, rebuilding and revalidating the
-// taxonomy.
+// taxonomy. It accepts both current headered files and legacy headerless
+// gob files; anything else fails with a "not a tfrec model file" error
+// rather than a bare decode error, and files from a newer format version
+// are rejected explicitly.
 func Load(r io.Reader) (*TF, error) {
+	header := make([]byte, headerLen)
+	n, err := io.ReadFull(r, header)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("model: read header: %w", err)
+	}
+	if n == headerLen && bytes.Equal(header[:len(fileMagic)], fileMagic[:]) {
+		version := binary.BigEndian.Uint32(header[len(fileMagic):])
+		if version > fileVersion {
+			return nil, fmt.Errorf("model: file format version %d is newer than this build supports (max %d)", version, fileVersion)
+		}
+		m, err := decodePersisted(r)
+		switch {
+		case errors.Is(err, errGobDecode):
+			return nil, fmt.Errorf("model: corrupt or truncated model file (format version %d): %w", version, err)
+		case err != nil:
+			return nil, fmt.Errorf("model: %w", err)
+		}
+		return m, nil
+	}
+	// No magic: either a legacy headerless gob file or not a model file at
+	// all. Re-feed the consumed prefix and let gob decide.
+	m, err := decodePersisted(io.MultiReader(bytes.NewReader(header[:n]), r))
+	switch {
+	case errors.Is(err, errGobDecode):
+		return nil, fmt.Errorf("model: not a tfrec model file (missing %q header and not a legacy gob model): %w", fileMagic, err)
+	case err != nil:
+		// the gob layer succeeded, so this is a real (legacy) model file
+		// with an invalid payload — report the validation failure itself
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return m, nil
+}
+
+// decodePersisted decodes the gob payload and rebuilds the model. Gob
+// failures are wrapped in errGobDecode; every later error means the
+// payload decoded but did not validate.
+func decodePersisted(r io.Reader) (*TF, error) {
 	var p persisted
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("model: decode: %w", err)
+		return nil, fmt.Errorf("%w: %v", errGobDecode, err)
 	}
 	tree, err := taxonomy.NewFromParents(p.Parents)
 	if err != nil {
-		return nil, fmt.Errorf("model: bad taxonomy in file: %w", err)
+		return nil, fmt.Errorf("bad taxonomy in file: %w", err)
 	}
 	m, err := New(tree, p.NumUsers, p.Params, vecmath.NewRNG(0))
 	if err != nil {
@@ -64,7 +137,7 @@ func Load(r io.Reader) (*TF, error) {
 		"bias": {m.Bias, p.Bias},
 	} {
 		if len(pair.src) != pair.dst.Rows()*pair.dst.Cols() {
-			return nil, fmt.Errorf("model: %s matrix size %d does not match structure %d", name, len(pair.src), pair.dst.Rows()*pair.dst.Cols())
+			return nil, fmt.Errorf("%s matrix size %d does not match structure %d", name, len(pair.src), pair.dst.Rows()*pair.dst.Cols())
 		}
 		pair.dst.SetCompactData(pair.src)
 	}

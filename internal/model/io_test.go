@@ -1,0 +1,166 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func savedModel(t *testing.T) (*TF, []byte) {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{CategoryLevels: []int{2, 5}, Items: 25}, vecmath.NewRNG(9))
+	m, err := New(tree, 4, Params{K: 3, TaxonomyLevels: 2, Alpha: 1, InitStd: 0.3, UseBias: true}, vecmath.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+func TestSaveWritesVersionedHeader(t *testing.T) {
+	_, raw := savedModel(t)
+	if len(raw) < headerLen {
+		t.Fatalf("file shorter than header: %d bytes", len(raw))
+	}
+	if !bytes.Equal(raw[:len(fileMagic)], fileMagic[:]) {
+		t.Fatalf("file does not start with magic: %q", raw[:len(fileMagic)])
+	}
+	if v := binary.BigEndian.Uint32(raw[len(fileMagic):headerLen]); v != fileVersion {
+		t.Fatalf("header version %d, want %d", v, fileVersion)
+	}
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumItems() != 25 {
+		t.Fatalf("round trip lost items: %d", m.NumItems())
+	}
+}
+
+func TestLoadLegacyHeaderlessFile(t *testing.T) {
+	m, _ := savedModel(t)
+	// a pre-header file is the bare gob payload
+	legacy := persisted{
+		Params:   m.P,
+		Parents:  m.Tree.ParentArray(),
+		NumUsers: m.NumUsers(),
+		User:     m.User.CompactData(),
+		Node:     m.Node.CompactData(),
+		Next:     m.Next.CompactData(),
+		Bias:     m.Bias.CompactData(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if back.User.MaxAbsDiff(m.User) != 0 || back.Node.MaxAbsDiff(m.Node) != 0 {
+		t.Fatal("legacy round trip corrupted factors")
+	}
+}
+
+func TestLoadRejectsGarbageClearly(t *testing.T) {
+	for _, garbage := range [][]byte{
+		[]byte("definitely not a model file, just some prose that goes on"),
+		[]byte("x"),
+		{},
+	} {
+		_, err := Load(bytes.NewReader(garbage))
+		if err == nil {
+			t.Fatalf("garbage %q: expected error", garbage)
+		}
+		if !strings.Contains(err.Error(), "not a tfrec model file") {
+			t.Fatalf("garbage %q: unhelpful error: %v", garbage, err)
+		}
+	}
+}
+
+func TestLoadRejectsNewerVersion(t *testing.T) {
+	_, raw := savedModel(t)
+	future := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(future[len(fileMagic):], fileVersion+7)
+	_, err := Load(bytes.NewReader(future))
+	if err == nil {
+		t.Fatal("expected version error")
+	}
+	if !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("unhelpful version error: %v", err)
+	}
+}
+
+func TestLoadTruncatedFileFailsWithContext(t *testing.T) {
+	_, raw := savedModel(t)
+	for _, cut := range []int{headerLen, headerLen + 5, len(raw) / 2, len(raw) - 3} {
+		_, err := Load(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: expected error", cut)
+		}
+		if !strings.Contains(err.Error(), "corrupt or truncated") {
+			t.Fatalf("cut at %d: unhelpful error: %v", cut, err)
+		}
+	}
+	// truncating inside the header cannot be told from garbage, but must
+	// still fail cleanly
+	if _, err := Load(bytes.NewReader(raw[:4])); err == nil {
+		t.Fatal("header-truncated file: expected error")
+	}
+}
+
+// Semantic validation failures must be reported as such, not mislabeled
+// as "not a model file" (legacy) or "corrupt or truncated" (headered).
+func TestLoadReportsValidationErrorsAccurately(t *testing.T) {
+	m, _ := savedModel(t)
+	bad := persisted{
+		Params:   m.P,
+		Parents:  m.Tree.ParentArray(),
+		NumUsers: m.NumUsers(),
+		User:     m.User.CompactData()[:3], // wrong size
+		Node:     m.Node.CompactData(),
+		Next:     m.Next.CompactData(),
+		Bias:     m.Bias.CompactData(),
+	}
+	// legacy (headerless) form
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	legacyBytes := append([]byte(nil), buf.Bytes()...)
+	_, err := Load(bytes.NewReader(legacyBytes))
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if strings.Contains(err.Error(), "not a tfrec model file") {
+		t.Fatalf("legacy validation failure mislabeled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "matrix size") {
+		t.Fatalf("validation detail lost: %v", err)
+	}
+	// headered form
+	var hbuf bytes.Buffer
+	var header [headerLen]byte
+	copy(header[:], fileMagic[:])
+	binary.BigEndian.PutUint32(header[len(fileMagic):], fileVersion)
+	hbuf.Write(header[:])
+	hbuf.Write(legacyBytes)
+	_, err = Load(&hbuf)
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("headered validation failure mislabeled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "matrix size") {
+		t.Fatalf("validation detail lost: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vecmath"
+)
+
+// Batcher coalesces concurrent Recommend calls into one multi-query sweep
+// over the shared factor slab. Full-scan requests arriving within a short
+// window are collected into a micro-batch and executed by
+// infer.MultiNaiveInto (through the server's pool when it has one): each
+// cache-sized shard of the item slab is read once and scored against
+// every query in the batch, so B coalesced requests stream the catalog's
+// factors through memory once instead of B times. Cascaded and
+// diversified requests, whose access patterns don't share the full sweep,
+// fall through to the per-request path inside the same batch.
+//
+// A batch is cut when it reaches MaxBatch requests or when the oldest
+// request has waited Window; every request in a batch runs against one
+// pinned snapshot, so a concurrent hot swap never splits a batch across
+// models.
+type Batcher struct {
+	s        *Server
+	maxBatch int
+	window   time.Duration
+
+	mu  sync.Mutex
+	cur *microBatch
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// microBatch is one in-flight coalescing unit; done is closed after
+// resps is fully populated.
+type microBatch struct {
+	reqs  []Request
+	resps []Response
+	timer *time.Timer
+	done  chan struct{}
+}
+
+// NewBatcher wraps the server in a coalescing front. maxBatch < 1 is
+// clamped to 1 (every request is its own batch); window <= 0 defaults to
+// 500µs — long enough to coalesce under load, short enough to be noise
+// next to a catalog sweep.
+func NewBatcher(s *Server, maxBatch int, window time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if window <= 0 {
+		window = 500 * time.Microsecond
+	}
+	return &Batcher{s: s, maxBatch: maxBatch, window: window}
+}
+
+// Recommend executes one request through the coalescing front, blocking
+// until its batch is cut and swept (at most Window plus the sweep time).
+func (b *Batcher) Recommend(req Request) ([]vecmath.Scored, error) {
+	b.mu.Lock()
+	mb := b.cur
+	if mb == nil {
+		mb = &microBatch{done: make(chan struct{})}
+		b.cur = mb
+		mb.timer = time.AfterFunc(b.window, func() { b.cutAndRun(mb) })
+	}
+	idx := len(mb.reqs)
+	mb.reqs = append(mb.reqs, req)
+	if len(mb.reqs) >= b.maxBatch {
+		b.detachLocked(mb)
+		b.mu.Unlock()
+		b.run(mb)
+	} else {
+		b.mu.Unlock()
+	}
+	<-mb.done
+	resp := mb.resps[idx]
+	return resp.Items, resp.Err
+}
+
+// cutAndRun is the window-expiry path; it is a no-op if the size trigger
+// already detached the batch.
+func (b *Batcher) cutAndRun(mb *microBatch) {
+	b.mu.Lock()
+	if b.cur != mb {
+		b.mu.Unlock()
+		return
+	}
+	b.detachLocked(mb)
+	b.mu.Unlock()
+	b.run(mb)
+}
+
+func (b *Batcher) detachLocked(mb *microBatch) {
+	b.cur = nil
+	mb.timer.Stop()
+}
+
+// run executes a detached batch: full-scan requests share one multi-query
+// sweep, everything else runs per-request, all against one snapshot.
+func (b *Batcher) run(mb *microBatch) {
+	defer close(mb.done)
+	c := b.s.snap.Load()
+	mb.resps = make([]Response, len(mb.reqs))
+	var (
+		qs   [][]float64
+		outs []*vecmath.TopKStream
+		idxs []int
+	)
+	for i, req := range mb.reqs {
+		if req.Cascade != nil || req.MaxPerCategory > 0 {
+			mb.resps[i] = b.s.run(c, req)
+			continue
+		}
+		if err := req.validate(c); err != nil {
+			mb.resps[i] = Response{Err: err}
+			continue
+		}
+		q := b.s.getBuf(c.K())
+		if req.User == -1 {
+			c.BuildSessionQueryInto(req.Recent, q)
+		} else {
+			c.BuildQueryInto(req.User, req.Recent, q)
+		}
+		qs = append(qs, q)
+		outs = append(outs, vecmath.NewTopKStream(req.K))
+		idxs = append(idxs, i)
+	}
+	if len(qs) > 0 {
+		b.s.sweep.MultiNaiveInto(c, qs, outs, 0)
+		for j, i := range idxs {
+			mb.resps[i] = Response{Items: outs[j].Ranked()}
+			b.s.putBuf(qs[j])
+		}
+	}
+	b.batches.Add(1)
+	b.coalesced.Add(int64(len(mb.reqs)))
+}
+
+// Stats reports how many batches were cut and how many requests they
+// carried in total (coalesced/batches is the mean batch size).
+func (b *Batcher) Stats() (batches, coalesced int64) {
+	return b.batches.Load(), b.coalesced.Load()
+}

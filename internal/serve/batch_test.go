@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/infer"
+)
+
+// A server with a pool must return exactly what the serial server
+// returns, for every request flavor.
+func TestParallelServerMatchesSerial(t *testing.T) {
+	m, data := trainedModel(t)
+	serial := New(m)
+	parallel := New(m, WithWorkers(4))
+	defer parallel.Close()
+	parallel.Snapshot().Index.SetShardItems(37) // force many shards on the tiny catalog
+
+	reqs := []Request{
+		{User: 3, Recent: data.Users[3].Baskets, K: 7},
+		{User: -1, Recent: data.Users[5].Baskets, K: 5},
+		{User: 8, K: 4, Cascade: &infer.CascadeConfig{KeepFrac: []float64{0.5, 0.5, 0.5}}},
+		{User: 2, K: 6, MaxPerCategory: 2},
+	}
+	for i, req := range reqs {
+		want, err := serial.Recommend(req)
+		if err != nil {
+			t.Fatalf("req %d serial: %v", i, err)
+		}
+		for _, workers := range []int{0, 2, 3} {
+			req.Workers = workers
+			got, err := parallel.Recommend(req)
+			if err != nil {
+				t.Fatalf("req %d workers=%d: %v", i, workers, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("req %d workers=%d: parallel ranking diverged\nwant %v\ngot  %v", i, workers, want, got)
+			}
+		}
+	}
+}
+
+// Concurrent batched requests must each receive exactly their individual
+// serial ranking, and the batcher must actually coalesce them.
+func TestBatcherCoalescesAndMatchesSerial(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m, WithWorkers(2))
+	defer s.Close()
+	serial := New(m)
+	b := NewBatcher(s, 8, 5*time.Millisecond)
+
+	const n = 16
+	reqs := make([]Request, n)
+	for i := range reqs {
+		u := i % 20
+		reqs[i] = Request{User: u, Recent: data.Users[u].Baskets, K: 3 + i%5}
+	}
+	reqs[4].User = -1                                   // session request in the same batch
+	reqs[9] = Request{User: 1, K: 4, MaxPerCategory: 1} // non-naive: per-request path
+	reqs[11] = Request{User: 999999, K: 5}              // invalid user: per-request error
+	want := make([]Response, n)
+	for i, req := range reqs {
+		items, err := serial.Recommend(req)
+		want[i] = Response{Items: items, Err: err}
+	}
+
+	got := make([]Response, n)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			items, err := b.Recommend(reqs[i])
+			got[i] = Response{Items: items, Err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range want {
+		if (want[i].Err == nil) != (got[i].Err == nil) {
+			t.Fatalf("req %d: error mismatch: want %v, got %v", i, want[i].Err, got[i].Err)
+		}
+		if want[i].Err == nil && !reflect.DeepEqual(want[i].Items, got[i].Items) {
+			t.Fatalf("req %d: batched ranking diverged\nwant %v\ngot  %v", i, want[i].Items, got[i].Items)
+		}
+	}
+	batches, coalesced := b.Stats()
+	if coalesced != n {
+		t.Fatalf("batcher saw %d requests, want %d", coalesced, n)
+	}
+	if batches == 0 || batches > n {
+		t.Fatalf("implausible batch count %d for %d requests", batches, n)
+	}
+}
+
+// The window path must cut a lone request's batch without waiting for
+// maxBatch to fill.
+func TestBatcherWindowFlushesPartialBatch(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	b := NewBatcher(s, 64, time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := b.Recommend(Request{User: 0, Recent: data.Users[0].Baskets, K: 3}); err != nil {
+			t.Errorf("lone batched request: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batcher never flushed a partial batch")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -33,9 +34,10 @@ import (
 // atomic pointer swap, so nothing blocks or drops). cmd/tfrec-serve wires
 // Reload to SIGHUP.
 type HTTP struct {
-	srv    *Server
-	reload func() (*model.TF, error)
-	start  time.Time
+	srv     *Server
+	reload  func() (*model.TF, error)
+	start   time.Time
+	batcher *Batcher
 
 	users       atomic.Int64
 	sessions    atomic.Int64
@@ -49,6 +51,17 @@ type HTTP struct {
 // Reload (typically by re-reading the model file).
 func NewHTTP(srv *Server, reload func() (*model.TF, error)) *HTTP {
 	return &HTTP{srv: srv, reload: reload, start: time.Now()}
+}
+
+// EnableBatching puts a coalescing front before the full-scan endpoints:
+// concurrent user/session requests arriving within window are executed as
+// one multi-query sweep (see Batcher). Cascaded and diversified requests
+// are unaffected, as are requests carrying a non-zero ?workers= cap —
+// those run per-request so the cap can be honored (?workers=0, the
+// whole-pool default, still coalesces). Call before the handler starts
+// serving.
+func (h *HTTP) EnableBatching(maxBatch int, window time.Duration) {
+	h.batcher = NewBatcher(h.srv, maxBatch, window)
 }
 
 // Reload fetches a retrained model via the reload hook and swaps it in
@@ -156,7 +169,26 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			h.fail(w, http.StatusBadRequest, err)
 			return
 		}
-		resp := h.srv.run(c, req)
+		// ?workers=n caps the request's share of the inference pool
+		// (0 = whole pool, 1 = serial); bad values are a client error
+		if ws := r.URL.Query().Get("workers"); ws != "" {
+			n, err := strconv.Atoi(ws)
+			if err != nil || n < 0 {
+				h.fail(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", ws))
+				return
+			}
+			req.Workers = n
+		}
+		// a request pinning a non-zero fan-out opts out of coalescing: the
+		// batch's sweep is shared, so a per-request worker cap can only be
+		// honored on the per-request path (workers=0 batches as usual)
+		var resp Response
+		if h.batcher != nil && req.Workers == 0 && req.Cascade == nil && req.MaxPerCategory <= 0 {
+			items, err := h.batcher.Recommend(req)
+			resp = Response{Items: items, Err: err}
+		} else {
+			resp = h.srv.run(c, req)
+		}
 		if resp.Err != nil {
 			h.fail(w, http.StatusBadRequest, resp.Err)
 			return
@@ -192,6 +224,13 @@ type statsResponse struct {
 		Diversified int64 `json:"diversified"`
 		Errors      int64 `json:"errors"`
 	} `json:"served"`
+	// Inference describes the parallel sweep and batching configuration.
+	Inference struct {
+		PoolWorkers int   `json:"pool_workers"`
+		Batching    bool  `json:"batching"`
+		Batches     int64 `json:"batches"`
+		BatchedReqs int64 `json:"batched_requests"`
+	} `json:"inference"`
 	Reloads       int64   `json:"reloads"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -211,6 +250,11 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Served.Cascade = h.cascades.Load()
 	out.Served.Diversified = h.diversified.Load()
 	out.Served.Errors = h.errors.Load()
+	out.Inference.PoolWorkers = h.srv.Pool().Workers()
+	if h.batcher != nil {
+		out.Inference.Batching = true
+		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()
+	}
 	out.Reloads = h.reloads.Load()
 	out.UptimeSeconds = time.Since(h.start).Seconds()
 	h.writeJSON(w, out)

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/model"
 )
@@ -213,5 +214,63 @@ func TestHTTPHotSwap(t *testing.T) {
 	}
 	if _, err := s.Recommend(Request{User: 0, K: 3}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The ?workers= knob and a batching-enabled server must serve the same
+// rankings as the plain serial HTTP path.
+func TestHTTPWorkersKnobAndBatching(t *testing.T) {
+	m, _ := trainedModel(t)
+	serial := New(m)
+	s := New(m, WithWorkers(3))
+	defer s.Close()
+	h := NewHTTP(s, nil)
+	h.EnableBatching(4, time.Millisecond)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	want, err := serial.Recommend(Request{User: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"", "?workers=0", "?workers=1", "?workers=2"} {
+		resp, out := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user"+suffix, `{"user":3,"k":5}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d", suffix, resp.StatusCode)
+		}
+		if len(out.Items) != len(want) {
+			t.Fatalf("%q: got %d items, want %d", suffix, len(out.Items), len(want))
+		}
+		for i := range want {
+			if out.Items[i].Item != want[i].ID || out.Items[i].Score != want[i].Score {
+				t.Fatalf("%q: item %d = %+v, want %+v", suffix, i, out.Items[i], want[i])
+			}
+		}
+	}
+	// cascaded requests bypass the batcher but honor the pool
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/cascade?workers=2", `{"user":3,"k":5,"keep":0.6}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cascade with workers: status %d", resp.StatusCode)
+	}
+	// malformed knob is a client error
+	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user?workers=lots", `{"user":3,"k":5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad workers value: status %d, want 400", resp.StatusCode)
+	}
+	// stats reflect the inference configuration
+	st, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inference.PoolWorkers != 3 || !stats.Inference.Batching {
+		t.Fatalf("stats.Inference = %+v, want 3 workers with batching", stats.Inference)
+	}
+	if stats.Inference.Batches == 0 || stats.Inference.BatchedReqs == 0 {
+		t.Fatalf("batching counters never moved: %+v", stats.Inference)
 	}
 }

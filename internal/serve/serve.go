@@ -21,15 +21,46 @@ import (
 type Server struct {
 	snap atomic.Pointer[model.Composed]
 	pool sync.Pool // *[]float64 query buffers, length-checked per use
+	// sweep, when non-nil, is the sharded parallel inference pool; single
+	// requests fan their catalog sweep across it and batches use it for
+	// the multi-query sweep. Nil means every request runs serial.
+	sweep *infer.Pool
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithWorkers gives the server a sharded parallel inference pool of the
+// given total parallelism (0 = GOMAXPROCS). A value of 1 keeps all
+// request sweeps serial — the pre-pool behavior.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n == 1 {
+			return
+		}
+		s.sweep = infer.NewPool(n)
+	}
 }
 
 // New builds a server from a trained model (the model is snapshotted; the
 // caller may keep training it and call Update later).
-func New(m *model.TF) *Server {
+func New(m *model.TF, opts ...Option) *Server {
 	s := &Server{}
 	s.snap.Store(m.Compose())
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
+
+// Close releases the server's inference pool, if any. Safe to call on a
+// server built without one; must not race with in-flight requests.
+func (s *Server) Close() {
+	s.sweep.Close()
+}
+
+// Pool exposes the server's inference pool (nil when serving serially).
+func (s *Server) Pool() *infer.Pool { return s.sweep }
 
 // Update atomically swaps in a fresh snapshot of the (re)trained model.
 // In-flight requests finish on the old snapshot.
@@ -72,6 +103,10 @@ type Request struct {
 	// lowest category level).
 	MaxPerCategory int
 	CatDepth       int
+	// Workers caps this request's share of the server's inference pool:
+	// 0 uses the whole pool, 1 forces the serial sweep, n > 1 fans out to
+	// at most n participants. Ignored when the server has no pool.
+	Workers int
 }
 
 // Validate checks a request against the snapshot.
@@ -107,8 +142,13 @@ func (s *Server) run(c *model.Composed, req Request) Response {
 	} else {
 		c.BuildQueryInto(req.User, req.Recent, q)
 	}
+	parallel := s.sweep != nil && req.Workers != 1
 	switch {
 	case req.Cascade != nil:
+		if parallel {
+			top, _, err := s.sweep.Cascade(c, q, *req.Cascade, req.K, req.Workers)
+			return Response{Items: top, Err: err}
+		}
 		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
 		return Response{Items: top, Err: err}
 	case req.MaxPerCategory > 0:
@@ -116,9 +156,16 @@ func (s *Server) run(c *model.Composed, req Request) Response {
 		if depth == 0 {
 			depth = c.Tree.Depth() - 1
 		}
+		if parallel {
+			items, err := s.sweep.Diversified(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
+			return Response{Items: items, Err: err}
+		}
 		items, err := infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
 		return Response{Items: items, Err: err}
 	default:
+		if parallel {
+			return Response{Items: s.sweep.Naive(c, q, req.K, req.Workers)}
+		}
 		return Response{Items: infer.Naive(c, q, req.K)}
 	}
 }

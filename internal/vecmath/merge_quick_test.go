@@ -1,0 +1,52 @@
+package vecmath
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: streaming an input through per-shard bounded heaps and merging
+// the retained sets into one final heap yields exactly the ranking of a
+// single serial stream — for arbitrary partitions, k, input sizes and
+// heavy tie collisions (scores are quantized so equal scores are common
+// and the lower-ID tie-break is exercised constantly).
+func TestQuickPartitionedMergeMatchesSerial(t *testing.T) {
+	f := func(seed uint16, sizeRaw, shardRaw, kRaw, quantRaw uint8) bool {
+		rng := NewRNG(uint64(seed) + 3)
+		n := 1 + int(sizeRaw) + int(shardRaw)
+		quant := 1 + int(quantRaw)%12 // few distinct scores -> many ties
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(quant)) / 4
+		}
+		ks := []int{0, 1, 1 + int(kRaw)%n, n, n + 3}
+		shardSize := 1 + int(shardRaw)%n
+		for _, k := range ks {
+			serial := NewTopKStream(k)
+			for id, s := range scores {
+				serial.Push(id, s)
+			}
+			final := NewTopKStream(k)
+			part := NewTopKStream(k)
+			for lo := 0; lo < n; lo += shardSize {
+				hi := lo + shardSize
+				if hi > n {
+					hi = n
+				}
+				part.Reset(k)
+				for id := lo; id < hi; id++ {
+					part.Push(id, scores[id])
+				}
+				final.Merge(part)
+			}
+			if !reflect.DeepEqual(serial.Ranked(), final.Ranked()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -91,6 +91,22 @@ func (t *TopKStream) Push(id int, score float64) {
 // Len returns how many entries are currently retained.
 func (t *TopKStream) Len() int { return len(t.h) }
 
+// K returns the retention capacity the collector was armed with.
+func (t *TopKStream) K() int { return t.k }
+
+// Merge offers every entry retained by other to this collector. Because
+// the retained set of a bounded heap is exactly the k best of everything
+// pushed (under the score-then-lower-ID total order), merging the
+// per-shard collectors of a partitioned sweep into one final collector
+// yields the identical top-k — ranking, order and tie-breaks — as one
+// serial stream over the whole input; the sharded inference path relies
+// on this.
+func (t *TopKStream) Merge(other *TopKStream) {
+	for _, e := range other.h {
+		t.Push(e.ID, e.Score)
+	}
+}
+
 // Threshold returns the score an entry must strictly beat (or tie with a
 // lower ID) to enter a full collector, and whether the collector is full.
 // Producers can use it to skip work for entries that cannot qualify. A

@@ -1,0 +1,147 @@
+package tfrec
+
+// BenchmarkSharded* measure the PR-2 multi-core serving paths on a
+// catalog large enough that the item slab (50k x 32 floats ≈ 12.8 MB)
+// cannot live in one core's cache: the sharded pool sweep at several
+// worker counts against the serial reference, the saturated-throughput
+// regime, and the coalesced multi-query batch sweep. These benches are
+// the subjects of the CI bench-regression gate (cmd/tfrec-benchgate,
+// BENCH_baseline.json); all report allocations because the single-query
+// pool path must stay allocation-free.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// benchShardedWorld builds a large untrained snapshot: ranking quality is
+// irrelevant here, only the sweep shape matters.
+func benchShardedWorld(b *testing.B) (*model.Composed, []float64) {
+	b.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{8, 64, 512},
+		Items:          50000,
+		Skew:           0.4,
+	}, vecmath.NewRNG(7))
+	m, err := model.New(tree, 10, model.Params{K: 32, TaxonomyLevels: 4, Alpha: 1, InitStd: 0.1, UseBias: true}, vecmath.NewRNG(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := m.Compose()
+	q := make([]float64, 32)
+	for i := range q {
+		q[i] = float64(i%7) - 3
+	}
+	return c, q
+}
+
+// BenchmarkShardedTopKSerial is the single-core reference the parallel
+// sweep is gated against (the ≥2x criterion compares workers=4 to this).
+func BenchmarkShardedTopKSerial(b *testing.B) {
+	c, q := benchShardedWorld(b)
+	st := vecmath.NewTopKStream(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset(10)
+		infer.NaiveInto(c, q, st)
+		_ = st.Ranked()
+	}
+}
+
+func BenchmarkShardedTopK(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c, q := benchShardedWorld(b)
+			pool := infer.NewPool(workers)
+			defer pool.Close()
+			st := vecmath.NewTopKStream(10)
+			// one warm-up pass populates the task/scratch recycling pools
+			pool.NaiveInto(c, q, st, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Reset(10)
+				pool.NaiveInto(c, q, st, 0)
+				_ = st.Ranked()
+			}
+		})
+	}
+}
+
+// BenchmarkShardedTopKSaturated drives the pool from all benchmark
+// goroutines at once — the heavy-traffic regime where queries queue on
+// the pool rather than idle cores.
+func BenchmarkShardedTopKSaturated(b *testing.B) {
+	c, q := benchShardedWorld(b)
+	pool := infer.NewPool(0)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		st := vecmath.NewTopKStream(10)
+		for pb.Next() {
+			st.Reset(10)
+			pool.NaiveInto(c, q, st, 0)
+			_ = st.Ranked()
+		}
+	})
+}
+
+// BenchmarkShardedBatchSweep scores a coalesced batch with one pass over
+// the slab; BenchmarkShardedBatchLoop is the same work as independent
+// sweeps. Their ratio is the cache win of request batching; ns/op is
+// per-batch in both.
+func BenchmarkShardedBatchSweep(b *testing.B) {
+	for _, batch := range []int{4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			c, qs := benchBatchQueries(b, batch)
+			outs := make([]*vecmath.TopKStream, batch)
+			for i := range outs {
+				outs[i] = vecmath.NewTopKStream(10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range outs {
+					outs[j].Reset(10)
+				}
+				infer.MultiNaiveInto(c, qs, outs)
+			}
+		})
+	}
+}
+
+func BenchmarkShardedBatchLoop(b *testing.B) {
+	for _, batch := range []int{4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			c, qs := benchBatchQueries(b, batch)
+			st := vecmath.NewTopKStream(10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					st.Reset(10)
+					infer.NaiveInto(c, q, st)
+					_ = st.Ranked()
+				}
+			}
+		})
+	}
+}
+
+func benchBatchQueries(b *testing.B, batch int) (*model.Composed, [][]float64) {
+	c, base := benchShardedWorld(b)
+	qs := make([][]float64, batch)
+	for i := range qs {
+		qs[i] = make([]float64, len(base))
+		copy(qs[i], base)
+		qs[i][i%len(base)] += float64(i) * 0.25
+	}
+	return c, qs
+}
