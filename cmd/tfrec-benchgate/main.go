@@ -294,14 +294,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		base.Procs = procs
 		if base.Speedups == nil {
 			// the acceptance floors: sustained sharded throughput >=2x
-			// serial on >=4 cores, and the coalesced batch sweep beating the
-			// request-at-a-time loop on any machine; only pairs actually
-			// measured in this input are installed, so a partial bench run
-			// cannot plant a vacuously-failing floor
+			// serial on >=4 cores, the coalesced batch sweep beating the
+			// request-at-a-time loop on any machine, and the two-stage f32
+			// pipeline's bandwidth win — >=1.5x the f64 sweep on the wide
+			// (out-of-cache) world single-core, with the saturated f32 path
+			// keeping the parallel floor; only pairs actually measured in
+			// this input are installed, so a partial bench run cannot plant
+			// a vacuously-failing floor
 			for _, s := range []speedupGate{
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkShardedTopKSaturated", Min: 2.0, MinProcs: 4},
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkShardedTopK/workers=4", Min: 1.5, MinProcs: 4},
 				{Slow: "BenchmarkShardedBatchLoop/batch=16", Fast: "BenchmarkShardedBatchSweep/batch=16", Min: 1.2, MinProcs: 1},
+				{Slow: "BenchmarkTopKF64Wide", Fast: "BenchmarkTopKF32Wide", Min: 1.5, MinProcs: 1},
+				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkTopKF32Saturated", Min: 2.0, MinProcs: 4},
 			} {
 				if _, okSlow := meas[s.Slow]; !okSlow {
 					continue

@@ -38,7 +38,13 @@ func main() {
 	topk := flag.Int("topk", 10, "cut for precision/recall/NDCG")
 	catDepth := flag.Int("cat-depth", 1, "taxonomy depth for category metrics")
 	workers := flag.Int("workers", 0, "evaluation goroutines (0 = GOMAXPROCS)")
+	precision := flag.String("precision", "", "top-k scoring precision: f32 (two-stage compact-slab pipeline), f64, or empty to follow the model file (default f32)")
 	flag.Parse()
+
+	prec, err := model.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -82,7 +88,11 @@ func main() {
 		fmt.Printf("  coldAUC      %.4f over %d new-item purchases\n", res.ColdAUC, res.ColdCount)
 	}
 
-	tk, err := eval.EvaluateTopKWorkers(c, history, split.Test, *topk, *workers)
+	// flag > model-file preference > f32, mirroring serve's resolution
+	if prec == model.PrecisionDefault {
+		prec = c.Precision.Resolve()
+	}
+	tk, err := eval.EvaluateTopKPrecision(c, history, split.Test, *topk, *workers, prec)
 	if err != nil {
 		log.Fatal(err)
 	}

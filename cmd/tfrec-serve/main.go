@@ -18,6 +18,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,19 +47,43 @@ func main() {
 	workers := flag.Int("workers", 0, "inference pool parallelism (0 = GOMAXPROCS, 1 = serial sweeps)")
 	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent full-scan requests per sweep (0 = batching off)")
 	batchWindow := flag.Duration("batch-window", 500*time.Microsecond, "max wait to fill a request batch")
+	precision := flag.String("precision", "", "scoring precision: f32 (compact-slab sweep + exact rescore, the default), f64, or empty to follow the model file")
+	maxBody := flag.Int64("max-body", 0, "request body size limit in bytes (0 = 1MiB default); oversize bodies get 413")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	prec, err := model.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
 	m, err := loadModel(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(m, serve.WithWorkers(*workers))
+	srv := serve.New(m, serve.WithWorkers(*workers), serve.WithPrecision(prec))
 	h := serve.NewHTTP(srv, func() (*model.TF, error) { return loadModel(*modelPath) })
 	if *batchMax > 0 {
 		h.EnableBatching(*batchMax, *batchWindow)
 	}
-	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, batching max=%d window=%s",
-		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), *batchMax, *batchWindow)
+	h.SetMaxBodyBytes(*maxBody)
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling stays reachable
+		// (and firewallable) independently of the serving port
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+	}
+	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, batching max=%d window=%s",
+		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *batchMax, *batchWindow)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

@@ -45,6 +45,15 @@ func EvaluateTopK(c *model.Composed, history, test *dataset.Dataset, k int) (Top
 // an interleaved user slice; per-worker partial sums are reduced in
 // worker order, so the result is deterministic for a given worker count.
 func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, workers int) (TopKResult, error) {
+	return EvaluateTopKPrecision(c, history, test, k, workers, model.PrecisionF64)
+}
+
+// EvaluateTopKPrecision is EvaluateTopKWorkers with an explicit scoring
+// precision: model.PrecisionF32 sweeps each user's query through the
+// two-stage compact-slab pipeline. Metrics are identical either way —
+// the f32 pipeline's rankings are byte-identical — so the knob only
+// moves evaluation throughput.
+func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k, workers int, prec model.Precision) (TopKResult, error) {
 	if k <= 0 {
 		return TopKResult{}, fmt.Errorf("eval: k must be positive, got %d", k)
 	}
@@ -57,6 +66,7 @@ func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, w
 	if workers < 1 {
 		workers = 1
 	}
+	f32 := prec.Resolve() == model.PrecisionF32
 	partials := make([]TopKResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -68,7 +78,7 @@ func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, w
 			q := make([]float64, c.K())
 			st := vecmath.NewTopKStream(k)
 			for u := w; u < test.NumUsers(); u += workers {
-				evaluateTopKUser(c, history, test, u, k, q, st, part)
+				evaluateTopKUser(c, history, test, u, k, q, st, f32, part)
 			}
 		}(w)
 	}
@@ -93,7 +103,7 @@ func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, w
 
 // evaluateTopKUser scores one user's first test transaction into part,
 // accumulating unnormalized metric sums.
-func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k int, q []float64, st *vecmath.TopKStream, part *TopKResult) {
+func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k int, q []float64, st *vecmath.TopKStream, f32 bool, part *TopKResult) {
 	baskets := test.Users[u].Baskets
 	if len(baskets) == 0 {
 		return
@@ -103,7 +113,11 @@ func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k in
 	// stream the index sweep straight into a reused bounded heap
 	// instead of materializing a catalog-sized score array per user
 	st.Reset(k)
-	infer.NaiveInto(c, q, st)
+	if f32 {
+		infer.NaiveF32Into(c, q, st)
+	} else {
+		infer.NaiveInto(c, q, st)
+	}
 	top := st.Ranked()
 
 	positives := baskets[0]

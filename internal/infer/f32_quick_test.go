@@ -1,0 +1,259 @@
+package infer
+
+import (
+	"reflect"
+	"runtime/debug"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// f32World builds a random world in one of several score regimes. tieRaw
+// selects the adversarial surface: dense random scores, exact ties
+// (zero factors), grouped bias ties, and — the regime the two-stage
+// pipeline exists to survive — near-ties spaced below float32 resolution,
+// where the f32 sweep cannot separate the boundary and must escalate.
+func f32World(t *testing.T, seed uint64, shardRaw, kRaw, sizeRaw, tieRaw uint8) (*model.Composed, []float64) {
+	t.Helper()
+	rng := vecmath.NewRNG(seed)
+	top := 2 + int(sizeRaw)%4
+	tree, err := taxonomy.Generate(taxonomy.GenConfig{
+		CategoryLevels: []int{top, top * 3},
+		Items:          top*3 + 20 + int(sizeRaw)*5,
+		Skew:           0.3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Params{
+		K:              1 + int(kRaw)%8,
+		TaxonomyLevels: 1 + int(sizeRaw)%4,
+		Alpha:          1,
+		InitStd:        0.2,
+		UseBias:        tieRaw%2 == 0,
+	}
+	switch tieRaw % 4 {
+	case 1:
+		p.InitStd = 0 // every score identical: pure tie-break ranking
+	case 2:
+		p.InitStd = 0
+		p.UseBias = true // grouped ties through shared ancestor biases
+	case 3:
+		p.InitStd = 0
+		p.UseBias = true // near-ties below f32 resolution (set below)
+	}
+	m, err := model.New(tree, 3, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UseBias {
+		for n := 0; n < tree.NumNodes(); n++ {
+			if !m.TrainedNode(n) {
+				continue
+			}
+			if tieRaw%4 == 3 {
+				// adversarial: scores differ by ~1e-12, far below what a
+				// float32 sweep can distinguish at magnitude ~1
+				m.Bias.Row(n)[0] = 1 + float64(n)*1e-12
+			} else {
+				m.Bias.Row(n)[0] = float64(rng.Intn(3)) * 0.5
+			}
+		}
+	}
+	c := m.Compose()
+	c.Index.SetShardItems(1 + int(shardRaw)%97)
+	q := make([]float64, p.K)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	if tieRaw%4 != 0 {
+		vecmath.Zero(q) // collapse scores onto the bias surface
+	}
+	return c, q
+}
+
+// Property: the two-stage f32 pipeline returns rankings byte-identical to
+// the f64 path — order and tie-breaks included — for naive, cascaded,
+// diversified and batched sweeps, serial and pool-sharded, across shard
+// sizes, worker counts, k and all tie regimes.
+func TestQuickF32MatchesF64(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	f := func(seed uint16, shardRaw, kRaw, sizeRaw, tieRaw uint8) bool {
+		c, q := f32World(t, uint64(seed)+101, shardRaw, kRaw, sizeRaw, tieRaw)
+		for _, k := range []int{1, 1 + int(kRaw)%10, c.NumItems(), c.NumItems() + 5} {
+			want := Naive(c, q, k)
+			if !reflect.DeepEqual(want, NaiveF32(c, q, k)) {
+				t.Logf("serial f32 naive diverged (k=%d)", k)
+				return false
+			}
+			for _, workers := range []int{2, 4} {
+				st := vecmath.NewTopKStream(k)
+				pool.NaiveF32Into(c, q, st, workers)
+				if !reflect.DeepEqual(want, st.Ranked()) {
+					t.Logf("pooled f32 naive diverged (k=%d workers=%d)", k, workers)
+					return false
+				}
+			}
+		}
+		k := 1 + int(kRaw)%15
+		cfg := UniformCascade(c.Tree.Depth(), 0.2+float64(tieRaw%8)/10)
+		wantItems, wantStats, err := Cascade(c, q, cfg, k)
+		if err != nil {
+			return false
+		}
+		gotItems, gotStats, err := CascadeF32(c, q, cfg, k)
+		if err != nil || !reflect.DeepEqual(wantItems, gotItems) || !reflect.DeepEqual(wantStats, gotStats) {
+			t.Log("serial f32 cascade diverged")
+			return false
+		}
+		gotItems, gotStats, err = pool.CascadeF32(c, q, cfg, k, 0)
+		if err != nil || !reflect.DeepEqual(wantItems, gotItems) || !reflect.DeepEqual(wantStats, gotStats) {
+			t.Log("pooled f32 cascade diverged")
+			return false
+		}
+		maxPer := 1 + int(tieRaw)%4
+		catDepth := 1 + int(tieRaw)%(c.Tree.Depth()-1)
+		wantDiv, err := Diversified(c, q, k, maxPer, catDepth)
+		if err != nil {
+			return false
+		}
+		gotDiv, err := DiversifiedF32(c, q, k, maxPer, catDepth)
+		if err != nil || !reflect.DeepEqual(wantDiv, gotDiv) {
+			t.Log("serial f32 diversified diverged")
+			return false
+		}
+		gotDiv, err = pool.DiversifiedF32(c, q, k, maxPer, catDepth, 0)
+		if err != nil || !reflect.DeepEqual(wantDiv, gotDiv) {
+			t.Log("pooled f32 diversified diverged")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the batched f32 sweep gives every query of the batch exactly
+// its serial f64 ranking, serial and pooled.
+func TestQuickMultiF32MatchesF64(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	f := func(seed uint16, shardRaw, kRaw, batchRaw, tieRaw uint8) bool {
+		c, base := f32World(t, uint64(seed)+211, shardRaw, kRaw, batchRaw, tieRaw)
+		batch := 1 + int(batchRaw)%6
+		qs := make([][]float64, batch)
+		outs := make([]*vecmath.TopKStream, batch)
+		ks := make([]int, batch)
+		rng := vecmath.NewRNG(uint64(seed) + 977)
+		for i := range qs {
+			qs[i] = append([]float64(nil), base...)
+			for j := range qs[i] {
+				qs[i][j] += rng.NormFloat64() * 1e-3
+			}
+			ks[i] = 1 + (int(kRaw)+i)%12
+			if i == 0 {
+				// force one query whose over-fetch budget covers the
+				// catalog: it must skip the f32 sweep and still come back
+				// exact through the f64 finish path
+				ks[i] = c.NumItems() + 2
+			}
+			outs[i] = vecmath.NewTopKStream(ks[i])
+		}
+		check := func(label string) bool {
+			for i := range qs {
+				if !reflect.DeepEqual(Naive(c, qs[i], ks[i]), outs[i].Ranked()) {
+					t.Logf("%s diverged for query %d", label, i)
+					return false
+				}
+			}
+			return true
+		}
+		MultiNaiveF32Into(c, qs, outs)
+		if !check("serial multi f32") {
+			return false
+		}
+		for i := range outs {
+			outs[i].Reset(ks[i])
+		}
+		pool.MultiNaiveF32Into(c, qs, outs, 0)
+		return check("pooled multi f32")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A catalog whose scores differ by less than float32 resolution must
+// force the margin-escalation path — and still come back exact.
+func TestF32EscalationNearTiesStaysExact(t *testing.T) {
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{CategoryLevels: []int{4, 16}, Items: 600, Skew: 0}, vecmath.NewRNG(3))
+	p := model.Params{K: 4, TaxonomyLevels: 3, Alpha: 1, InitStd: 0, UseBias: true}
+	m, err := model.New(tree, 2, p, vecmath.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// leaf biases 1 + node·1e-13: every pairwise gap is below f32 ulp at
+	// magnitude 1 (~6e-8), so no finite margin short of the catalog can
+	// certify the boundary
+	for n := 0; n < tree.NumNodes(); n++ {
+		if m.TrainedNode(n) {
+			m.Bias.Row(n)[0] = 1 + float64(n)*1e-13
+		}
+	}
+	c := m.Compose()
+	c.Index.SetShardItems(37)
+	q := make([]float64, p.K) // zero query: scores collapse onto biases
+	before := F32Escalations()
+	want := Naive(c, q, 10)
+	got := NaiveF32(c, q, 10)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("escalated ranking diverged:\nwant %v\ngot  %v", want, got)
+	}
+	if F32Escalations() == before {
+		t.Fatal("near-tie catalog did not trigger a margin escalation")
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+	st := vecmath.NewTopKStream(10)
+	pool.NaiveF32Into(c, q, st, 0)
+	if !reflect.DeepEqual(want, st.Ranked()) {
+		t.Fatal("pooled escalated ranking diverged")
+	}
+}
+
+// The serial two-stage pipeline must not allocate on the steady-state
+// serving path.
+func TestNaiveF32IntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under the race detector")
+	}
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{CategoryLevels: []int{4, 16}, Items: 2000, Skew: 0.3}, vecmath.NewRNG(5))
+	m, err := model.New(tree, 2, model.Params{K: 16, TaxonomyLevels: 3, Alpha: 1, InitStd: 0.2}, vecmath.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Compose()
+	q := make([]float64, 16)
+	rng := vecmath.NewRNG(7)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	// a GC empties sync.Pools, which would show up as a spurious scratch
+	// refill; the serving claim is "no allocation given a warm pool"
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	st := vecmath.NewTopKStream(10)
+	NaiveF32Into(c, q, st) // warm the scratch pool
+	allocs := testing.AllocsPerRun(20, func() {
+		st.Reset(10)
+		NaiveF32Into(c, q, st)
+		_ = st.Ranked()
+	})
+	if allocs > 0 {
+		t.Fatalf("NaiveF32Into allocated %.1f objects per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,423 @@
+package infer
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// The two-stage float32 scoring pipeline. Stage one sweeps the index's
+// compact float32 slabs — half the memory bandwidth of the float64 sweep —
+// into an over-fetched bounded candidate heap of k' = k + margin entries.
+// Stage two rescores the candidates with the exact float64 factors into
+// the caller's k-heap.
+//
+// The result is byte-identical to the float64 path, ties included, by the
+// following argument. Let τ be the f32 heap's threshold after the sweep:
+// every item NOT retained has f32 score ≤ τ under the (score desc, lower
+// ID) total order. The index certifies ε = ErrBound32(q) with
+// |f32 − f64 score| ≤ ε for every item, so every excluded item's exact
+// score is ≤ τ + ε. If the exact k-th best score among the candidates
+// strictly exceeds τ + ε, no excluded item can reach — or tie — the
+// boundary, and the candidates' exact top-k IS the global exact top-k,
+// tie-breaks included (all surviving comparisons are between exact f64
+// scores under the same total order the f64 path uses). When the margin
+// cannot separate the boundary — adversarial near-tie score regimes —
+// the pipeline escalates: k' doubles and the sweep repeats, degenerating
+// to the plain f64 sweep once k' reaches the input size. Escalations are
+// counted in F32Escalations for observability; they cost a re-sweep but
+// can never cost correctness.
+
+// f32Escalations counts boundary-separation failures across all f32
+// pipelines (naive, cascade, diversified, batched; serial and pooled).
+var f32Escalations atomic.Int64
+
+// F32Escalations returns the process-wide count of f32 margin escalations
+// — each one a re-sweep with a doubled candidate budget. A steadily
+// climbing count under production traffic means the score distribution is
+// tighter than float32 resolution and the f64 path may be cheaper.
+func F32Escalations() int64 { return f32Escalations.Load() }
+
+// f32OverFetch is the initial candidate budget k' for a final ranking of
+// k: a quarter again plus a fixed floor, so tiny k still over-fetches
+// enough to clear garden-variety round-off ties in one pass.
+func f32OverFetch(k int) int { return k + k/4 + 16 }
+
+// f32Scratch is the reusable per-query state of a serial f32 pipeline:
+// the rounded query and the candidate heap. Pooled so the steady-state
+// serving path allocates nothing.
+type f32Scratch struct {
+	q32  []float32
+	cand vecmath.TopKStream32
+}
+
+var f32Scratches = sync.Pool{New: func() any { return new(f32Scratch) }}
+
+// getF32Scratch returns a scratch with q32 sized and filled from q.
+func getF32Scratch(q []float64) *f32Scratch {
+	sc := f32Scratches.Get().(*f32Scratch)
+	if cap(sc.q32) < len(q) {
+		sc.q32 = make([]float32, len(q))
+	}
+	sc.q32 = sc.q32[:len(q)]
+	vecmath.Downconvert32(sc.q32, q)
+	return sc
+}
+
+// sweepRange32Into is sweepRangeInto over the compact f32 slab: it scores
+// the item range [rangeLo, rangeHi) in block-sized steps into an armed
+// TopKStream32 with the same inlined threshold rejection.
+func sweepRange32Into(ix *model.ScoringIndex, q32 []float32, rangeLo, rangeHi int, block []float32, st *vecmath.TopKStream32) {
+	th, full := st.Threshold()
+	for lo := rangeLo; lo < rangeHi; lo += len(block) {
+		hi := lo + len(block)
+		if hi > rangeHi {
+			hi = rangeHi
+		}
+		buf := block[:hi-lo]
+		ix.ItemScoresRange32Into(q32, lo, hi, buf)
+		for i, s := range buf {
+			if full && s < th {
+				continue
+			}
+			st.Push(lo+i, s)
+			th, full = st.Threshold()
+		}
+	}
+}
+
+// rescoreItems pushes the exact float64 score of every retained candidate
+// into st and reports whether the boundary is certified separated (see
+// the package comment above): true means st now holds exactly the global
+// f64 top-k.
+func rescoreItems(ix *model.ScoringIndex, q []float64, cand *vecmath.TopKStream32, st *vecmath.TopKStream, eps float64) bool {
+	for _, e := range cand.Entries() {
+		st.Push(e.ID, ix.ScoreItem(e.ID, q))
+	}
+	return separated(st, cand, eps)
+}
+
+// separated reports whether the exact k-th boundary in st strictly clears
+// the f32 retention threshold by more than the certified error bound. An
+// unfull candidate heap retained everything, so the rescore saw the whole
+// input and the result is trivially exact. A non-finite τ never
+// certifies: ErrBound32 bounds rounding error, not overflow, and a heap
+// whose threshold sits at −Inf dropped its excluded items by ID
+// tie-break rather than score — escalating (ultimately to the f64 sweep)
+// is the only sound answer there.
+func separated(st *vecmath.TopKStream, cand *vecmath.TopKStream32, eps float64) bool {
+	tau, candFull := cand.Threshold()
+	if !candFull {
+		return true
+	}
+	tau64 := float64(tau)
+	if math.IsInf(tau64, 0) || math.IsNaN(tau64) {
+		return false
+	}
+	boundary, full := st.Threshold()
+	return full && boundary > tau64+eps
+}
+
+// NaiveF32Into is the two-stage counterpart of NaiveInto: it fills the
+// armed collector with the exact f64 top-K ranking via an f32 slab sweep
+// plus rescore. The collector is Reset internally (it must arrive
+// dedicated to this query, as every current caller's does). Steady-state
+// calls perform no heap allocation.
+func NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream) {
+	naiveF32Into(c, q, st, f32OverFetch(st.K()))
+}
+
+// naiveF32Into runs the escalation loop from an explicit starting budget
+// so a failed shared-batch pass can resume at the next doubling instead
+// of repeating work.
+func naiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, kp0 int) {
+	ix := c.Index
+	n := ix.NumItems()
+	k := st.K()
+	if k <= 0 {
+		return
+	}
+	sc := getF32Scratch(q)
+	defer f32Scratches.Put(sc)
+	eps := ix.ItemErrBound32(q)
+	var block [blockItems]float32
+	for kp := kp0; ; kp *= 2 {
+		if kp >= n {
+			// candidate budget covers the catalog: nothing to prune
+			st.Reset(k)
+			NaiveInto(c, q, st)
+			return
+		}
+		sc.cand.Reset(kp)
+		sweepRange32Into(ix, sc.q32, 0, n, block[:], &sc.cand)
+		st.Reset(k)
+		if rescoreItems(ix, q, &sc.cand, st, eps) {
+			return
+		}
+		f32Escalations.Add(1)
+	}
+}
+
+// NaiveF32 scores every item through the two-stage pipeline and returns
+// the exact top-k — same ranking as Naive, roughly half the sweep
+// bandwidth.
+func NaiveF32(c *model.Composed, q []float64, k int) []vecmath.Scored {
+	st := vecmath.NewTopKStream(k)
+	NaiveF32Into(c, q, st)
+	return st.Ranked()
+}
+
+// CascadeF32 is Cascade with the surviving leaf frontier ranked through
+// the two-stage pipeline. The beam walk itself stays on the f64 node
+// slab — category levels are tiny and the walk decides WHICH leaves are
+// reached, which must match the f64 cascade exactly — so items, order and
+// Stats are all identical to Cascade's.
+func CascadeF32(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
+	frontier, stats, err := walk(c, q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := vecmath.NewTopKStream(k)
+	cascadeLeavesF32(c, q, frontier, st)
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return st.Ranked(), stats, nil
+}
+
+// cascadeLeavesF32 ranks a leaf frontier's items into st: f32 gather over
+// the node slab into the candidate heap, then exact rescore. Rescoring
+// reads the item slab, whose leaf rows are bit-identical to the node
+// rows, so results match the f64 frontier loop exactly.
+func cascadeLeavesF32(c *model.Composed, q []float64, frontier []int32, st *vecmath.TopKStream) {
+	ix := c.Index
+	k := st.K()
+	if k <= 0 {
+		return
+	}
+	sc := getF32Scratch(q)
+	defer f32Scratches.Put(sc)
+	eps := ix.NodeErrBound32(q)
+	for kp := f32OverFetch(k); ; kp *= 2 {
+		if kp >= len(frontier) {
+			st.Reset(k)
+			for _, leaf := range frontier {
+				st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+			}
+			return
+		}
+		sc.cand.Reset(kp)
+		for _, leaf := range frontier {
+			sc.cand.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode32(int(leaf), sc.q32))
+		}
+		st.Reset(k)
+		if rescoreItems(ix, q, &sc.cand, st, eps) {
+			return
+		}
+		f32Escalations.Add(1)
+	}
+}
+
+// DiversifiedF32 is Diversified through the two-stage pipeline: the f32
+// sweep keeps an over-fetched candidate heap per touched category, the
+// candidates are rescored exactly into per-category quota heaps, and the
+// final top-k is selected from those. Exactness needs a per-category
+// certificate: for every category whose f32 heap filled, the excluded
+// items of that category score at most τ_cat + ε exactly — if that stays
+// strictly below the final k-th score, an excluded item can neither enter
+// the final ranking nor displace a quota entry that the final ranking
+// uses (any quota entry it would displace also scores below the boundary
+// and so was not selected anyway). Any category failing the certificate
+// escalates the whole sweep with a doubled per-category budget.
+func DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
+	if maxPerCategory <= 0 {
+		return nil, errMaxPerCategory(maxPerCategory)
+	}
+	if catDepth < 1 || catDepth >= c.Tree.Depth() {
+		return nil, errCatDepth(catDepth, c.Tree.Depth())
+	}
+	ix := c.Index
+	perCat := maxPerCategory
+	if perCat > k {
+		perCat = k
+	}
+	sc := getF32Scratch(q)
+	defer f32Scratches.Put(sc)
+	q32 := sc.q32
+	eps := ix.ItemErrBound32(q)
+	width := len(c.Tree.Level(catDepth))
+	cats32 := make([]vecmath.TopKStream32, width)
+	armed := make([]bool, width)
+	cats := make([]vecmath.TopKStream, width)
+	for perp := f32OverFetch(perCat); ; perp *= 2 {
+		if perp >= ix.NumItems() {
+			// every category retains all its items: no pruning left
+			return Diversified(c, q, k, maxPerCategory, catDepth)
+		}
+		for i := range armed {
+			armed[i] = false
+		}
+		var block [blockItems]float32
+		n := ix.NumItems()
+		for lo := 0; lo < n; lo += blockItems {
+			hi := lo + blockItems
+			if hi > n {
+				hi = n
+			}
+			buf := block[:hi-lo]
+			ix.ItemScoresRange32Into(q32, lo, hi, buf)
+			for i, s := range buf {
+				item := lo + i
+				pos := ix.LevelPos(ix.ItemCategory(item, catDepth))
+				if !armed[pos] {
+					cats32[pos].Reset(perp)
+					armed[pos] = true
+				}
+				cats32[pos].Push(item, s)
+			}
+		}
+		if final, ok := rescoreDiversified(ix, q, cats32, cats, armed, perCat, k, eps); ok {
+			return final.Ranked(), nil
+		}
+		f32Escalations.Add(1)
+	}
+}
+
+// rescoreDiversified rescores every retained candidate exactly into
+// per-category quota heaps, selects the final top-k, and checks the
+// per-category separation certificate. It returns the final collector and
+// whether the result is certified exact.
+func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.TopKStream32, cats []vecmath.TopKStream, armed []bool, perCat, k int, eps float64) (*vecmath.TopKStream, bool) {
+	for pos := range cats32 {
+		if !armed[pos] {
+			continue
+		}
+		cats[pos].Reset(perCat)
+		for _, e := range cats32[pos].Entries() {
+			cats[pos].Push(e.ID, ix.ScoreItem(e.ID, q))
+		}
+	}
+	final := vecmath.NewTopKStream(k)
+	for pos := range cats {
+		if !armed[pos] {
+			continue
+		}
+		final.Merge(&cats[pos])
+	}
+	boundary, full := final.Threshold()
+	for pos := range cats32 {
+		if !armed[pos] {
+			continue
+		}
+		tau, catFull := cats32[pos].Threshold()
+		if !catFull {
+			continue // category fully retained: nothing excluded
+		}
+		// as in separated(): a non-finite τ (f32 overflow) can never
+		// certify, since the error bound covers rounding only
+		tau64 := float64(tau)
+		if !full || math.IsInf(tau64, 0) || math.IsNaN(tau64) || tau64+eps >= boundary {
+			return final, false
+		}
+	}
+	return final, true
+}
+
+// multiF32Scratch is the reusable state of a batched f32 sweep: the
+// per-query candidate heaps, their pointer view (the task wire format),
+// and the rounded queries sliced from one flat backing array. Pooled so
+// steady-state batched serving — the default pipeline under load —
+// allocates nothing, matching the f64 batch path.
+type multiF32Scratch struct {
+	cands []vecmath.TopKStream32
+	ptrs  []*vecmath.TopKStream32
+	qbuf  []float32
+	qs32  [][]float32
+}
+
+var multiF32Scratches = sync.Pool{New: func() any { return new(multiF32Scratch) }}
+
+// getMultiF32Scratch arms a scratch for the batch: candidate heaps reset
+// to each query's over-fetch budget and queries rounded to float32.
+func getMultiF32Scratch(qs [][]float64, outs []*vecmath.TopKStream) *multiF32Scratch {
+	sc := multiF32Scratches.Get().(*multiF32Scratch)
+	b := len(qs)
+	if cap(sc.cands) < b {
+		sc.cands = make([]vecmath.TopKStream32, b)
+		sc.ptrs = make([]*vecmath.TopKStream32, b)
+		sc.qs32 = make([][]float32, b)
+	}
+	sc.cands, sc.ptrs, sc.qs32 = sc.cands[:b], sc.ptrs[:b], sc.qs32[:b]
+	need := 0
+	for _, q := range qs {
+		need += len(q)
+	}
+	if cap(sc.qbuf) < need {
+		sc.qbuf = make([]float32, need)
+	}
+	sc.qbuf = sc.qbuf[:need]
+	off := 0
+	for i, q := range qs {
+		sc.cands[i].Reset(f32OverFetch(outs[i].K()))
+		sc.ptrs[i] = &sc.cands[i]
+		q32 := sc.qbuf[off : off+len(q) : off+len(q)]
+		vecmath.Downconvert32(q32, q)
+		sc.qs32[i] = q32
+		off += len(q)
+	}
+	return sc
+}
+
+// MultiNaiveF32Into is the two-stage counterpart of MultiNaiveInto: one
+// query-major pass over each cache-resident f32 shard collects every
+// query's candidate heap, then each query rescores independently. A query
+// whose margin fails to separate escalates alone through the serial
+// pipeline at the next budget doubling — the shared sweep is not
+// repeated for the batch.
+func MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
+	ix := c.Index
+	sc := getMultiF32Scratch(qs, outs)
+	defer multiF32Scratches.Put(sc)
+	items := ix.NumItems()
+	var block [blockItems]float32
+	for s, n := 0, ix.NumShards(); s < n; s++ {
+		lo, hi := ix.Shard(s)
+		for i := range sc.qs32 {
+			// a budget covering the catalog means this query goes
+			// straight to the f64 sweep in the finish stage; don't pay
+			// the f32 sweep for it
+			if sc.cands[i].K() >= items {
+				continue
+			}
+			sweepRange32Into(ix, sc.qs32[i], lo, hi, block[:], &sc.cands[i])
+		}
+	}
+	finishMultiF32(c, qs, outs, sc.cands)
+}
+
+// finishMultiF32 runs the per-query rescore stage of a batched f32 sweep.
+func finishMultiF32(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, cands []vecmath.TopKStream32) {
+	ix := c.Index
+	n := ix.NumItems()
+	for i, q := range qs {
+		k := outs[i].K()
+		if k <= 0 {
+			continue
+		}
+		if cands[i].K() >= n {
+			// the candidate heap saw every item; rescore is the whole input
+			outs[i].Reset(k)
+			NaiveInto(c, q, outs[i])
+			continue
+		}
+		eps := ix.ItemErrBound32(q)
+		outs[i].Reset(k)
+		if rescoreItems(ix, q, &cands[i], outs[i], eps) {
+			continue
+		}
+		f32Escalations.Add(1)
+		naiveF32Into(c, q, outs[i], cands[i].K()*2)
+	}
+}

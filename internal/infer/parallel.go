@@ -56,13 +56,17 @@ func (b *taskBase) base() *taskBase { return b }
 
 // scratch is the per-participant reusable state: one bounded heap for
 // single-query sweeps, per-query heaps for batched sweeps, and per-category
-// heaps for diversified sweeps. Background workers own one for life;
-// submitting goroutines borrow one from the pool per dispatch.
+// heaps for diversified sweeps — each in a float64 and a float32 variant,
+// since a task sweeps exactly one precision. Background workers own one
+// for life; submitting goroutines borrow one from the pool per dispatch.
 type scratch struct {
-	st    vecmath.TopKStream
-	multi []vecmath.TopKStream
-	cats  []vecmath.TopKStream
-	armed []bool
+	st      vecmath.TopKStream
+	multi   []vecmath.TopKStream
+	cats    []vecmath.TopKStream
+	armed   []bool
+	st32    vecmath.TopKStream32
+	multi32 []vecmath.TopKStream32
+	cats32  []vecmath.TopKStream32
 }
 
 // NewPool starts a pool of the given total parallelism; workers <= 0 uses
@@ -140,11 +144,16 @@ func (p *Pool) dispatch(t task, fan int) {
 
 // sweepTask is the fan-out state of one parallel NaiveInto: participants
 // claim shard indices from next and merge their partial heaps into out.
+// In f32 mode (out32 non-nil) the claimed shards are swept through the
+// compact slab into per-worker f32 candidate heaps instead; the caller
+// owns the rescore stage.
 type sweepTask struct {
 	taskBase
 	ix        *model.ScoringIndex
 	q         []float64
 	k         int
+	q32       []float32
+	out32     *vecmath.TopKStream32
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -152,6 +161,25 @@ type sweepTask struct {
 }
 
 func (t *sweepTask) run(sc *scratch) {
+	if t.out32 != nil {
+		st := &sc.st32
+		st.Reset(t.k)
+		var block [blockItems]float32
+		for {
+			s := int(t.next.Add(1)) - 1
+			if s >= int(t.numShards) {
+				break
+			}
+			lo, hi := t.ix.Shard(s)
+			sweepRange32Into(t.ix, t.q32, lo, hi, block[:], st)
+		}
+		if st.Len() > 0 {
+			t.mu.Lock()
+			t.out32.Merge(st)
+			t.mu.Unlock()
+		}
+		return
+	}
 	st := &sc.st
 	st.Reset(t.k)
 	var block [blockItems]float64
@@ -202,6 +230,60 @@ func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmat
 	return st.Ranked()
 }
 
+// NaiveF32Into is the sharded two-stage pipeline: participants sweep f32
+// shards into per-worker candidate heaps which merge into one k'
+// candidate set — identical to the serial f32 sweep's, since a bounded
+// heap's retained set is exactly the k' best under the f32 total order —
+// and the submitting goroutine rescores it exactly. Escalation
+// re-dispatches the sweep with a doubled budget; results are
+// byte-identical to NaiveInto for any shard size and worker count.
+func (p *Pool) NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 {
+		NaiveF32Into(c, q, st)
+		return
+	}
+	n := ix.NumItems()
+	k := st.K()
+	if k <= 0 {
+		return
+	}
+	sc := getF32Scratch(q)
+	defer f32Scratches.Put(sc)
+	eps := ix.ItemErrBound32(q)
+	for kp := f32OverFetch(k); ; kp *= 2 {
+		if kp >= n {
+			st.Reset(k)
+			p.NaiveInto(c, q, st, maxWorkers)
+			return
+		}
+		sc.cand.Reset(kp)
+		t, _ := p.sweeps.Get().(*sweepTask)
+		if t == nil {
+			t = new(sweepTask)
+		}
+		t.ix, t.q32, t.k, t.out32 = ix, sc.q32, kp, &sc.cand
+		t.numShards = int32(ix.NumShards())
+		t.next.Store(0)
+		p.dispatch(t, fan)
+		t.ix, t.q32, t.out32 = nil, nil, nil
+		p.sweeps.Put(t)
+		st.Reset(k)
+		if rescoreItems(ix, q, &sc.cand, st, eps) {
+			return
+		}
+		f32Escalations.Add(1)
+	}
+}
+
+// NaiveF32 returns the exact top-k via the sharded two-stage pipeline.
+func (p *Pool) NaiveF32(c *model.Composed, q []float64, k, maxWorkers int) []vecmath.Scored {
+	st := vecmath.NewTopKStream(k)
+	p.NaiveF32Into(c, q, st, maxWorkers)
+	return st.Ranked()
+}
+
 // ---- cascaded inference: parallel leaf frontier -------------------------
 
 // leafChunk is the unit of work when scoring a cascade's leaf frontier in
@@ -215,6 +297,8 @@ type leafTask struct {
 	ix     *model.ScoringIndex
 	q      []float64
 	k      int
+	q32    []float32
+	out32  *vecmath.TopKStream32
 	leaves []int32
 	next   atomic.Int32
 	mu     sync.Mutex
@@ -222,13 +306,39 @@ type leafTask struct {
 }
 
 func (t *leafTask) run(sc *scratch) {
+	if t.out32 != nil {
+		st := &sc.st32
+		st.Reset(t.k)
+		t.eachChunk(func(leaf int32) {
+			st.Push(t.tree.NodeItem(int(leaf)), t.ix.ScoreNode32(int(leaf), t.q32))
+		})
+		if st.Len() > 0 {
+			t.mu.Lock()
+			t.out32.Merge(st)
+			t.mu.Unlock()
+		}
+		return
+	}
 	st := &sc.st
 	st.Reset(t.k)
+	t.eachChunk(func(leaf int32) {
+		st.Push(t.tree.NodeItem(int(leaf)), t.ix.ScoreNode(int(leaf), t.q))
+	})
+	if st.Len() > 0 {
+		t.mu.Lock()
+		t.out.Merge(st)
+		t.mu.Unlock()
+	}
+}
+
+// eachChunk claims frontier chunks off the shared counter and visits
+// every leaf of each claimed chunk.
+func (t *leafTask) eachChunk(visit func(leaf int32)) {
 	chunks := (len(t.leaves) + leafChunk - 1) / leafChunk
 	for {
 		ci := int(t.next.Add(1)) - 1
 		if ci >= chunks {
-			break
+			return
 		}
 		lo := ci * leafChunk
 		hi := lo + leafChunk
@@ -236,13 +346,8 @@ func (t *leafTask) run(sc *scratch) {
 			hi = len(t.leaves)
 		}
 		for _, leaf := range t.leaves[lo:hi] {
-			st.Push(t.tree.NodeItem(int(leaf)), t.ix.ScoreNode(int(leaf), t.q))
+			visit(leaf)
 		}
-	}
-	if st.Len() > 0 {
-		t.mu.Lock()
-		t.out.Merge(st)
-		t.mu.Unlock()
 	}
 }
 
@@ -279,31 +384,92 @@ func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, max
 	return st.Ranked(), stats, nil
 }
 
+// CascadeF32 is Pool.Cascade with the leaf frontier ranked through the
+// two-stage pipeline: the frontier's f32 scores are gathered across the
+// pool into one merged candidate heap, then rescored exactly by the
+// submitting goroutine. Items, order and Stats match the serial Cascade.
+func (p *Pool) CascadeF32(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
+	frontier, stats, err := walk(c, q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := vecmath.NewTopKStream(k)
+	chunks := (len(frontier) + leafChunk - 1) / leafChunk
+	fan := p.fanout(maxWorkers, chunks)
+	if fan <= 1 || k <= 0 {
+		cascadeLeavesF32(c, q, frontier, st)
+	} else {
+		ix := c.Index
+		sc := getF32Scratch(q)
+		eps := ix.NodeErrBound32(q)
+		for kp := f32OverFetch(k); ; kp *= 2 {
+			if kp >= len(frontier) {
+				// budget covers the frontier: fall back to the exact f64
+				// frontier scoring, fanned out as usual
+				st.Reset(k)
+				t := p.getLeafTask()
+				t.tree, t.ix, t.q, t.k, t.leaves, t.out = c.Tree, ix, q, k, frontier, st
+				t.next.Store(0)
+				p.dispatch(t, fan)
+				t.tree, t.ix, t.q, t.leaves, t.out = nil, nil, nil, nil, nil
+				p.leaves.Put(t)
+				break
+			}
+			sc.cand.Reset(kp)
+			t := p.getLeafTask()
+			t.tree, t.ix, t.q32, t.k, t.leaves, t.out32 = c.Tree, ix, sc.q32, kp, frontier, &sc.cand
+			t.next.Store(0)
+			p.dispatch(t, fan)
+			t.tree, t.ix, t.q32, t.leaves, t.out32 = nil, nil, nil, nil, nil
+			p.leaves.Put(t)
+			st.Reset(k)
+			if rescoreItems(ix, q, &sc.cand, st, eps) {
+				break
+			}
+			f32Escalations.Add(1)
+		}
+		f32Scratches.Put(sc)
+	}
+	stats.NodesScored += len(frontier)
+	stats.LeavesScored = len(frontier)
+	return st.Ranked(), stats, nil
+}
+
+func (p *Pool) getLeafTask() *leafTask {
+	t, _ := p.leaves.Get().(*leafTask)
+	if t == nil {
+		t = new(leafTask)
+	}
+	return t
+}
+
 // ---- diversified inference: sharded per-category quota heaps ------------
 
 type divTask struct {
 	taskBase
 	ix        *model.ScoringIndex
 	q         []float64
+	q32       []float32
 	perCat    int
 	catDepth  int
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
 	gcats     []vecmath.TopKStream
+	gcats32   []vecmath.TopKStream32
 	garmed    []bool
 }
 
 func (t *divTask) run(sc *scratch) {
+	if t.q32 != nil {
+		t.run32(sc)
+		return
+	}
 	width := len(t.gcats)
 	if cap(sc.cats) < width {
 		sc.cats = make([]vecmath.TopKStream, width)
-		sc.armed = make([]bool, width)
 	}
-	cats, armed := sc.cats[:width], sc.armed[:width]
-	for i := range armed {
-		armed[i] = false
-	}
+	cats, armed := sc.cats[:width], sc.armedSlice(width)
 	var block [blockItems]float64
 	for {
 		s := int(t.next.Add(1)) - 1
@@ -341,6 +507,67 @@ func (t *divTask) run(sc *scratch) {
 		t.gcats[pos].Merge(&cats[pos])
 	}
 	t.mu.Unlock()
+}
+
+// run32 is the f32-mode divTask body: identical claim loop over the
+// compact slab with per-worker per-category candidate heaps of the
+// over-fetched budget, merged into the shared f32 category heaps.
+func (t *divTask) run32(sc *scratch) {
+	width := len(t.gcats32)
+	if cap(sc.cats32) < width {
+		sc.cats32 = make([]vecmath.TopKStream32, width)
+	}
+	cats, armed := sc.cats32[:width], sc.armedSlice(width)
+	var block [blockItems]float32
+	for {
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		shardLo, shardHi := t.ix.Shard(s)
+		for lo := shardLo; lo < shardHi; lo += blockItems {
+			hi := lo + blockItems
+			if hi > shardHi {
+				hi = shardHi
+			}
+			buf := block[:hi-lo]
+			t.ix.ItemScoresRange32Into(t.q32, lo, hi, buf)
+			for i, score := range buf {
+				item := lo + i
+				pos := t.ix.LevelPos(t.ix.ItemCategory(item, t.catDepth))
+				if !armed[pos] {
+					cats[pos].Reset(t.perCat)
+					armed[pos] = true
+				}
+				cats[pos].Push(item, score)
+			}
+		}
+	}
+	t.mu.Lock()
+	for pos := range cats {
+		if !armed[pos] {
+			continue
+		}
+		if !t.garmed[pos] {
+			t.gcats32[pos].Reset(t.perCat)
+			t.garmed[pos] = true
+		}
+		t.gcats32[pos].Merge(&cats[pos])
+	}
+	t.mu.Unlock()
+}
+
+// armedSlice returns the scratch's per-category armed flags, cleared and
+// sized to width.
+func (sc *scratch) armedSlice(width int) []bool {
+	if cap(sc.armed) < width {
+		sc.armed = make([]bool, width)
+	}
+	armed := sc.armed[:width]
+	for i := range armed {
+		armed[i] = false
+	}
+	return armed
 }
 
 // Diversified is the sharded parallel counterpart of Diversified: each
@@ -393,12 +620,73 @@ func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, ca
 	return final.Ranked(), nil
 }
 
+// DiversifiedF32 is the sharded two-stage Diversified: per-worker
+// per-category f32 candidate heaps (over-fetched to perCat' = perCat +
+// margin) merge into global category heaps, the submitting goroutine
+// rescores every retained candidate exactly, and the per-category
+// separation certificate of DiversifiedF32 decides whether to escalate.
+// Results are byte-identical to the serial Diversified.
+func (p *Pool) DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 {
+		return DiversifiedF32(c, q, k, maxPerCategory, catDepth)
+	}
+	if maxPerCategory <= 0 {
+		return nil, errMaxPerCategory(maxPerCategory)
+	}
+	if catDepth < 1 || catDepth >= c.Tree.Depth() {
+		return nil, errCatDepth(catDepth, c.Tree.Depth())
+	}
+	perCat := maxPerCategory
+	if perCat > k {
+		perCat = k
+	}
+	sc := getF32Scratch(q)
+	defer f32Scratches.Put(sc)
+	eps := ix.ItemErrBound32(q)
+	width := len(c.Tree.Level(catDepth))
+	cats := make([]vecmath.TopKStream, width)
+	for perp := f32OverFetch(perCat); ; perp *= 2 {
+		if perp >= ix.NumItems() {
+			return p.Diversified(c, q, k, maxPerCategory, catDepth, maxWorkers)
+		}
+		t, _ := p.divs.Get().(*divTask)
+		if t == nil {
+			t = new(divTask)
+		}
+		if cap(t.gcats32) < width {
+			t.gcats32 = make([]vecmath.TopKStream32, width)
+		}
+		if cap(t.garmed) < width {
+			t.garmed = make([]bool, width)
+		}
+		t.gcats32, t.garmed = t.gcats32[:width], t.garmed[:width]
+		for i := range t.garmed {
+			t.garmed[i] = false
+		}
+		t.ix, t.q32, t.perCat, t.catDepth = ix, sc.q32, perp, catDepth
+		t.numShards = int32(ix.NumShards())
+		t.next.Store(0)
+		p.dispatch(t, fan)
+		final, ok := rescoreDiversified(ix, q, t.gcats32, cats, t.garmed, perCat, k, eps)
+		t.ix, t.q32 = nil, nil
+		p.divs.Put(t)
+		if ok {
+			return final.Ranked(), nil
+		}
+		f32Escalations.Add(1)
+	}
+}
+
 // ---- batched multi-query sweep ------------------------------------------
 
 type multiTask struct {
 	taskBase
 	ix        *model.ScoringIndex
 	qs        [][]float64
+	qs32      [][]float32
+	outs32    []*vecmath.TopKStream32
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -406,6 +694,10 @@ type multiTask struct {
 }
 
 func (t *multiTask) run(sc *scratch) {
+	if t.outs32 != nil {
+		t.run32(sc)
+		return
+	}
 	b := len(t.qs)
 	if cap(sc.multi) < b {
 		sc.multi = make([]vecmath.TopKStream, b)
@@ -431,6 +723,44 @@ func (t *multiTask) run(sc *scratch) {
 	for i := range parts {
 		if parts[i].Len() > 0 {
 			t.outs[i].Merge(&parts[i])
+		}
+	}
+	t.mu.Unlock()
+}
+
+// run32 is the f32-mode multiTask body: the same query-major sweep over
+// the cache-resident compact shards into per-worker per-query candidate
+// heaps, merged into the shared per-query candidate sets.
+func (t *multiTask) run32(sc *scratch) {
+	b := len(t.qs32)
+	if cap(sc.multi32) < b {
+		sc.multi32 = make([]vecmath.TopKStream32, b)
+	}
+	parts := sc.multi32[:b]
+	for i := range parts {
+		parts[i].Reset(t.outs32[i].K())
+	}
+	items := t.ix.NumItems()
+	var block [blockItems]float32
+	for {
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		lo, hi := t.ix.Shard(s)
+		for i, q32 := range t.qs32 {
+			// queries whose budget covers the catalog skip the f32 sweep;
+			// the finish stage runs them through the f64 path directly
+			if t.outs32[i].K() >= items {
+				continue
+			}
+			sweepRange32Into(t.ix, q32, lo, hi, block[:], &parts[i])
+		}
+	}
+	t.mu.Lock()
+	for i := range parts {
+		if parts[i].Len() > 0 {
+			t.outs32[i].Merge(&parts[i])
 		}
 	}
 	t.mu.Unlock()
@@ -471,4 +801,32 @@ func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath
 	p.dispatch(t, fan)
 	t.ix, t.qs, t.outs = nil, nil, nil
 	p.multis.Put(t)
+}
+
+// MultiNaiveF32Into fans the batched two-stage sweep across the pool:
+// participants claim compact-slab shards and score the whole batch
+// against each, the per-query candidate sets are merged, and the
+// submitting goroutine rescores each query exactly. A query whose margin
+// fails escalates alone through the serial pipeline; every collector ends
+// up byte-identical to its serial single-query f64 ranking.
+func (p *Pool) MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
+	ix := c.Index
+	fan := p.fanout(maxWorkers, ix.NumShards())
+	if fan <= 1 || len(qs) == 0 {
+		MultiNaiveF32Into(c, qs, outs)
+		return
+	}
+	sc := getMultiF32Scratch(qs, outs)
+	defer multiF32Scratches.Put(sc)
+	t, _ := p.multis.Get().(*multiTask)
+	if t == nil {
+		t = new(multiTask)
+	}
+	t.ix, t.qs32, t.outs32 = ix, sc.qs32, sc.ptrs
+	t.numShards = int32(ix.NumShards())
+	t.next.Store(0)
+	p.dispatch(t, fan)
+	t.ix, t.qs32, t.outs32 = nil, nil, nil
+	p.multis.Put(t)
+	finishMultiF32(c, qs, outs, sc.cands)
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package infer
+
+const raceEnabled = false

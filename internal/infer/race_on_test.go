@@ -1,0 +1,8 @@
+//go:build race
+
+package infer
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// intentionally drops puts at random under the detector, so
+// allocation-freeness of pool-backed paths cannot be asserted there.
+const raceEnabled = true

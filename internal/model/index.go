@@ -1,6 +1,9 @@
 package model
 
 import (
+	"math"
+	"sync"
+
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
 )
@@ -33,6 +36,27 @@ type ScoringIndex struct {
 
 	nodeFactors []float64 // numNodes x k, node-major
 	nodeBias    []float64 // numNodes
+
+	// Compact float32 mirrors of the two slabs (biases folded the same
+	// way), at half the bytes per row, built lazily on first f32 use so
+	// f64-pinned deployments never pay the extra 50% slab memory. The
+	// two-stage serving pipeline sweeps these and rescores its candidates
+	// from the float64 slabs above; the float64 slabs stay authoritative
+	// for training, the cascade beam walk and the exact rescore. The
+	// item-major f64 rows are exact copies of their leaf node rows and
+	// float64→float32 rounding is deterministic, so a leaf scores
+	// bit-identically through either f32 slab — exactly as the float64
+	// slabs relate.
+	f32Once    sync.Once
+	item32     *vecmath.Matrix32 // numItems x k
+	itemBias32 []float32         // numItems
+	node32     *vecmath.Matrix32 // numNodes x k
+	nodeBias32 []float32         // numNodes
+
+	// Magnitude bounds of the float64 slabs, taken before conversion;
+	// ErrBound32 derives the certified |f32 − f64| score bound from them.
+	maxAbsItemFactor, maxAbsItemBias float64
+	maxAbsNodeFactor, maxAbsNodeBias float64
 
 	// itemCat[d][i] is item i's ancestor node at taxonomy depth d
 	// (itemCat[0] is all-root, itemCat[Depth] the leaf nodes themselves);
@@ -89,6 +113,30 @@ func buildIndex(tree *taxonomy.Tree, eff *vecmath.Matrix, effBias *vecmath.Matri
 	return ix
 }
 
+// ensure32 materializes the compact float32 slabs and the magnitude
+// bounds on first use; every f32 accessor funnels through it, so the
+// conversion cost (and the extra memory) is paid only by snapshots that
+// actually sweep f32. Safe for concurrent first use.
+func (ix *ScoringIndex) ensure32() {
+	ix.f32Once.Do(func() {
+		ix.node32 = vecmath.NewMatrix32(len(ix.nodeBias), ix.k)
+		ix.node32.SetFrom(ix.nodeFactors)
+		ix.nodeBias32 = make([]float32, len(ix.nodeBias))
+		vecmath.Downconvert32(ix.nodeBias32, ix.nodeBias)
+		// the f64 item rows are exact copies of their leaf node rows, so
+		// rounding them directly yields bitwise the same f32 rows as
+		// copying from node32
+		ix.item32 = vecmath.NewMatrix32(ix.numItems, ix.k)
+		ix.item32.SetFrom(ix.itemFactors)
+		ix.itemBias32 = make([]float32, ix.numItems)
+		vecmath.Downconvert32(ix.itemBias32, ix.itemBias)
+		ix.maxAbsItemFactor = vecmath.MaxAbs(ix.itemFactors)
+		ix.maxAbsItemBias = vecmath.MaxAbs(ix.itemBias)
+		ix.maxAbsNodeFactor = vecmath.MaxAbs(ix.nodeFactors)
+		ix.maxAbsNodeBias = vecmath.MaxAbs(ix.nodeBias)
+	})
+}
+
 // shardTargetBytes is the factor-slab footprint a sweep shard aims for:
 // small enough that a shard's rows stay resident in a core's L2 while its
 // worker streams through them, large enough that shard-claiming overhead
@@ -97,12 +145,15 @@ const shardTargetBytes = 256 << 10
 
 // defaultShardItems derives the per-shard item count from the factor
 // dimensionality, rounded to a multiple of 64 rows so shard boundaries
-// stay cache-line aligned for any k.
+// stay cache-line aligned for any k. Sizing uses the 4-byte float32 rows
+// the default sweep streams, so compact slabs double the items per shard;
+// a float64 sweep over the same partition reads 2x the target bytes per
+// shard, still L2-resident on current cores.
 func defaultShardItems(k int) int {
 	if k <= 0 {
 		return 64
 	}
-	n := shardTargetBytes / (k * 8)
+	n := shardTargetBytes / (k * 4)
 	n &^= 63
 	if n < 64 {
 		n = 64
@@ -175,6 +226,69 @@ func (ix *ScoringIndex) ItemScoresInto(q, dst []float64) {
 // into a stack buffer.
 func (ix *ScoringIndex) ItemScoresRangeInto(q []float64, lo, hi int, dst []float64) {
 	vecmath.MatVecBias(ix.itemFactors[lo*ix.k:hi*ix.k], ix.k, ix.itemBias[lo:hi], q, dst[:hi-lo])
+}
+
+// ItemFactor32 returns item's compact float32 factor as a read-only view
+// into the item-major f32 slab.
+func (ix *ScoringIndex) ItemFactor32(item int) []float32 {
+	ix.ensure32()
+	return ix.item32.Row(item)
+}
+
+// ScoreItem32 returns the float32 affinity bias32 + ⟨q32, vI_item⟩,
+// accumulated entirely in float32.
+func (ix *ScoringIndex) ScoreItem32(item int, q32 []float32) float32 {
+	ix.ensure32()
+	return vecmath.DotBias32(q32, ix.item32.Row(item), ix.itemBias32[item])
+}
+
+// ScoreNode32 returns the float32 affinity of any taxonomy node.
+func (ix *ScoringIndex) ScoreNode32(node int, q32 []float32) float32 {
+	ix.ensure32()
+	return vecmath.DotBias32(q32, ix.node32.Row(node), ix.nodeBias32[node])
+}
+
+// ItemScoresRange32Into scores the contiguous item range [lo, hi) through
+// the compact f32 slab into dst[:hi-lo] — the bandwidth-halved twin of
+// ItemScoresRangeInto.
+func (ix *ScoringIndex) ItemScoresRange32Into(q32 []float32, lo, hi int, dst []float32) {
+	ix.ensure32()
+	k := ix.k
+	vecmath.MatVecBias32(ix.item32.Data()[lo*k:hi*k], k, ix.itemBias32[lo:hi], q32, dst[:hi-lo])
+}
+
+// ItemErrBound32 returns ε such that for every item,
+// |float64(ScoreItem32(item, f32(q))) − ScoreItem(item, q)| ≤ ε.
+// The two-stage pipeline uses it to certify that its candidate boundary
+// separates: any item outside the f32 candidate heap scores at most
+// τ32 + ε in exact arithmetic.
+func (ix *ScoringIndex) ItemErrBound32(q []float64) float64 {
+	ix.ensure32()
+	return errBound32(q, ix.maxAbsItemFactor, ix.maxAbsItemBias)
+}
+
+// NodeErrBound32 is ItemErrBound32 for ScoreNode32 over the node slab.
+func (ix *ScoringIndex) NodeErrBound32(q []float64) float64 {
+	ix.ensure32()
+	return errBound32(q, ix.maxAbsNodeFactor, ix.maxAbsNodeBias)
+}
+
+// errBound32 bounds the absolute difference between a score computed by
+// the f32 pipeline (f32-rounded factors, query and bias, f32-accumulated
+// n-term dot) and the exact f64 score, for any row whose factor entries
+// are ≤ maxF and bias ≤ maxB in magnitude. The true error is at most
+// ~(n+3)·2⁻²⁴·(Σ|q_i|·maxF + maxB): one rounding of each operand plus the
+// standard γ_{n+1} accumulation bound. We charge 2⁻²³ per step — a ≥2x
+// slack that also absorbs the (1+u)² cross terms — plus a tiny absolute
+// term covering subnormal conversions, whose error is absolute, not
+// relative.
+func errBound32(q []float64, maxF, maxB float64) float64 {
+	var sumAbs float64
+	for _, v := range q {
+		sumAbs += math.Abs(v)
+	}
+	const u = 1.0 / (1 << 23)
+	return (float64(len(q))+4)*u*(sumAbs*maxF+maxB) + 1e-30
 }
 
 // ItemCategory returns item's ancestor node at the given taxonomy depth.

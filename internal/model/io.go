@@ -29,8 +29,14 @@ var fileMagic = [8]byte{'T', 'F', 'R', 'E', 'C', 'M', 'D', 'L'}
 
 // fileVersion is the current on-disk format. Bump it when the persisted
 // struct changes incompatibly; Load rejects newer versions with a clear
-// error instead of a decode failure deep inside gob.
-const fileVersion uint32 = 1
+// error instead of a decode failure deep inside gob. Version history:
+//
+//	1 — magic + version header over the gob payload
+//	2 — payload carries the snapshot's serving Precision, so a model
+//	    validated for the two-stage f32 pipeline records that choice and
+//	    round-trips it; v1 and legacy headerless files decode with
+//	    PrecisionDefault
+const fileVersion uint32 = 2
 
 // headerLen is the magic plus a big-endian uint32 version.
 const headerLen = len(fileMagic) + 4
@@ -45,6 +51,9 @@ type persisted struct {
 	Node     []float64
 	Next     []float64
 	Bias     []float64
+	// Precision is the serving precision recorded with the model (format
+	// version 2); gob leaves it PrecisionDefault for older payloads.
+	Precision Precision
 }
 
 // Save writes the model (including its taxonomy) to w: the versioned
@@ -57,13 +66,14 @@ func (m *TF) Save(w io.Writer) error {
 		return fmt.Errorf("model: write header: %w", err)
 	}
 	p := persisted{
-		Params:   m.P,
-		Parents:  m.Tree.ParentArray(),
-		NumUsers: m.NumUsers(),
-		User:     m.User.CompactData(),
-		Node:     m.Node.CompactData(),
-		Next:     m.Next.CompactData(),
-		Bias:     m.Bias.CompactData(),
+		Params:    m.P,
+		Parents:   m.Tree.ParentArray(),
+		NumUsers:  m.NumUsers(),
+		User:      m.User.CompactData(),
+		Node:      m.Node.CompactData(),
+		Next:      m.Next.CompactData(),
+		Bias:      m.Bias.CompactData(),
+		Precision: m.Precision,
 	}
 	return gob.NewEncoder(w).Encode(&p)
 }
@@ -123,6 +133,10 @@ func decodePersisted(r io.Reader) (*TF, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Precision > PrecisionF64 {
+		return nil, fmt.Errorf("unknown precision %d in file", p.Precision)
+	}
+	m.Precision = p.Precision
 	if len(p.Bias) == 0 {
 		// files written before the bias extension: biases stay zero
 		p.Bias = make([]float64, m.Bias.Rows()*m.Bias.Cols())

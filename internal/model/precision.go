@@ -1,0 +1,60 @@
+package model
+
+import "fmt"
+
+// Precision selects the scoring data path a query sweeps. It is threaded
+// from the CLIs through serve requests down to infer: PrecisionF32 runs
+// the two-stage pipeline (compact float32 slab sweep into an over-fetched
+// candidate heap, then an exact float64 rescore of the candidates), which
+// halves sweep bandwidth while producing rankings byte-identical to the
+// pure float64 path; PrecisionF64 forces the pure float64 sweep.
+//
+// The zero value PrecisionDefault means "no explicit choice" and resolves
+// to PrecisionF32 — the serving default — unless an outer layer (server
+// option, model file) supplies one.
+type Precision uint8
+
+const (
+	// PrecisionDefault defers the choice to the surrounding configuration
+	// (request → server → model file), bottoming out at PrecisionF32.
+	PrecisionDefault Precision = iota
+	// PrecisionF32 is the two-stage exact pipeline: f32 slab sweep with
+	// k' over-fetch, then f64 rescore of the candidates.
+	PrecisionF32
+	// PrecisionF64 is the pure float64 sweep.
+	PrecisionF64
+)
+
+// Resolve maps PrecisionDefault to the build default, PrecisionF32.
+func (p Precision) Resolve() Precision {
+	if p == PrecisionDefault {
+		return PrecisionF32
+	}
+	return p
+}
+
+// String returns the wire spelling used by flags and the HTTP knob.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionF32:
+		return "f32"
+	case PrecisionF64:
+		return "f64"
+	default:
+		return "default"
+	}
+}
+
+// ParsePrecision parses the wire spelling: "f32", "f64", or "" (default).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "":
+		return PrecisionDefault, nil
+	case "f32":
+		return PrecisionF32, nil
+	case "f64":
+		return PrecisionF64, nil
+	default:
+		return PrecisionDefault, fmt.Errorf("model: unknown precision %q (want f32 or f64)", s)
+	}
+}

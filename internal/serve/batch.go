@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/vecmath"
 )
 
@@ -60,6 +62,16 @@ func NewBatcher(s *Server, maxBatch int, window time.Duration) *Batcher {
 // Recommend executes one request through the coalescing front, blocking
 // until its batch is cut and swept (at most Window plus the sweep time).
 func (b *Batcher) Recommend(req Request) ([]vecmath.Scored, error) {
+	return b.RecommendContext(context.Background(), req)
+}
+
+// RecommendContext is Recommend with cancellation: a caller whose ctx
+// ends while its batch is still pending stops waiting and gets ctx's
+// error. The request itself stays in the batch — the sweep is shared
+// work that other coalesced callers are waiting on, so one abandoned
+// caller never cancels or re-cuts the batch; its slot is simply computed
+// and discarded.
+func (b *Batcher) RecommendContext(ctx context.Context, req Request) ([]vecmath.Scored, error) {
 	b.mu.Lock()
 	mb := b.cur
 	if mb == nil {
@@ -76,7 +88,11 @@ func (b *Batcher) Recommend(req Request) ([]vecmath.Scored, error) {
 	} else {
 		b.mu.Unlock()
 	}
-	<-mb.done
+	select {
+	case <-mb.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	resp := mb.resps[idx]
 	return resp.Items, resp.Err
 }
@@ -104,6 +120,7 @@ func (b *Batcher) detachLocked(mb *microBatch) {
 func (b *Batcher) run(mb *microBatch) {
 	defer close(mb.done)
 	c := b.s.snap.Load()
+	batchPrec := b.s.effectivePrecision(c, Request{})
 	mb.resps = make([]Response, len(mb.reqs))
 	var (
 		qs   [][]float64
@@ -111,7 +128,11 @@ func (b *Batcher) run(mb *microBatch) {
 		idxs []int
 	)
 	for i, req := range mb.reqs {
-		if req.Cascade != nil || req.MaxPerCategory > 0 {
+		// the multi-query sweep is shared work at one precision, so a
+		// request pinning a different precision (like cascaded and
+		// diversified shapes) runs per-request where its override holds
+		if req.Cascade != nil || req.MaxPerCategory > 0 ||
+			(req.Precision != model.PrecisionDefault && req.Precision != batchPrec) {
 			mb.resps[i] = b.s.run(c, req)
 			continue
 		}
@@ -130,7 +151,12 @@ func (b *Batcher) run(mb *microBatch) {
 		idxs = append(idxs, i)
 	}
 	if len(qs) > 0 {
-		b.s.sweep.MultiNaiveInto(c, qs, outs, 0)
+		// everything left runs at the batch precision by construction
+		if batchPrec == model.PrecisionF32 {
+			b.s.sweep.MultiNaiveF32Into(c, qs, outs, 0)
+		} else {
+			b.s.sweep.MultiNaiveInto(c, qs, outs, 0)
+		}
 		for j, i := range idxs {
 			mb.resps[i] = Response{Items: outs[j].Ranked()}
 			b.s.putBuf(qs[j])

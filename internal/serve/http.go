@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -38,6 +40,7 @@ type HTTP struct {
 	reload  func() (*model.TF, error)
 	start   time.Time
 	batcher *Batcher
+	maxBody int64
 
 	users       atomic.Int64
 	sessions    atomic.Int64
@@ -47,10 +50,26 @@ type HTTP struct {
 	reloads     atomic.Int64
 }
 
+// DefaultMaxBodyBytes caps request bodies unless SetMaxBodyBytes chooses
+// otherwise. Recommend bodies are a few hundred bytes of ids; 1 MiB is
+// three orders of magnitude of headroom while keeping a hostile client
+// from streaming gigabytes into the JSON decoder.
+const DefaultMaxBodyBytes = 1 << 20
+
 // NewHTTP wraps srv. reload, which may be nil, produces a fresh model for
 // Reload (typically by re-reading the model file).
 func NewHTTP(srv *Server, reload func() (*model.TF, error)) *HTTP {
-	return &HTTP{srv: srv, reload: reload, start: time.Now()}
+	return &HTTP{srv: srv, reload: reload, start: time.Now(), maxBody: DefaultMaxBodyBytes}
+}
+
+// SetMaxBodyBytes overrides the request-body size limit; n <= 0 restores
+// the default. Bodies over the limit fail with 413. Call before the
+// handler starts serving.
+func (h *HTTP) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	h.maxBody = n
 }
 
 // EnableBatching puts a coalescing front before the full-scan endpoints:
@@ -155,8 +174,16 @@ func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, 
 
 func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// bound the body before the decoder touches it: a streamed
+		// gigabyte must die at the limit, not in the decoder's buffers
+		r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 		var wr wireRequest
 		if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				h.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			h.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
@@ -179,17 +206,39 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			}
 			req.Workers = n
 		}
-		// a request pinning a non-zero fan-out opts out of coalescing: the
-		// batch's sweep is shared, so a per-request worker cap can only be
-		// honored on the per-request path (workers=0 batches as usual)
+		// ?precision=f32|f64 overrides the scoring pipeline (rankings are
+		// identical; the knob is for benchmarking and escalation triage)
+		if ps := r.URL.Query().Get("precision"); ps != "" {
+			p, err := model.ParsePrecision(ps)
+			if err != nil {
+				h.fail(w, http.StatusBadRequest, fmt.Errorf("bad precision parameter %q (want f32 or f64)", ps))
+				return
+			}
+			req.Precision = p
+		}
+		// a request pinning a non-zero fan-out opts out of coalescing, as
+		// does a precision override the shared batch sweep would not
+		// honor; pinning the precision the batch already runs at keeps
+		// the coalescing win
 		var resp Response
-		if h.batcher != nil && req.Workers == 0 && req.Cascade == nil && req.MaxPerCategory <= 0 {
-			items, err := h.batcher.Recommend(req)
+		batchable := req.Precision == model.PrecisionDefault ||
+			req.Precision == h.srv.effectivePrecision(c, Request{})
+		if h.batcher != nil && req.Workers == 0 && batchable &&
+			req.Cascade == nil && req.MaxPerCategory <= 0 {
+			items, err := h.batcher.RecommendContext(r.Context(), req)
 			resp = Response{Items: items, Err: err}
 		} else {
 			resp = h.srv.run(c, req)
 		}
 		if resp.Err != nil {
+			// a context error usually means the client went away while
+			// its batch was pending — not a serving error worth alerting
+			// on. Still write 503 in case the connection is alive (e.g. a
+			// middleware deadline fired), so nothing reads as an empty 200.
+			if errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded) {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
 			h.fail(w, http.StatusBadRequest, resp.Err)
 			return
 		}
@@ -224,12 +273,17 @@ type statsResponse struct {
 		Diversified int64 `json:"diversified"`
 		Errors      int64 `json:"errors"`
 	} `json:"served"`
-	// Inference describes the parallel sweep and batching configuration.
+	// Inference describes the parallel sweep, precision and batching
+	// configuration. F32Escalations counts process-wide two-stage margin
+	// escalations — a steady climb means scores are tighter than float32
+	// resolution and f64 may serve cheaper.
 	Inference struct {
-		PoolWorkers int   `json:"pool_workers"`
-		Batching    bool  `json:"batching"`
-		Batches     int64 `json:"batches"`
-		BatchedReqs int64 `json:"batched_requests"`
+		PoolWorkers    int    `json:"pool_workers"`
+		Precision      string `json:"precision"`
+		F32Escalations int64  `json:"f32_escalations"`
+		Batching       bool   `json:"batching"`
+		Batches        int64  `json:"batches"`
+		BatchedReqs    int64  `json:"batched_requests"`
 	} `json:"inference"`
 	Reloads       int64   `json:"reloads"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -251,6 +305,8 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Served.Diversified = h.diversified.Load()
 	out.Served.Errors = h.errors.Load()
 	out.Inference.PoolWorkers = h.srv.Pool().Workers()
+	out.Inference.Precision = h.srv.Precision().String()
+	out.Inference.F32Escalations = infer.F32Escalations()
 	if h.batcher != nil {
 		out.Inference.Batching = true
 		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()

@@ -25,6 +25,10 @@ type Server struct {
 	// requests fan their catalog sweep across it and batches use it for
 	// the multi-query sweep. Nil means every request runs serial.
 	sweep *infer.Pool
+	// prec is the server-level precision choice (WithPrecision).
+	// PrecisionDefault defers to the snapshot's recorded preference and
+	// finally to the build default, the two-stage f32 pipeline.
+	prec model.Precision
 }
 
 // Option configures a Server at construction.
@@ -40,6 +44,16 @@ func WithWorkers(n int) Option {
 		}
 		s.sweep = infer.NewPool(n)
 	}
+}
+
+// WithPrecision pins the server's scoring precision, overriding the
+// model's recorded preference. model.PrecisionF32 (the default when
+// nothing chooses) runs the two-stage f32-sweep + exact-f64-rescore
+// pipeline; model.PrecisionF64 forces the pure float64 sweep. Rankings
+// are byte-identical either way; the knob trades sweep bandwidth against
+// the (rare) escalation re-sweeps of near-tie score regimes.
+func WithPrecision(p model.Precision) Option {
+	return func(s *Server) { s.prec = p }
 }
 
 // New builds a server from a trained model (the model is snapshotted; the
@@ -61,6 +75,12 @@ func (s *Server) Close() {
 
 // Pool exposes the server's inference pool (nil when serving serially).
 func (s *Server) Pool() *infer.Pool { return s.sweep }
+
+// Precision returns the resolved default precision for the current
+// snapshot — what a request with no override runs at.
+func (s *Server) Precision() model.Precision {
+	return s.effectivePrecision(s.snap.Load(), Request{})
+}
 
 // Update atomically swaps in a fresh snapshot of the (re)trained model.
 // In-flight requests finish on the old snapshot.
@@ -107,6 +127,21 @@ type Request struct {
 	// 0 uses the whole pool, 1 forces the serial sweep, n > 1 fans out to
 	// at most n participants. Ignored when the server has no pool.
 	Workers int
+	// Precision overrides the scoring pipeline for this request;
+	// model.PrecisionDefault defers to the server and then the snapshot.
+	Precision model.Precision
+}
+
+// effectivePrecision resolves one request's scoring pipeline: request
+// override, then the server-level WithPrecision choice, then the
+// snapshot's recorded preference, bottoming out at the f32 default.
+func (s *Server) effectivePrecision(c *model.Composed, req Request) model.Precision {
+	for _, p := range [...]model.Precision{req.Precision, s.prec, c.Precision} {
+		if p != model.PrecisionDefault {
+			return p
+		}
+	}
+	return model.PrecisionDefault.Resolve()
 }
 
 // Validate checks a request against the snapshot.
@@ -143,30 +178,55 @@ func (s *Server) run(c *model.Composed, req Request) Response {
 		c.BuildQueryInto(req.User, req.Recent, q)
 	}
 	parallel := s.sweep != nil && req.Workers != 1
+	f32 := s.effectivePrecision(c, req) == model.PrecisionF32
 	switch {
 	case req.Cascade != nil:
-		if parallel {
-			top, _, err := s.sweep.Cascade(c, q, *req.Cascade, req.K, req.Workers)
-			return Response{Items: top, Err: err}
+		var (
+			top []vecmath.Scored
+			err error
+		)
+		switch {
+		case parallel && f32:
+			top, _, err = s.sweep.CascadeF32(c, q, *req.Cascade, req.K, req.Workers)
+		case parallel:
+			top, _, err = s.sweep.Cascade(c, q, *req.Cascade, req.K, req.Workers)
+		case f32:
+			top, _, err = infer.CascadeF32(c, q, *req.Cascade, req.K)
+		default:
+			top, _, err = infer.Cascade(c, q, *req.Cascade, req.K)
 		}
-		top, _, err := infer.Cascade(c, q, *req.Cascade, req.K)
 		return Response{Items: top, Err: err}
 	case req.MaxPerCategory > 0:
 		depth := req.CatDepth
 		if depth == 0 {
 			depth = c.Tree.Depth() - 1
 		}
-		if parallel {
-			items, err := s.sweep.Diversified(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
-			return Response{Items: items, Err: err}
+		var (
+			items []vecmath.Scored
+			err   error
+		)
+		switch {
+		case parallel && f32:
+			items, err = s.sweep.DiversifiedF32(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
+		case parallel:
+			items, err = s.sweep.Diversified(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
+		case f32:
+			items, err = infer.DiversifiedF32(c, q, req.K, req.MaxPerCategory, depth)
+		default:
+			items, err = infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
 		}
-		items, err := infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
 		return Response{Items: items, Err: err}
 	default:
-		if parallel {
+		switch {
+		case parallel && f32:
+			return Response{Items: s.sweep.NaiveF32(c, q, req.K, req.Workers)}
+		case parallel:
 			return Response{Items: s.sweep.Naive(c, q, req.K, req.Workers)}
+		case f32:
+			return Response{Items: infer.NaiveF32(c, q, req.K)}
+		default:
+			return Response{Items: infer.Naive(c, q, req.K)}
 		}
-		return Response{Items: infer.Naive(c, q, req.K)}
 	}
 }
 

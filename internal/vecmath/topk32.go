@@ -1,0 +1,145 @@
+package vecmath
+
+import (
+	"math"
+	"slices"
+)
+
+// Scored32 pairs an integer id with a float32 score — the candidate
+// currency of the two-stage f32 scoring pipeline.
+type Scored32 struct {
+	ID    int
+	Score float32
+}
+
+// TopKStream32 is the float32 counterpart of TopKStream: a bounded
+// min-heap retaining the k best (id, score) pairs pushed so far under the
+// (score desc, lower-ID-first) total order. The f32 sweep collects its
+// over-fetched candidate set through one; the retained set of a bounded
+// heap is exactly the k best of everything pushed, so merging per-shard
+// collectors yields the identical candidate set as one serial stream —
+// the same property TopKStream.Merge documents.
+type TopKStream32 struct {
+	h []Scored32
+	k int
+}
+
+// NewTopKStream32 returns a collector retaining the k best pushed entries.
+func NewTopKStream32(k int) *TopKStream32 {
+	return &TopKStream32{h: make([]Scored32, 0, k), k: k}
+}
+
+// Reset empties the collector and re-arms it for k entries, growing the
+// backing array only when k exceeds its capacity.
+func (t *TopKStream32) Reset(k int) {
+	if k > cap(t.h) {
+		t.h = make([]Scored32, 0, k)
+	}
+	t.h = t.h[:0]
+	t.k = k
+}
+
+// Push offers one entry; when full, entries not beating the current k-th
+// best are dropped without heap movement.
+func (t *TopKStream32) Push(id int, score float32) {
+	if t.k <= 0 {
+		return
+	}
+	it := Scored32{ID: id, Score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, it)
+		siftUp32(t.h, len(t.h)-1)
+		return
+	}
+	if scoredLess32(t.h[0], it) {
+		t.h[0] = it
+		siftDown32(t.h, 0)
+	}
+}
+
+// Len returns how many entries are currently retained.
+func (t *TopKStream32) Len() int { return len(t.h) }
+
+// K returns the retention capacity the collector was armed with.
+func (t *TopKStream32) K() int { return t.k }
+
+// Merge offers every entry retained by other to this collector.
+func (t *TopKStream32) Merge(other *TopKStream32) {
+	for _, e := range other.h {
+		t.Push(e.ID, e.Score)
+	}
+}
+
+// Threshold returns the score an entry must strictly beat (or tie with a
+// lower ID) to enter a full collector, and whether the collector is full.
+// The rescore stage reads it as τ: every item NOT retained has f32 score
+// ≤ τ under the total order. A k<=0 collector reports full at +Inf.
+func (t *TopKStream32) Threshold() (float32, bool) {
+	if t.k <= 0 {
+		return float32(math.Inf(1)), true
+	}
+	if len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].Score, true
+}
+
+// Entries returns the retained set in unspecified (heap) order, aliasing
+// the collector's storage. The rescore stage consumes it directly — the
+// exact float64 rescore re-ranks, so candidate order is irrelevant.
+func (t *TopKStream32) Entries() []Scored32 { return t.h }
+
+// Ranked sorts the retained entries into descending order and returns
+// them, aliasing the collector's storage.
+func (t *TopKStream32) Ranked() []Scored32 {
+	slices.SortFunc(t.h, func(a, b Scored32) int {
+		switch {
+		case scoredLess32(b, a):
+			return -1
+		case scoredLess32(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return t.h
+}
+
+// scoredLess32 reports whether a ranks strictly below b (lower score, or
+// equal score with higher ID) — the same total order as scoredLess.
+func scoredLess32(a, b Scored32) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func siftUp32(h []Scored32, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !scoredLess32(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown32(h []Scored32, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && scoredLess32(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && scoredLess32(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

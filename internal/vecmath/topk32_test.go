@@ -1,0 +1,98 @@
+package vecmath
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a TopKStream32 retains exactly the k best pushed entries
+// under (score desc, lower-ID-first), matching a full sort — and merging
+// split sub-streams reproduces the single-stream retained set exactly,
+// the contract the sharded f32 candidate collection stands on.
+func TestQuickTopKStream32MatchesSortAndMerge(t *testing.T) {
+	f := func(seed uint16, kRaw, nRaw, splitRaw, tieRaw uint8) bool {
+		rng := NewRNG(uint64(seed) + 3)
+		n := 1 + int(nRaw)
+		k := 1 + int(kRaw)%40
+		items := make([]Scored32, n)
+		for i := range items {
+			s := float32(rng.NormFloat64())
+			if tieRaw%2 == 0 {
+				// coarse quantization forces heavy score ties
+				s = float32(rng.Intn(3))
+			}
+			items[i] = Scored32{ID: i, Score: s}
+		}
+		st := NewTopKStream32(k)
+		for _, it := range items {
+			st.Push(it.ID, it.Score)
+		}
+		want := append([]Scored32(nil), items...)
+		ref := NewTopKStream32(n)
+		for _, it := range want {
+			ref.Push(it.ID, it.Score)
+		}
+		full := append([]Scored32(nil), ref.Ranked()...)
+		if len(full) > k {
+			full = full[:k]
+		}
+		if !reflect.DeepEqual(append([]Scored32(nil), st.Ranked()...), full) {
+			return false
+		}
+		// split-and-merge must retain the same set
+		split := 1 + int(splitRaw)%n
+		a, b := NewTopKStream32(k), NewTopKStream32(k)
+		for _, it := range items[:split] {
+			a.Push(it.ID, it.Score)
+		}
+		for _, it := range items[split:] {
+			b.Push(it.ID, it.Score)
+		}
+		a.Merge(b)
+		return reflect.DeepEqual(a.Ranked(), st.Ranked())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKStream32Threshold(t *testing.T) {
+	st := NewTopKStream32(2)
+	if _, full := st.Threshold(); full {
+		t.Fatal("empty collector reported full")
+	}
+	st.Push(1, 5)
+	st.Push(2, 3)
+	th, full := st.Threshold()
+	if !full || th != 3 {
+		t.Fatalf("Threshold = %v,%v want 3,true", th, full)
+	}
+	st.Push(3, 4)
+	if th, _ := st.Threshold(); th != 4 {
+		t.Fatalf("after push Threshold = %v, want 4", th)
+	}
+	zero := NewTopKStream32(0)
+	if _, full := zero.Threshold(); !full {
+		t.Fatal("k=0 collector must report full")
+	}
+	zero.Push(1, 10)
+	if zero.Len() != 0 {
+		t.Fatal("k=0 collector accepted an entry")
+	}
+}
+
+func TestTopKStream32ResetRecycles(t *testing.T) {
+	st := NewTopKStream32(4)
+	for i := 0; i < 10; i++ {
+		st.Push(i, float32(i))
+	}
+	st.Reset(2)
+	if st.Len() != 0 || st.K() != 2 {
+		t.Fatalf("Reset left len=%d k=%d", st.Len(), st.K())
+	}
+	st.Push(7, 1)
+	if got := st.Ranked(); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("after Reset: %v", got)
+	}
+}

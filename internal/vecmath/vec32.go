@@ -1,0 +1,172 @@
+package vecmath
+
+import "fmt"
+
+// float32 counterparts of the scoring kernels. The serving data path
+// sweeps compact float32 slabs (half the bytes of the float64 slabs, so
+// half the memory bandwidth per catalog scan) and recovers exactness by
+// rescoring a small candidate set with the float64 kernels; see
+// internal/infer. Each kernel accumulates in the exact same fixed
+// pairwise order as its float64 twin, so a float32 score is bitwise
+// identical whether computed item-at-a-time (DotBias32) or in a blocked
+// sweep (MatVecBias32) — the property the sharded candidate collection
+// relies on. Training stays entirely on the float64 kernels.
+
+// Dot32 returns the inner product of a and b, accumulated in float32.
+// It panics if the lengths differ.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: Dot32 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// DotBias32 returns bias + ⟨a, b⟩ accumulated in float32, in the same
+// four-way pairwise-tree order as a MatVecBias32 row: each group of four
+// products reduces as (p0+p1) + (p2+p3) before joining the accumulator,
+// then a two-way and a single tail. The wider groups buy instruction-level
+// parallelism in the blocked sweep; what matters for correctness is only
+// that both f32 kernels share the order exactly, keeping scores bitwise
+// identical however they are computed. It panics if the lengths differ.
+func DotBias32(a, b []float32, bias float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: DotBias32 length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := bias
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += (a[i]*b[i] + a[i+1]*b[i+1]) + (a[i+2]*b[i+2] + a[i+3]*b[i+3])
+	}
+	if i+2 <= len(a) {
+		s += a[i]*b[i] + a[i+1]*b[i+1]
+		i += 2
+	}
+	if i < len(a) {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MatVecBias32 computes dst[r] = bias[r] + ⟨q, factors[r*k : (r+1)*k]⟩
+// over a contiguous row-major float32 slab — the compact-slab twin of
+// MatVecBias, with the same 4-row blocking and the same per-row
+// four-way pairwise-tree accumulation order as DotBias32, so blocked and
+// row-at-a-time scores stay bitwise identical. It panics when the slab
+// size is not len(dst)*k or the bias length differs from dst.
+func MatVecBias32(factors []float32, k int, bias, q, dst []float32) {
+	rows := len(dst)
+	if len(factors) != rows*k {
+		panic(fmt.Sprintf("vecmath: MatVecBias32 slab %d != rows %d * k %d", len(factors), rows, k))
+	}
+	if len(bias) != rows {
+		panic(fmt.Sprintf("vecmath: MatVecBias32 bias length %d != rows %d", len(bias), rows))
+	}
+	if len(q) != k {
+		panic(fmt.Sprintf("vecmath: MatVecBias32 query length %d != k %d", len(q), k))
+	}
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		r0 := factors[r*k:][:len(q)]
+		r1 := factors[(r+1)*k:][:len(q)]
+		r2 := factors[(r+2)*k:][:len(q)]
+		r3 := factors[(r+3)*k:][:len(q)]
+		s0, s1, s2, s3 := bias[r], bias[r+1], bias[r+2], bias[r+3]
+		i := 0
+		for ; i+4 <= len(q); i += 4 {
+			qa, qb, qc, qd := q[i], q[i+1], q[i+2], q[i+3]
+			s0 += (qa*r0[i] + qb*r0[i+1]) + (qc*r0[i+2] + qd*r0[i+3])
+			s1 += (qa*r1[i] + qb*r1[i+1]) + (qc*r1[i+2] + qd*r1[i+3])
+			s2 += (qa*r2[i] + qb*r2[i+1]) + (qc*r2[i+2] + qd*r2[i+3])
+			s3 += (qa*r3[i] + qb*r3[i+1]) + (qc*r3[i+2] + qd*r3[i+3])
+		}
+		if i+2 <= len(q) {
+			qa, qb := q[i], q[i+1]
+			s0 += qa*r0[i] + qb*r0[i+1]
+			s1 += qa*r1[i] + qb*r1[i+1]
+			s2 += qa*r2[i] + qb*r2[i+1]
+			s3 += qa*r3[i] + qb*r3[i+1]
+			i += 2
+		}
+		if i < len(q) {
+			qa := q[i]
+			s0 += qa * r0[i]
+			s1 += qa * r1[i]
+			s2 += qa * r2[i]
+			s3 += qa * r3[i]
+		}
+		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+	}
+	for ; r < rows; r++ {
+		dst[r] = DotBias32(q, factors[r*k:(r+1)*k], bias[r])
+	}
+}
+
+// Downconvert32 fills dst with src rounded to float32 (round to nearest
+// even, the hardware conversion). It panics if the lengths differ.
+func Downconvert32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: Downconvert32 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// Matrix32 is a dense compact row-major float32 matrix — the storage of
+// the scoring index's compact slabs. Unlike Matrix it carries no row
+// padding: slabs are immutable after construction and consumed by
+// streaming sweeps, where padding would waste exactly the bandwidth the
+// type exists to save.
+type Matrix32 struct {
+	rows, cols int
+	data       []float32
+}
+
+// NewMatrix32 allocates a rows x cols float32 matrix of zeros.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: NewMatrix32 negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix32{rows: rows, cols: cols, data: make([]float32, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix32) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix32) Cols() int { return m.cols }
+
+// Row returns row i as a capacity-clipped slice view.
+func (m *Matrix32) Row(i int) []float32 {
+	start := i * m.cols
+	return m.data[start : start+m.cols : start+m.cols]
+}
+
+// Data returns the flat row-major backing slice.
+func (m *Matrix32) Data() []float32 { return m.data }
+
+// SetFrom rounds a compact row-major float64 slice into the matrix. It
+// panics if the length is not Rows*Cols.
+func (m *Matrix32) SetFrom(src []float64) {
+	Downconvert32(m.data, src)
+}
+
+// MaxAbs returns the largest absolute value in v (0 for an empty slice).
+// The scoring index uses it to bound slab magnitudes for the certified
+// float32 error bound.
+func MaxAbs(v []float64) float64 {
+	var max float64
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}

@@ -1,0 +1,114 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// The f32 kernels must agree bitwise between the row-at-a-time and
+// blocked forms for every row count around the 4-row blocking boundary,
+// and must track the f64 kernels within float32 round-off.
+func TestMatVecBias32MatchesDotBias32(t *testing.T) {
+	rng := NewRNG(42)
+	for _, rows := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 64, 65} {
+		for _, k := range []int{1, 2, 3, 5, 8, 20} {
+			factors := make([]float32, rows*k)
+			bias := make([]float32, rows)
+			q := make([]float32, k)
+			for i := range factors {
+				factors[i] = float32(rng.NormFloat64())
+			}
+			for i := range bias {
+				bias[i] = float32(rng.NormFloat64())
+			}
+			for i := range q {
+				q[i] = float32(rng.NormFloat64())
+			}
+			dst := make([]float32, rows)
+			MatVecBias32(factors, k, bias, q, dst)
+			for r := 0; r < rows; r++ {
+				want := DotBias32(q, factors[r*k:(r+1)*k], bias[r])
+				if dst[r] != want {
+					t.Fatalf("rows=%d k=%d row %d: blocked %v != rowwise %v", rows, k, r, dst[r], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDotBias32TracksFloat64(t *testing.T) {
+	rng := NewRNG(7)
+	const k = 20
+	a64 := make([]float64, k)
+	b64 := make([]float64, k)
+	a32 := make([]float32, k)
+	b32 := make([]float32, k)
+	for i := range a64 {
+		a64[i] = rng.NormFloat64()
+		b64[i] = rng.NormFloat64()
+	}
+	Downconvert32(a32, a64)
+	Downconvert32(b32, b64)
+	bias := 0.75
+	got := float64(DotBias32(a32, b32, float32(bias)))
+	want := DotBias(a64, b64, bias)
+	// generous bound: (k+4) rounding steps at f32 precision on O(1) terms
+	var sumAbs float64
+	for i := range a64 {
+		sumAbs += math.Abs(a64[i] * b64[i])
+	}
+	limit := float64(k+4) / (1 << 23) * (sumAbs + math.Abs(bias))
+	if d := math.Abs(got - want); d > limit {
+		t.Fatalf("f32 dot drifted %v from f64 (limit %v)", d, limit)
+	}
+}
+
+func TestDot32AndPanics(t *testing.T) {
+	if got := Dot32([]float32{1, 2, 3}, []float32{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot32 = %v, want 32", got)
+	}
+	for name, fn := range map[string]func(){
+		"Dot32":     func() { Dot32([]float32{1}, []float32{1, 2}) },
+		"DotBias32": func() { DotBias32([]float32{1}, []float32{1, 2}, 0) },
+		"MatVecBias32": func() {
+			MatVecBias32(make([]float32, 3), 2, make([]float32, 1), make([]float32, 2), make([]float32, 1))
+		},
+		"Downconvert32": func() { Downconvert32(make([]float32, 1), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrix32(t *testing.T) {
+	m := NewMatrix32(3, 2)
+	if m.Rows() != 3 || m.Cols() != 2 || len(m.Data()) != 6 {
+		t.Fatalf("bad shape %dx%d data %d", m.Rows(), m.Cols(), len(m.Data()))
+	}
+	m.SetFrom([]float64{1, 2, 3, 4, 5, 6})
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	// Row views must be capacity-clipped: an append cannot bleed into the
+	// next row.
+	r := m.Row(0)
+	_ = append(r, 99)
+	if m.Row(1)[0] != 3 {
+		t.Fatal("append through a Row view corrupted the next row")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %v", got)
+	}
+	if got := MaxAbs([]float64{-3, 2, 0.5}); got != 3 {
+		t.Fatalf("MaxAbs = %v, want 3", got)
+	}
+}
