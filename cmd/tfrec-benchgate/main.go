@@ -295,18 +295,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if base.Speedups == nil {
 			// the acceptance floors: sustained sharded throughput >=2x
 			// serial on >=4 cores, the coalesced batch sweep beating the
-			// request-at-a-time loop on any machine, and the two-stage f32
+			// request-at-a-time loop on any machine, the two-stage f32
 			// pipeline's bandwidth win — >=1.5x the f64 sweep on the wide
 			// (out-of-cache) world single-core, with the saturated f32 path
-			// keeping the parallel floor; only pairs actually measured in
-			// this input are installed, so a partial bench run cannot plant
-			// a vacuously-failing floor
+			// keeping the parallel floor — plus the query-plan executor's
+			// two promises: the unfiltered plan path stays within ~10% of
+			// the direct sweep it wraps (a >=0.9x "speedup" floor on the
+			// direct/plan ratio), and a 95%-exclusion filter actually
+			// skips work (>=2.5x over the unfiltered sweep of the same
+			// world); only pairs actually measured in this input are
+			// installed, so a partial bench run cannot plant a
+			// vacuously-failing floor
 			for _, s := range []speedupGate{
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkShardedTopKSaturated", Min: 2.0, MinProcs: 4},
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkShardedTopK/workers=4", Min: 1.5, MinProcs: 4},
 				{Slow: "BenchmarkShardedBatchLoop/batch=16", Fast: "BenchmarkShardedBatchSweep/batch=16", Min: 1.2, MinProcs: 1},
 				{Slow: "BenchmarkTopKF64Wide", Fast: "BenchmarkTopKF32Wide", Min: 1.5, MinProcs: 1},
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkTopKF32Saturated", Min: 2.0, MinProcs: 4},
+				{Slow: "BenchmarkTopKIndexStreaming", Fast: "BenchmarkTopKPlanStreaming", Min: 0.9, MinProcs: 1},
+				{Slow: "BenchmarkTopKFiltered/excl=0", Fast: "BenchmarkTopKFiltered/excl=95", Min: 2.5, MinProcs: 1},
 			} {
 				if _, okSlow := meas[s.Slow]; !okSlow {
 					continue

@@ -1,11 +1,15 @@
 // Command tfrec-recommend loads a model trained by tfrec-train and prints
-// recommendations for one or more users, optionally using cascaded
-// inference and the structured per-category ranking.
+// recommendations for a user by building one infer.Plan and executing it
+// — the same query-plan path the HTTP server runs — so every serving
+// capability (strategy, precision, parallel sweep, request-time filters,
+// pagination) is a flag.
 //
 // Usage:
 //
 //	tfrec-recommend -model model.gob -data data/ -user 17 -k 10
-//	tfrec-recommend -model model.gob -data data/ -user 17 -cascade 0.2
+//	tfrec-recommend -model model.gob -data data/ -user 17 -strategy cascade -cascade 0.2
+//	tfrec-recommend -model model.gob -data data/ -user 17 -exclude-purchased -offset 10
+//	tfrec-recommend -model model.gob -data data/ -user 17 -category 3,17 -workers 4 -precision f64
 //	tfrec-recommend -model model.gob -data data/ -user 17 -structured
 package main
 
@@ -27,12 +31,39 @@ func main() {
 	log.SetPrefix("tfrec-recommend: ")
 
 	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
-	dataDir := flag.String("data", "data", "directory with purchases.tsv (for Markov context)")
+	dataDir := flag.String("data", "data", "directory with purchases.tsv (Markov context and purchase filtering)")
 	user := flag.Int("user", 0, "user id to recommend for")
 	k := flag.Int("k", 10, "number of items to recommend")
-	cascade := flag.Float64("cascade", 0, "cascaded inference keep fraction (0 = naive full scan)")
+	offset := flag.Int("offset", 0, "skip the first offset ranked items (pagination)")
+	strategy := flag.String("strategy", "", "ranking strategy: naive (default), cascade, diversified")
+	cascade := flag.Float64("cascade", 0, "cascaded inference keep fraction; setting it > 0 implies -strategy cascade")
+	maxPerCat := flag.Int("max-per-category", 2, "category quota (with -strategy diversified)")
+	catDepth := flag.Int("cat-depth", 0, "quota category depth (0 = lowest category level)")
+	workers := flag.Int("workers", 1, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	precision := flag.String("precision", "", "scoring precision: f32, f64, or empty to follow the model file")
+	excludePurchased := flag.Bool("exclude-purchased", false, "drop items the user already bought")
+	category := flag.String("category", "", "comma-separated taxonomy node ids to restrict results to")
+	excludeCategory := flag.String("exclude-category", "", "comma-separated taxonomy node ids to remove")
 	structured := flag.Bool("structured", false, "print the per-category structured ranking")
 	flag.Parse()
+
+	prec, err := model.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, err := infer.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// pre-plan invocations selected the cascade by the keep fraction
+	// alone; keep that spelling working — but never override an explicit
+	// -strategy choice
+	if *cascade > 0 && *strategy == "" {
+		strat = infer.StrategyCascade
+	}
+	if strat == infer.StrategyCascade && *cascade <= 0 {
+		log.Fatalf("-strategy cascade needs -cascade > 0")
+	}
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -44,33 +75,40 @@ func main() {
 		log.Fatalf("load model: %v", err)
 	}
 	c := m.Compose()
-
-	// context baskets for the short-term term
-	var recent []dataset.Basket
-	if m.P.MarkovOrder > 0 {
-		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
-		if err != nil {
-			log.Fatalf("need -data for Markov context: %v", err)
-		}
-		data, err := dataset.ReadTSV(pf)
-		pf.Close()
-		if err != nil {
-			log.Fatalf("purchases: %v", err)
-		}
-		if *user < len(data.Users) {
-			h := data.Users[*user].Baskets
-			recent = c.PrevBaskets(h, len(h))
-		}
-	}
 	if *user < 0 || *user >= m.NumUsers() {
 		log.Fatalf("user %d out of range [0,%d)", *user, m.NumUsers())
+	}
+
+	// the user's history drives the short-term Markov term and the
+	// exclude-purchased filter; both degrade gracefully without -data
+	var history []dataset.Basket
+	if m.P.MarkovOrder > 0 || *excludePurchased {
+		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
+		if err != nil {
+			if m.P.MarkovOrder > 0 {
+				log.Fatalf("need -data for Markov context: %v", err)
+			}
+			log.Printf("no purchase log (%v): -exclude-purchased covers nothing", err)
+		} else {
+			data, err := dataset.ReadTSV(pf)
+			pf.Close()
+			if err != nil {
+				log.Fatalf("purchases: %v", err)
+			}
+			if *user < len(data.Users) {
+				history = data.Users[*user].Baskets
+			}
+		}
+	}
+	var recent []dataset.Basket
+	if m.P.MarkovOrder > 0 {
+		recent = c.PrevBaskets(history, len(history))
 	}
 
 	q := make([]float64, m.K())
 	c.BuildQueryInto(*user, recent, q)
 
-	switch {
-	case *structured:
+	if *structured {
 		sr := infer.Structured(c, q, *k)
 		for d, level := range sr.Levels {
 			fmt.Printf("level %d categories (best first):", d+1)
@@ -83,23 +121,75 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Println("top items:")
-		printItems(sr.Items)
-	case *cascade > 0:
-		cfg := infer.UniformCascade(m.Tree.Depth(), *cascade)
-		top, stats, err := infer.Cascade(c, q, cfg, *k)
-		if err != nil {
-			log.Fatalf("cascade: %v", err)
-		}
-		fmt.Printf("cascaded inference: scored %d/%d nodes (%d leaves)\n",
-			stats.NodesScored, m.Tree.NumNodes(), stats.LeavesScored)
-		printItems(top)
-	default:
-		printItems(infer.Naive(c, q, *k))
+		printItems(sr.Items, 0)
+		return
 	}
+
+	pl := infer.Plan{
+		Strategy:   strat,
+		Precision:  prec,
+		K:          *k,
+		Offset:     *offset,
+		MaxWorkers: 0,
+		Filter:     buildFilter(*excludePurchased, history, *category, *excludeCategory),
+	}
+	switch strat {
+	case infer.StrategyCascade:
+		cfg := infer.UniformCascade(m.Tree.Depth(), *cascade)
+		pl.Cascade = &cfg
+	case infer.StrategyDiversified:
+		pl.Diversify = &infer.Diversify{MaxPerCategory: *maxPerCat, CatDepth: *catDepth}
+	}
+
+	var pool *infer.Pool
+	if *workers != 1 {
+		pool = infer.NewPool(*workers)
+		defer pool.Close()
+	}
+	res, err := pool.Execute(c, q, pl)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	if res.Eligible < c.NumItems() {
+		fmt.Printf("filtered catalog: %d/%d items eligible\n", res.Eligible, c.NumItems())
+	}
+	if res.Stats != nil {
+		fmt.Printf("cascaded inference: scored %d/%d nodes (%d leaves)\n",
+			res.Stats.NodesScored, m.Tree.NumNodes(), res.Stats.LeavesScored)
+	}
+	printItems(res.Items, *offset)
 }
 
-func printItems(items []vecmath.Scored) {
+// buildFilter assembles the plan filter from the CLI flags; it returns
+// nil when nothing filters.
+func buildFilter(excludePurchased bool, history []dataset.Basket, category, excludeCategory string) *infer.Filter {
+	f := &infer.Filter{}
+	if excludePurchased {
+		for _, b := range history {
+			f.ExcludeItems = append(f.ExcludeItems, b...)
+		}
+	}
+	f.AllowNodes = parseNodeList(category)
+	f.DenyNodes = parseNodeList(excludeCategory)
+	if f.Empty() {
+		return nil
+	}
+	return f
+}
+
+func parseNodeList(s string) []int32 {
+	if s == "" {
+		return nil
+	}
+	nodes, err := infer.ParseIDList(s)
+	if err != nil {
+		log.Fatalf("bad taxonomy node list %q: %v", s, err)
+	}
+	return nodes
+}
+
+func printItems(items []vecmath.Scored, offset int) {
 	for rank, s := range items {
-		fmt.Printf("%2d. item %-8d score %.4f\n", rank+1, s.ID, s.Score)
+		fmt.Printf("%2d. item %-8d score %.4f\n", offset+rank+1, s.ID, s.Score)
 	}
 }

@@ -21,9 +21,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/serve"
 )
@@ -42,6 +44,7 @@ func main() {
 	log.SetPrefix("tfrec-serve: ")
 
 	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	dataDir := flag.String("data", "", "directory with purchases.tsv backing ?exclude_purchased= filtering (empty = requests exclude only their own recent baskets)")
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	workers := flag.Int("workers", 0, "inference pool parallelism (0 = GOMAXPROCS, 1 = serial sweeps)")
@@ -60,7 +63,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(m, serve.WithWorkers(*workers), serve.WithPrecision(prec))
+	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec)}
+	if *dataDir != "" {
+		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
+		if err != nil {
+			log.Fatalf("-data: %v", err)
+		}
+		data, err := dataset.ReadTSV(pf)
+		pf.Close()
+		if err != nil {
+			log.Fatalf("-data purchases: %v", err)
+		}
+		opts = append(opts, serve.WithHistory(data))
+		log.Printf("purchase filtering armed from %s (%d users)", *dataDir, data.NumUsers())
+	}
+	srv := serve.New(m, opts...)
 	h := serve.NewHTTP(srv, func() (*model.TF, error) { return loadModel(*modelPath) })
 	if *batchMax > 0 {
 		h.EnableBatching(*batchMax, *batchWindow)

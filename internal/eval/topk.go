@@ -66,7 +66,9 @@ func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k,
 	if workers < 1 {
 		workers = 1
 	}
-	f32 := prec.Resolve() == model.PrecisionF32
+	// one single-threaded plan per worker; users are already sharded over
+	// goroutines here, so the per-query sweep stays serial
+	pl := infer.Plan{K: k, Precision: prec.Resolve(), MaxWorkers: 1}
 	partials := make([]TopKResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -78,7 +80,7 @@ func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k,
 			q := make([]float64, c.K())
 			st := vecmath.NewTopKStream(k)
 			for u := w; u < test.NumUsers(); u += workers {
-				evaluateTopKUser(c, history, test, u, k, q, st, f32, part)
+				evaluateTopKUser(c, history, test, u, k, q, st, pl, part)
 			}
 		}(w)
 	}
@@ -103,22 +105,22 @@ func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k,
 
 // evaluateTopKUser scores one user's first test transaction into part,
 // accumulating unnormalized metric sums.
-func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k int, q []float64, st *vecmath.TopKStream, f32 bool, part *TopKResult) {
+func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k int, q []float64, st *vecmath.TopKStream, pl infer.Plan, part *TopKResult) {
 	baskets := test.Users[u].Baskets
 	if len(baskets) == 0 {
 		return
 	}
 	seq := history.Users[u].Baskets
 	c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
-	// stream the index sweep straight into a reused bounded heap
-	// instead of materializing a catalog-sized score array per user
-	st.Reset(k)
-	if f32 {
-		infer.NaiveF32Into(c, q, st)
-	} else {
-		infer.NaiveInto(c, q, st)
+	// run the plan into a reused bounded heap instead of materializing a
+	// catalog-sized score array per user
+	res, err := infer.ExecuteInto(c, q, pl, st)
+	if err != nil {
+		// the plan is constant and k was validated above; nothing per-user
+		// can fail here
+		panic(err)
 	}
-	top := st.Ranked()
+	top := res.Items
 
 	positives := baskets[0]
 	hits := 0

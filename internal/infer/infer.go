@@ -7,8 +7,14 @@
 // All ranking paths run off the snapshot's model.ScoringIndex: scores are
 // produced by blocked sweeps over contiguous factor slabs and consumed by
 // streaming bounded-heap collectors, so a query never materializes a
-// catalog-sized score array. NaiveInto is the allocation-free core; Naive,
-// Cascade and Diversified wrap it for callers that want fresh slices.
+// catalog-sized score array.
+//
+// Queries are described by a Plan — strategy, precision, result page,
+// worker cap, and an optional item Filter — validated once and run by the
+// single Execute path (plan.go), which composes the engines of exec.go.
+// The strategy-specific functions in this file and its siblings predate
+// the plan executor and remain as thin deprecated wrappers so existing
+// callers and the byte-identity pinning suites keep compiling unchanged.
 package infer
 
 import (
@@ -23,31 +29,12 @@ import (
 // block buffer lives on the stack and one block of float64 fits in L1.
 const blockItems = 256
 
-// sweepScores scores every item through the index in L1-sized blocks and
-// hands each (item, score) pair to visit. Diversified and other
-// whole-catalog consumers build on it; NaiveInto keeps its own fused copy
-// of the block loop because the indirect visit call would cost it the
-// inlined threshold rejection on the latency-critical top-k path.
-func sweepScores(ix *model.ScoringIndex, q []float64, visit func(item int, score float64)) {
-	var block [blockItems]float64
-	n := ix.NumItems()
-	for lo := 0; lo < n; lo += blockItems {
-		hi := lo + blockItems
-		if hi > n {
-			hi = n
-		}
-		buf := block[:hi-lo]
-		ix.ItemScoresRangeInto(q, lo, hi, buf)
-		for i, s := range buf {
-			visit(lo+i, s)
-		}
-	}
-}
-
 // NaiveInto streams every item's score through the scoring index into an
 // armed TopKStream. It performs no heap allocation, making it the
 // zero-garbage serving core; pair it with a pooled collector and read the
 // ranking with Ranked.
+//
+// Deprecated: build a Plan and call ExecuteInto.
 func NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream) {
 	var block [blockItems]float64
 	sweepRangeInto(c.Index, q, 0, c.Index.NumItems(), block[:], st)
@@ -81,6 +68,8 @@ func sweepRangeInto(ix *model.ScoringIndex, q []float64, rangeLo, rangeHi int, b
 
 // Naive scores every item and returns the top-k, the baseline the paper's
 // cascaded inference is measured against.
+//
+// Deprecated: build a Plan and call Execute.
 func Naive(c *model.Composed, q []float64, k int) []vecmath.Scored {
 	st := vecmath.NewTopKStream(k)
 	NaiveInto(c, q, st)
@@ -169,19 +158,10 @@ func walk(c *model.Composed, q []float64, cfg CascadeConfig) ([]int32, *Stats, e
 // the reached leaves together with work statistics. This is the production
 // serving path: it touches only the beam's nodes, never the full catalog,
 // and streams the reached leaves straight into a bounded heap.
+//
+// Deprecated: build a Plan with StrategyCascade and call Execute.
 func Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
-	frontier, stats, err := walk(c, q, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	ix := c.Index
-	st := vecmath.NewTopKStream(k)
-	for _, leaf := range frontier {
-		st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
-	}
-	stats.NodesScored += len(frontier)
-	stats.LeavesScored = len(frontier)
-	return st.Ranked(), stats, nil
+	return (*Pool)(nil).Cascade(c, q, cfg, k, 1)
 }
 
 // CascadeScores runs the cascade and returns a full score array: reached
@@ -217,40 +197,10 @@ func CascadeScores(c *model.Composed, q []float64, cfg CascadeConfig) ([]float64
 // score-ordered scan, so the global top-k of the retained union is exactly
 // the ranking the old full-catalog sort-then-scan produced — without ever
 // sorting the catalog.
+//
+// Deprecated: build a Plan with StrategyDiversified and call Execute.
 func Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
-	if maxPerCategory <= 0 {
-		return nil, errMaxPerCategory(maxPerCategory)
-	}
-	if catDepth < 1 || catDepth >= c.Tree.Depth() {
-		return nil, errCatDepth(catDepth, c.Tree.Depth())
-	}
-	ix := c.Index
-	perCat := maxPerCategory
-	if perCat > k {
-		perCat = k
-	}
-	// one dense slot per category at catDepth, keyed by level offset;
-	// heaps arm lazily so only touched categories allocate
-	cats := make([]vecmath.TopKStream, len(c.Tree.Level(catDepth)))
-	armed := make([]bool, len(cats))
-	sweepScores(ix, q, func(item int, s float64) {
-		p := ix.LevelPos(ix.ItemCategory(item, catDepth))
-		if !armed[p] {
-			cats[p].Reset(perCat)
-			armed[p] = true
-		}
-		cats[p].Push(item, s)
-	})
-	final := vecmath.NewTopKStream(k)
-	for p := range cats {
-		if !armed[p] {
-			continue
-		}
-		for _, s := range cats[p].Ranked() {
-			final.Push(s.ID, s.Score)
-		}
-	}
-	return final.Ranked(), nil
+	return (*Pool)(nil).Diversified(c, q, k, maxPerCategory, catDepth, 1)
 }
 
 func errMaxPerCategory(got int) error {

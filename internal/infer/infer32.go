@@ -27,9 +27,19 @@ import (
 // scores under the same total order the f64 path uses). When the margin
 // cannot separate the boundary — adversarial near-tie score regimes —
 // the pipeline escalates: k' doubles and the sweep repeats, degenerating
-// to the plain f64 sweep once k' reaches the input size. Escalations are
-// counted in F32Escalations for observability; they cost a re-sweep but
-// can never cost correctness.
+// to the plain f64 sweep once k' reaches the eligible input size.
+// Escalations are counted in F32Escalations for observability; they cost
+// a re-sweep but can never cost correctness.
+//
+// The argument is untouched by plan filters: a filtered sweep never
+// pushes an ineligible item, so both the candidate set and the "excluded
+// items" it is certified against range over eligible items only.
+//
+// The pipeline itself lives in exec.go (naiveF32, executeCascade,
+// executeDiversified, executeMulti); this file keeps the shared f32
+// plumbing — scratch pools, the rescore stage, the separation
+// certificates — and the legacy serial F32 entry points as deprecated
+// wrappers.
 
 // f32Escalations counts boundary-separation failures across all f32
 // pipelines (naive, cascade, diversified, batched; serial and pooled).
@@ -46,8 +56,8 @@ func F32Escalations() int64 { return f32Escalations.Load() }
 // enough to clear garden-variety round-off ties in one pass.
 func f32OverFetch(k int) int { return k + k/4 + 16 }
 
-// f32Scratch is the reusable per-query state of a serial f32 pipeline:
-// the rounded query and the candidate heap. Pooled so the steady-state
+// f32Scratch is the reusable per-query state of an f32 pipeline: the
+// rounded query and the candidate heap. Pooled so the steady-state
 // serving path allocates nothing.
 type f32Scratch struct {
 	q32  []float32
@@ -92,7 +102,7 @@ func sweepRange32Into(ix *model.ScoringIndex, q32 []float32, rangeLo, rangeHi in
 // rescoreItems pushes the exact float64 score of every retained candidate
 // into st and reports whether the boundary is certified separated (see
 // the package comment above): true means st now holds exactly the global
-// f64 top-k.
+// f64 top-k of the swept items.
 func rescoreItems(ix *model.ScoringIndex, q []float64, cand *vecmath.TopKStream32, st *vecmath.TopKStream, eps float64) bool {
 	for _, e := range cand.Entries() {
 		st.Push(e.ID, ix.ScoreItem(e.ID, q))
@@ -126,44 +136,18 @@ func separated(st *vecmath.TopKStream, cand *vecmath.TopKStream32, eps float64) 
 // plus rescore. The collector is Reset internally (it must arrive
 // dedicated to this query, as every current caller's does). Steady-state
 // calls perform no heap allocation.
+//
+// Deprecated: build a Plan with model.PrecisionF32 and call
+// Execute/ExecuteInto.
 func NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream) {
-	naiveF32Into(c, q, st, f32OverFetch(st.K()))
-}
-
-// naiveF32Into runs the escalation loop from an explicit starting budget
-// so a failed shared-batch pass can resume at the next doubling instead
-// of repeating work.
-func naiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, kp0 int) {
-	ix := c.Index
-	n := ix.NumItems()
-	k := st.K()
-	if k <= 0 {
-		return
-	}
-	sc := getF32Scratch(q)
-	defer f32Scratches.Put(sc)
-	eps := ix.ItemErrBound32(q)
-	var block [blockItems]float32
-	for kp := kp0; ; kp *= 2 {
-		if kp >= n {
-			// candidate budget covers the catalog: nothing to prune
-			st.Reset(k)
-			NaiveInto(c, q, st)
-			return
-		}
-		sc.cand.Reset(kp)
-		sweepRange32Into(ix, sc.q32, 0, n, block[:], &sc.cand)
-		st.Reset(k)
-		if rescoreItems(ix, q, &sc.cand, st, eps) {
-			return
-		}
-		f32Escalations.Add(1)
-	}
+	(*Pool)(nil).executeNaive(c, q, model.PrecisionF32, 1, nil, c.Index.NumItems(), st)
 }
 
 // NaiveF32 scores every item through the two-stage pipeline and returns
 // the exact top-k — same ranking as Naive, roughly half the sweep
 // bandwidth.
+//
+// Deprecated: build a Plan with model.PrecisionF32 and call Execute.
 func NaiveF32(c *model.Composed, q []float64, k int) []vecmath.Scored {
 	st := vecmath.NewTopKStream(k)
 	NaiveF32Into(c, q, st)
@@ -175,49 +159,11 @@ func NaiveF32(c *model.Composed, q []float64, k int) []vecmath.Scored {
 // slab — category levels are tiny and the walk decides WHICH leaves are
 // reached, which must match the f64 cascade exactly — so items, order and
 // Stats are all identical to Cascade's.
+//
+// Deprecated: build a Plan with StrategyCascade and model.PrecisionF32
+// and call Execute.
 func CascadeF32(c *model.Composed, q []float64, cfg CascadeConfig, k int) ([]vecmath.Scored, *Stats, error) {
-	frontier, stats, err := walk(c, q, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	st := vecmath.NewTopKStream(k)
-	cascadeLeavesF32(c, q, frontier, st)
-	stats.NodesScored += len(frontier)
-	stats.LeavesScored = len(frontier)
-	return st.Ranked(), stats, nil
-}
-
-// cascadeLeavesF32 ranks a leaf frontier's items into st: f32 gather over
-// the node slab into the candidate heap, then exact rescore. Rescoring
-// reads the item slab, whose leaf rows are bit-identical to the node
-// rows, so results match the f64 frontier loop exactly.
-func cascadeLeavesF32(c *model.Composed, q []float64, frontier []int32, st *vecmath.TopKStream) {
-	ix := c.Index
-	k := st.K()
-	if k <= 0 {
-		return
-	}
-	sc := getF32Scratch(q)
-	defer f32Scratches.Put(sc)
-	eps := ix.NodeErrBound32(q)
-	for kp := f32OverFetch(k); ; kp *= 2 {
-		if kp >= len(frontier) {
-			st.Reset(k)
-			for _, leaf := range frontier {
-				st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
-			}
-			return
-		}
-		sc.cand.Reset(kp)
-		for _, leaf := range frontier {
-			sc.cand.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode32(int(leaf), sc.q32))
-		}
-		st.Reset(k)
-		if rescoreItems(ix, q, &sc.cand, st, eps) {
-			return
-		}
-		f32Escalations.Add(1)
-	}
+	return (*Pool)(nil).CascadeF32(c, q, cfg, k, 1)
 }
 
 // DiversifiedF32 is Diversified through the two-stage pipeline: the f32
@@ -231,65 +177,18 @@ func cascadeLeavesF32(c *model.Composed, q []float64, frontier []int32, st *vecm
 // uses (any quota entry it would displace also scores below the boundary
 // and so was not selected anyway). Any category failing the certificate
 // escalates the whole sweep with a doubled per-category budget.
+//
+// Deprecated: build a Plan with StrategyDiversified and
+// model.PrecisionF32 and call Execute.
 func DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth int) ([]vecmath.Scored, error) {
-	if maxPerCategory <= 0 {
-		return nil, errMaxPerCategory(maxPerCategory)
-	}
-	if catDepth < 1 || catDepth >= c.Tree.Depth() {
-		return nil, errCatDepth(catDepth, c.Tree.Depth())
-	}
-	ix := c.Index
-	perCat := maxPerCategory
-	if perCat > k {
-		perCat = k
-	}
-	sc := getF32Scratch(q)
-	defer f32Scratches.Put(sc)
-	q32 := sc.q32
-	eps := ix.ItemErrBound32(q)
-	width := len(c.Tree.Level(catDepth))
-	cats32 := make([]vecmath.TopKStream32, width)
-	armed := make([]bool, width)
-	cats := make([]vecmath.TopKStream, width)
-	for perp := f32OverFetch(perCat); ; perp *= 2 {
-		if perp >= ix.NumItems() {
-			// every category retains all its items: no pruning left
-			return Diversified(c, q, k, maxPerCategory, catDepth)
-		}
-		for i := range armed {
-			armed[i] = false
-		}
-		var block [blockItems]float32
-		n := ix.NumItems()
-		for lo := 0; lo < n; lo += blockItems {
-			hi := lo + blockItems
-			if hi > n {
-				hi = n
-			}
-			buf := block[:hi-lo]
-			ix.ItemScoresRange32Into(q32, lo, hi, buf)
-			for i, s := range buf {
-				item := lo + i
-				pos := ix.LevelPos(ix.ItemCategory(item, catDepth))
-				if !armed[pos] {
-					cats32[pos].Reset(perp)
-					armed[pos] = true
-				}
-				cats32[pos].Push(item, s)
-			}
-		}
-		if final, ok := rescoreDiversified(ix, q, cats32, cats, armed, perCat, k, eps); ok {
-			return final.Ranked(), nil
-		}
-		f32Escalations.Add(1)
-	}
+	return (*Pool)(nil).DiversifiedF32(c, q, k, maxPerCategory, catDepth, 1)
 }
 
 // rescoreDiversified rescores every retained candidate exactly into
-// per-category quota heaps, selects the final top-k, and checks the
-// per-category separation certificate. It returns the final collector and
-// whether the result is certified exact.
-func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.TopKStream32, cats []vecmath.TopKStream, armed []bool, perCat, k int, eps float64) (*vecmath.TopKStream, bool) {
+// per-category quota heaps, selects the final top-k into final (which is
+// Reset to k), and checks the per-category separation certificate of
+// DiversifiedF32. It reports whether the result is certified exact.
+func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.TopKStream32, cats []vecmath.TopKStream, armed []bool, perCat, k int, eps float64, final *vecmath.TopKStream) bool {
 	for pos := range cats32 {
 		if !armed[pos] {
 			continue
@@ -299,7 +198,7 @@ func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.To
 			cats[pos].Push(e.ID, ix.ScoreItem(e.ID, q))
 		}
 	}
-	final := vecmath.NewTopKStream(k)
+	final.Reset(k)
 	for pos := range cats {
 		if !armed[pos] {
 			continue
@@ -319,10 +218,10 @@ func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.To
 		// certify, since the error bound covers rounding only
 		tau64 := float64(tau)
 		if !full || math.IsInf(tau64, 0) || math.IsNaN(tau64) || tau64+eps >= boundary {
-			return final, false
+			return false
 		}
 	}
-	return final, true
+	return true
 }
 
 // multiF32Scratch is the reusable state of a batched f32 sweep: the
@@ -376,25 +275,10 @@ func getMultiF32Scratch(qs [][]float64, outs []*vecmath.TopKStream) *multiF32Scr
 // whose margin fails to separate escalates alone through the serial
 // pipeline at the next budget doubling — the shared sweep is not
 // repeated for the batch.
+//
+// Deprecated: use ExecuteBatch with model.PrecisionF32 plans.
 func MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
-	ix := c.Index
-	sc := getMultiF32Scratch(qs, outs)
-	defer multiF32Scratches.Put(sc)
-	items := ix.NumItems()
-	var block [blockItems]float32
-	for s, n := 0, ix.NumShards(); s < n; s++ {
-		lo, hi := ix.Shard(s)
-		for i := range sc.qs32 {
-			// a budget covering the catalog means this query goes
-			// straight to the f64 sweep in the finish stage; don't pay
-			// the f32 sweep for it
-			if sc.cands[i].K() >= items {
-				continue
-			}
-			sweepRange32Into(ix, sc.qs32[i], lo, hi, block[:], &sc.cands[i])
-		}
-	}
-	finishMultiF32(c, qs, outs, sc.cands)
+	(*Pool)(nil).executeMulti(c, qs, model.PrecisionF32, 1, outs)
 }
 
 // finishMultiF32 runs the per-query rescore stage of a batched f32 sweep.
@@ -418,6 +302,6 @@ func finishMultiF32(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStrea
 			continue
 		}
 		f32Escalations.Add(1)
-		naiveF32Into(c, q, outs[i], cands[i].K()*2)
+		(*Pool)(nil).naiveF32(c, q, 1, nil, n, outs[i], cands[i].K()*2)
 	}
 }

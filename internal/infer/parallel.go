@@ -28,6 +28,10 @@ import (
 // catalog has a single shard. Steady-state queries perform no heap
 // allocation: tasks and scratch heaps are recycled via sync.Pool and
 // per-worker state persists across queries.
+//
+// Queries enter through Execute/ExecuteInto/ExecuteBatch (plan.go); the
+// strategy-specific methods below are the legacy pre-plan surface, kept
+// as thin wrappers.
 type Pool struct {
 	workers   int
 	tasks     chan task
@@ -142,11 +146,12 @@ func (p *Pool) dispatch(t task, fan int) {
 
 // ---- single-query sharded sweep -----------------------------------------
 
-// sweepTask is the fan-out state of one parallel NaiveInto: participants
-// claim shard indices from next and merge their partial heaps into out.
-// In f32 mode (out32 non-nil) the claimed shards are swept through the
-// compact slab into per-worker f32 candidate heaps instead; the caller
-// owns the rescore stage.
+// sweepTask is the fan-out state of one parallel catalog sweep:
+// participants claim shard indices from next and merge their partial
+// heaps into out. In f32 mode (out32 non-nil) the claimed shards are
+// swept through the compact slab into per-worker f32 candidate heaps
+// instead; the caller owns the rescore stage. A non-nil mask restricts
+// the sweep to eligible items (filtered plans).
 type sweepTask struct {
 	taskBase
 	ix        *model.ScoringIndex
@@ -154,6 +159,7 @@ type sweepTask struct {
 	k         int
 	q32       []float32
 	out32     *vecmath.TopKStream32
+	mask      *vecmath.Bitset
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -171,7 +177,11 @@ func (t *sweepTask) run(sc *scratch) {
 				break
 			}
 			lo, hi := t.ix.Shard(s)
-			sweepRange32Into(t.ix, t.q32, lo, hi, block[:], st)
+			if t.mask == nil {
+				sweepRange32Into(t.ix, t.q32, lo, hi, block[:], st)
+			} else {
+				sweepRange32MaskedInto(t.ix, t.q32, lo, hi, block[:], t.mask, st)
+			}
 		}
 		if st.Len() > 0 {
 			t.mu.Lock()
@@ -189,7 +199,11 @@ func (t *sweepTask) run(sc *scratch) {
 			break
 		}
 		lo, hi := t.ix.Shard(s)
-		sweepRangeInto(t.ix, t.q, lo, hi, block[:], st)
+		if t.mask == nil {
+			sweepRangeInto(t.ix, t.q, lo, hi, block[:], st)
+		} else {
+			sweepRangeMaskedInto(t.ix, t.q, lo, hi, block[:], t.mask, st)
+		}
 	}
 	if st.Len() > 0 {
 		t.mu.Lock()
@@ -198,32 +212,29 @@ func (t *sweepTask) run(sc *scratch) {
 	}
 }
 
-// NaiveInto is the sharded parallel counterpart of NaiveInto: it streams
-// every item's score into the armed collector st using up to maxWorkers
-// participants (0 = the whole pool). Results are byte-identical to the
-// serial path; steady-state calls allocate nothing.
-func (p *Pool) NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 {
-		NaiveInto(c, q, st)
-		return
-	}
+func (p *Pool) getSweepTask() *sweepTask {
 	t, _ := p.sweeps.Get().(*sweepTask)
 	if t == nil {
 		t = new(sweepTask)
 	}
-	t.ix, t.q, t.k, t.out = ix, q, st.K(), st
-	t.numShards = int32(ix.NumShards())
-	t.next.Store(0)
-	p.dispatch(t, fan)
-	t.ix, t.q, t.out = nil, nil, nil
-	p.sweeps.Put(t)
+	return t
+}
+
+// NaiveInto is the sharded parallel counterpart of NaiveInto: it streams
+// every item's score into the armed collector st using up to maxWorkers
+// participants (0 = the whole pool). Results are byte-identical to the
+// serial path; steady-state calls allocate nothing.
+//
+// Deprecated: build a Plan and call Execute/ExecuteInto.
+func (p *Pool) NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
+	p.executeNaive(c, q, model.PrecisionF64, maxWorkers, nil, c.Index.NumItems(), st)
 }
 
 // Naive returns the top-k items by parallel full sweep — the drop-in
 // multi-core replacement for Naive. maxWorkers caps the fan-out (0 = the
 // whole pool).
+//
+// Deprecated: build a Plan and call Execute.
 func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmath.Scored {
 	st := vecmath.NewTopKStream(k)
 	p.NaiveInto(c, q, st, maxWorkers)
@@ -237,47 +248,16 @@ func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmat
 // and the submitting goroutine rescores it exactly. Escalation
 // re-dispatches the sweep with a doubled budget; results are
 // byte-identical to NaiveInto for any shard size and worker count.
+//
+// Deprecated: build a Plan with model.PrecisionF32 and call
+// Execute/ExecuteInto.
 func (p *Pool) NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 {
-		NaiveF32Into(c, q, st)
-		return
-	}
-	n := ix.NumItems()
-	k := st.K()
-	if k <= 0 {
-		return
-	}
-	sc := getF32Scratch(q)
-	defer f32Scratches.Put(sc)
-	eps := ix.ItemErrBound32(q)
-	for kp := f32OverFetch(k); ; kp *= 2 {
-		if kp >= n {
-			st.Reset(k)
-			p.NaiveInto(c, q, st, maxWorkers)
-			return
-		}
-		sc.cand.Reset(kp)
-		t, _ := p.sweeps.Get().(*sweepTask)
-		if t == nil {
-			t = new(sweepTask)
-		}
-		t.ix, t.q32, t.k, t.out32 = ix, sc.q32, kp, &sc.cand
-		t.numShards = int32(ix.NumShards())
-		t.next.Store(0)
-		p.dispatch(t, fan)
-		t.ix, t.q32, t.out32 = nil, nil, nil
-		p.sweeps.Put(t)
-		st.Reset(k)
-		if rescoreItems(ix, q, &sc.cand, st, eps) {
-			return
-		}
-		f32Escalations.Add(1)
-	}
+	p.executeNaive(c, q, model.PrecisionF32, maxWorkers, nil, c.Index.NumItems(), st)
 }
 
 // NaiveF32 returns the exact top-k via the sharded two-stage pipeline.
+//
+// Deprecated: build a Plan with model.PrecisionF32 and call Execute.
 func (p *Pool) NaiveF32(c *model.Composed, q []float64, k, maxWorkers int) []vecmath.Scored {
 	st := vecmath.NewTopKStream(k)
 	p.NaiveF32Into(c, q, st, maxWorkers)
@@ -351,36 +331,27 @@ func (t *leafTask) eachChunk(visit func(leaf int32)) {
 	}
 }
 
+func (p *Pool) getLeafTask() *leafTask {
+	t, _ := p.leaves.Get().(*leafTask)
+	if t == nil {
+		t = new(leafTask)
+	}
+	return t
+}
+
 // Cascade runs §5.1 top-down inference with the surviving leaf frontier
 // scored across the pool. The beam walk itself stays serial — category
 // levels are tiny compared to the catalog — but the frontier, which can
 // approach catalog size at high keep fractions, is chunked over the
 // workers. Ranking and stats match the serial Cascade exactly.
+//
+// Deprecated: build a Plan with StrategyCascade and call Execute.
 func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
-	frontier, stats, err := walk(c, q, cfg)
+	st := vecmath.NewTopKStream(k)
+	stats, err := p.executeCascade(c, q, cfg, model.PrecisionF64, maxWorkers, nil, st)
 	if err != nil {
 		return nil, nil, err
 	}
-	ix := c.Index
-	st := vecmath.NewTopKStream(k)
-	chunks := (len(frontier) + leafChunk - 1) / leafChunk
-	if fan := p.fanout(maxWorkers, chunks); fan > 1 {
-		t, _ := p.leaves.Get().(*leafTask)
-		if t == nil {
-			t = new(leafTask)
-		}
-		t.tree, t.ix, t.q, t.k, t.leaves, t.out = c.Tree, ix, q, k, frontier, st
-		t.next.Store(0)
-		p.dispatch(t, fan)
-		t.tree, t.ix, t.q, t.leaves, t.out = nil, nil, nil, nil, nil
-		p.leaves.Put(t)
-	} else {
-		for _, leaf := range frontier {
-			st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
-		}
-	}
-	stats.NodesScored += len(frontier)
-	stats.LeavesScored = len(frontier)
 	return st.Ranked(), stats, nil
 }
 
@@ -388,59 +359,16 @@ func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, max
 // two-stage pipeline: the frontier's f32 scores are gathered across the
 // pool into one merged candidate heap, then rescored exactly by the
 // submitting goroutine. Items, order and Stats match the serial Cascade.
+//
+// Deprecated: build a Plan with StrategyCascade and model.PrecisionF32
+// and call Execute.
 func (p *Pool) CascadeF32(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
-	frontier, stats, err := walk(c, q, cfg)
+	st := vecmath.NewTopKStream(k)
+	stats, err := p.executeCascade(c, q, cfg, model.PrecisionF32, maxWorkers, nil, st)
 	if err != nil {
 		return nil, nil, err
 	}
-	st := vecmath.NewTopKStream(k)
-	chunks := (len(frontier) + leafChunk - 1) / leafChunk
-	fan := p.fanout(maxWorkers, chunks)
-	if fan <= 1 || k <= 0 {
-		cascadeLeavesF32(c, q, frontier, st)
-	} else {
-		ix := c.Index
-		sc := getF32Scratch(q)
-		eps := ix.NodeErrBound32(q)
-		for kp := f32OverFetch(k); ; kp *= 2 {
-			if kp >= len(frontier) {
-				// budget covers the frontier: fall back to the exact f64
-				// frontier scoring, fanned out as usual
-				st.Reset(k)
-				t := p.getLeafTask()
-				t.tree, t.ix, t.q, t.k, t.leaves, t.out = c.Tree, ix, q, k, frontier, st
-				t.next.Store(0)
-				p.dispatch(t, fan)
-				t.tree, t.ix, t.q, t.leaves, t.out = nil, nil, nil, nil, nil
-				p.leaves.Put(t)
-				break
-			}
-			sc.cand.Reset(kp)
-			t := p.getLeafTask()
-			t.tree, t.ix, t.q32, t.k, t.leaves, t.out32 = c.Tree, ix, sc.q32, kp, frontier, &sc.cand
-			t.next.Store(0)
-			p.dispatch(t, fan)
-			t.tree, t.ix, t.q32, t.leaves, t.out32 = nil, nil, nil, nil, nil
-			p.leaves.Put(t)
-			st.Reset(k)
-			if rescoreItems(ix, q, &sc.cand, st, eps) {
-				break
-			}
-			f32Escalations.Add(1)
-		}
-		f32Scratches.Put(sc)
-	}
-	stats.NodesScored += len(frontier)
-	stats.LeavesScored = len(frontier)
 	return st.Ranked(), stats, nil
-}
-
-func (p *Pool) getLeafTask() *leafTask {
-	t, _ := p.leaves.Get().(*leafTask)
-	if t == nil {
-		t = new(leafTask)
-	}
-	return t
 }
 
 // ---- diversified inference: sharded per-category quota heaps ------------
@@ -452,12 +380,54 @@ type divTask struct {
 	q32       []float32
 	perCat    int
 	catDepth  int
+	mask      *vecmath.Bitset
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
 	gcats     []vecmath.TopKStream
 	gcats32   []vecmath.TopKStream32
 	garmed    []bool
+}
+
+func (p *Pool) getDivTask() *divTask {
+	t, _ := p.divs.Get().(*divTask)
+	if t == nil {
+		t = new(divTask)
+	}
+	return t
+}
+
+// armDiv sizes the shared f64 category heaps for a dispatch: width slots,
+// perCat quota, all disarmed. The f32 heaps are left alone — run()
+// dispatches on q32, and dropping them would throw away the pooled
+// capacity a later f32 query reuses.
+func (t *divTask) armDiv(width, perCat int) {
+	if cap(t.gcats) < width {
+		t.gcats = make([]vecmath.TopKStream, width)
+	}
+	t.gcats = t.gcats[:width]
+	t.armGuards(width)
+	t.perCat = perCat
+}
+
+// armDiv32 sizes the shared f32 candidate heaps for a dispatch.
+func (t *divTask) armDiv32(width, perCat int) {
+	if cap(t.gcats32) < width {
+		t.gcats32 = make([]vecmath.TopKStream32, width)
+	}
+	t.gcats32 = t.gcats32[:width]
+	t.armGuards(width)
+	t.perCat = perCat
+}
+
+func (t *divTask) armGuards(width int) {
+	if cap(t.garmed) < width {
+		t.garmed = make([]bool, width)
+	}
+	t.garmed = t.garmed[:width]
+	for i := range t.garmed {
+		t.garmed[i] = false
+	}
 }
 
 func (t *divTask) run(sc *scratch) {
@@ -470,30 +440,13 @@ func (t *divTask) run(sc *scratch) {
 		sc.cats = make([]vecmath.TopKStream, width)
 	}
 	cats, armed := sc.cats[:width], sc.armedSlice(width)
-	var block [blockItems]float64
 	for {
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
 		}
 		shardLo, shardHi := t.ix.Shard(s)
-		for lo := shardLo; lo < shardHi; lo += blockItems {
-			hi := lo + blockItems
-			if hi > shardHi {
-				hi = shardHi
-			}
-			buf := block[:hi-lo]
-			t.ix.ItemScoresRangeInto(t.q, lo, hi, buf)
-			for i, score := range buf {
-				item := lo + i
-				pos := t.ix.LevelPos(t.ix.ItemCategory(item, t.catDepth))
-				if !armed[pos] {
-					cats[pos].Reset(t.perCat)
-					armed[pos] = true
-				}
-				cats[pos].Push(item, score)
-			}
-		}
+		t.sweepShard(shardLo, shardHi, cats, armed)
 	}
 	t.mu.Lock()
 	for pos := range cats {
@@ -509,6 +462,12 @@ func (t *divTask) run(sc *scratch) {
 	t.mu.Unlock()
 }
 
+// sweepShard scores one claimed shard into the participant's per-category
+// f64 heaps via the shared range sweep, honoring the task's mask.
+func (t *divTask) sweepShard(shardLo, shardHi int, cats []vecmath.TopKStream, armed []bool) {
+	diversifiedSweepRange(t.ix, t.q, t.mask, shardLo, shardHi, t.perCat, t.catDepth, cats, armed)
+}
+
 // run32 is the f32-mode divTask body: identical claim loop over the
 // compact slab with per-worker per-category candidate heaps of the
 // over-fetched budget, merged into the shared f32 category heaps.
@@ -518,30 +477,13 @@ func (t *divTask) run32(sc *scratch) {
 		sc.cats32 = make([]vecmath.TopKStream32, width)
 	}
 	cats, armed := sc.cats32[:width], sc.armedSlice(width)
-	var block [blockItems]float32
 	for {
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
 		}
 		shardLo, shardHi := t.ix.Shard(s)
-		for lo := shardLo; lo < shardHi; lo += blockItems {
-			hi := lo + blockItems
-			if hi > shardHi {
-				hi = shardHi
-			}
-			buf := block[:hi-lo]
-			t.ix.ItemScoresRange32Into(t.q32, lo, hi, buf)
-			for i, score := range buf {
-				item := lo + i
-				pos := t.ix.LevelPos(t.ix.ItemCategory(item, t.catDepth))
-				if !armed[pos] {
-					cats[pos].Reset(t.perCat)
-					armed[pos] = true
-				}
-				cats[pos].Push(item, score)
-			}
-		}
+		t.sweepShard32(shardLo, shardHi, cats, armed)
 	}
 	t.mu.Lock()
 	for pos := range cats {
@@ -555,6 +497,11 @@ func (t *divTask) run32(sc *scratch) {
 		t.gcats32[pos].Merge(&cats[pos])
 	}
 	t.mu.Unlock()
+}
+
+// sweepShard32 is sweepShard over the compact f32 slab.
+func (t *divTask) sweepShard32(shardLo, shardHi int, cats []vecmath.TopKStream32, armed []bool) {
+	diversifiedSweepRange32(t.ix, t.q32, t.mask, shardLo, shardHi, t.perCat, t.catDepth, cats, armed)
 }
 
 // armedSlice returns the scratch's per-category armed flags, cleared and
@@ -575,48 +522,13 @@ func (sc *scratch) armedSlice(width int) []bool {
 // per-category heaps are merged (a bounded-heap union preserves each
 // category's exact quota top), and the final ranking is selected from the
 // merged category heaps — identical to the serial result.
+//
+// Deprecated: build a Plan with StrategyDiversified and call Execute.
 func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 {
-		return Diversified(c, q, k, maxPerCategory, catDepth)
-	}
-	if maxPerCategory <= 0 {
-		return nil, errMaxPerCategory(maxPerCategory)
-	}
-	if catDepth < 1 || catDepth >= c.Tree.Depth() {
-		return nil, errCatDepth(catDepth, c.Tree.Depth())
-	}
-	perCat := maxPerCategory
-	if perCat > k {
-		perCat = k
-	}
-	width := len(c.Tree.Level(catDepth))
-	t, _ := p.divs.Get().(*divTask)
-	if t == nil {
-		t = new(divTask)
-	}
-	if cap(t.gcats) < width {
-		t.gcats = make([]vecmath.TopKStream, width)
-		t.garmed = make([]bool, width)
-	}
-	t.gcats, t.garmed = t.gcats[:width], t.garmed[:width]
-	for i := range t.garmed {
-		t.garmed[i] = false
-	}
-	t.ix, t.q, t.perCat, t.catDepth = ix, q, perCat, catDepth
-	t.numShards = int32(ix.NumShards())
-	t.next.Store(0)
-	p.dispatch(t, fan)
 	final := vecmath.NewTopKStream(k)
-	for pos := range t.gcats {
-		if !t.garmed[pos] {
-			continue
-		}
-		final.Merge(&t.gcats[pos])
+	if err := p.executeDiversified(c, q, maxPerCategory, catDepth, model.PrecisionF64, maxWorkers, nil, final); err != nil {
+		return nil, err
 	}
-	t.ix, t.q = nil, nil
-	p.divs.Put(t)
 	return final.Ranked(), nil
 }
 
@@ -624,59 +536,17 @@ func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, ca
 // per-category f32 candidate heaps (over-fetched to perCat' = perCat +
 // margin) merge into global category heaps, the submitting goroutine
 // rescores every retained candidate exactly, and the per-category
-// separation certificate of DiversifiedF32 decides whether to escalate.
-// Results are byte-identical to the serial Diversified.
+// separation certificate of rescoreDiversified decides whether to
+// escalate. Results are byte-identical to the serial Diversified.
+//
+// Deprecated: build a Plan with StrategyDiversified and
+// model.PrecisionF32 and call Execute.
 func (p *Pool) DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 {
-		return DiversifiedF32(c, q, k, maxPerCategory, catDepth)
+	final := vecmath.NewTopKStream(k)
+	if err := p.executeDiversified(c, q, maxPerCategory, catDepth, model.PrecisionF32, maxWorkers, nil, final); err != nil {
+		return nil, err
 	}
-	if maxPerCategory <= 0 {
-		return nil, errMaxPerCategory(maxPerCategory)
-	}
-	if catDepth < 1 || catDepth >= c.Tree.Depth() {
-		return nil, errCatDepth(catDepth, c.Tree.Depth())
-	}
-	perCat := maxPerCategory
-	if perCat > k {
-		perCat = k
-	}
-	sc := getF32Scratch(q)
-	defer f32Scratches.Put(sc)
-	eps := ix.ItemErrBound32(q)
-	width := len(c.Tree.Level(catDepth))
-	cats := make([]vecmath.TopKStream, width)
-	for perp := f32OverFetch(perCat); ; perp *= 2 {
-		if perp >= ix.NumItems() {
-			return p.Diversified(c, q, k, maxPerCategory, catDepth, maxWorkers)
-		}
-		t, _ := p.divs.Get().(*divTask)
-		if t == nil {
-			t = new(divTask)
-		}
-		if cap(t.gcats32) < width {
-			t.gcats32 = make([]vecmath.TopKStream32, width)
-		}
-		if cap(t.garmed) < width {
-			t.garmed = make([]bool, width)
-		}
-		t.gcats32, t.garmed = t.gcats32[:width], t.garmed[:width]
-		for i := range t.garmed {
-			t.garmed[i] = false
-		}
-		t.ix, t.q32, t.perCat, t.catDepth = ix, sc.q32, perp, catDepth
-		t.numShards = int32(ix.NumShards())
-		t.next.Store(0)
-		p.dispatch(t, fan)
-		final, ok := rescoreDiversified(ix, q, t.gcats32, cats, t.garmed, perCat, k, eps)
-		t.ix, t.q32 = nil, nil
-		p.divs.Put(t)
-		if ok {
-			return final.Ranked(), nil
-		}
-		f32Escalations.Add(1)
-	}
+	return final.Ranked(), nil
 }
 
 // ---- batched multi-query sweep ------------------------------------------
@@ -691,6 +561,14 @@ type multiTask struct {
 	next      atomic.Int32
 	mu        sync.Mutex
 	outs      []*vecmath.TopKStream
+}
+
+func (p *Pool) getMultiTask() *multiTask {
+	t, _ := p.multis.Get().(*multiTask)
+	if t == nil {
+		t = new(multiTask)
+	}
+	return t
 }
 
 func (t *multiTask) run(sc *scratch) {
@@ -767,40 +645,22 @@ func (t *multiTask) run32(sc *scratch) {
 }
 
 // MultiNaiveInto scores a batch of queries in one pass over the shared
-// item slab: each cache-sized shard is swept once and dotted against
+// item slab: each cache-sized shard is swept once and scored against
 // every query before moving on, so a coalesced batch of B requests reads
 // the catalog's factors once instead of B times. Each query's collector
 // receives exactly the ranking the serial single-query sweep produces.
+//
+// Deprecated: use ExecuteBatch.
 func MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
-	ix := c.Index
-	var block [blockItems]float64
-	for s, n := 0, ix.NumShards(); s < n; s++ {
-		lo, hi := ix.Shard(s)
-		for i, q := range qs {
-			sweepRangeInto(ix, q, lo, hi, block[:], outs[i])
-		}
-	}
+	(*Pool)(nil).executeMulti(c, qs, model.PrecisionF64, 1, outs)
 }
 
 // MultiNaiveInto fans the batched sweep across the pool: participants
 // claim shards and score the whole batch against each claimed shard.
+//
+// Deprecated: use ExecuteBatch.
 func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 || len(qs) == 0 {
-		MultiNaiveInto(c, qs, outs)
-		return
-	}
-	t, _ := p.multis.Get().(*multiTask)
-	if t == nil {
-		t = new(multiTask)
-	}
-	t.ix, t.qs, t.outs = ix, qs, outs
-	t.numShards = int32(ix.NumShards())
-	t.next.Store(0)
-	p.dispatch(t, fan)
-	t.ix, t.qs, t.outs = nil, nil, nil
-	p.multis.Put(t)
+	p.executeMulti(c, qs, model.PrecisionF64, maxWorkers, outs)
 }
 
 // MultiNaiveF32Into fans the batched two-stage sweep across the pool:
@@ -809,24 +669,8 @@ func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath
 // submitting goroutine rescores each query exactly. A query whose margin
 // fails escalates alone through the serial pipeline; every collector ends
 // up byte-identical to its serial single-query f64 ranking.
+//
+// Deprecated: use ExecuteBatch with model.PrecisionF32 plans.
 func (p *Pool) MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
-	ix := c.Index
-	fan := p.fanout(maxWorkers, ix.NumShards())
-	if fan <= 1 || len(qs) == 0 {
-		MultiNaiveF32Into(c, qs, outs)
-		return
-	}
-	sc := getMultiF32Scratch(qs, outs)
-	defer multiF32Scratches.Put(sc)
-	t, _ := p.multis.Get().(*multiTask)
-	if t == nil {
-		t = new(multiTask)
-	}
-	t.ix, t.qs32, t.outs32 = ix, sc.qs32, sc.ptrs
-	t.numShards = int32(ix.NumShards())
-	t.next.Store(0)
-	p.dispatch(t, fan)
-	t.ix, t.qs32, t.outs32 = nil, nil, nil
-	p.multis.Put(t)
-	finishMultiF32(c, qs, outs, sc.cands)
+	p.executeMulti(c, qs, model.PrecisionF32, maxWorkers, outs)
 }

@@ -1,0 +1,300 @@
+package infer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// Strategy selects a plan's ranking shape.
+type Strategy uint8
+
+const (
+	// StrategyNaive is the exact full-catalog sweep (the default).
+	StrategyNaive Strategy = iota
+	// StrategyCascade is the §5.1 top-down beam over the taxonomy;
+	// Plan.Cascade must carry the per-level keep fractions.
+	StrategyCascade
+	// StrategyDiversified caps how many items a single category may place
+	// in the result; Plan.Diversify must carry the quota.
+	StrategyDiversified
+)
+
+// String returns the wire spelling used by flags and HTTP parameters.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyCascade:
+		return "cascade"
+	case StrategyDiversified:
+		return "diversified"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy parses the wire spelling; "" means StrategyNaive.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "", "naive":
+		return StrategyNaive, nil
+	case "cascade":
+		return StrategyCascade, nil
+	case "diversified":
+		return StrategyDiversified, nil
+	default:
+		return StrategyNaive, fmt.Errorf("infer: unknown strategy %q (want naive, cascade or diversified)", s)
+	}
+}
+
+// ParseIDList parses a comma-separated list of non-negative ids — the
+// wire spelling of category filter lists, shared by the HTTP layer and
+// the CLIs. Whether an id names a real taxonomy node is checked later,
+// by Plan.Validate against a snapshot.
+func ParseIDList(s string) ([]int32, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("infer: bad id %q in list", p)
+		}
+		out = append(out, int32(n))
+	}
+	return out, nil
+}
+
+// Diversify configures StrategyDiversified: at most MaxPerCategory items
+// from any single category at taxonomy depth CatDepth (0 = the lowest
+// category level) may appear in the result.
+type Diversify struct {
+	MaxPerCategory int
+	CatDepth       int
+}
+
+// Plan is one fully specified recommendation query: what to rank
+// (Strategy plus its config), over which items (Filter), how much of the
+// ranking to return (K results after skipping Offset), and how to spend
+// hardware doing it (Precision, MaxWorkers). A Plan is validated once and
+// executed by the single Execute path; every legacy entry point of this
+// package is now a thin wrapper that builds the equivalent plan.
+type Plan struct {
+	// Strategy picks the ranking shape; the zero value is the naive sweep.
+	Strategy Strategy
+	// Precision picks the scoring pipeline; model.PrecisionDefault
+	// resolves to the two-stage f32 sweep. Rankings are byte-identical
+	// either way.
+	Precision model.Precision
+	// K is the number of items returned (after filtering and Offset).
+	K int
+	// Offset skips the first Offset ranked items — pagination. Filters
+	// and ranking happen first, so page boundaries are stable for a fixed
+	// plan and snapshot.
+	Offset int
+	// MaxWorkers caps the query's share of the executing pool: 0 uses the
+	// whole pool, 1 forces the serial sweep.
+	MaxWorkers int
+	// Cascade carries the §5.1 keep fractions; required for (and only
+	// for) StrategyCascade.
+	Cascade *CascadeConfig
+	// Diversify carries the category quota; required for (and only for)
+	// StrategyDiversified.
+	Diversify *Diversify
+	// Filter restricts the eligible items; nil passes the whole catalog.
+	Filter *Filter
+}
+
+// Validate checks the plan against a snapshot. It is deliberately
+// permissive about K exceeding the catalog (the heap just returns fewer
+// items) — strict request-shape limits belong to the serving boundary.
+func (pl Plan) Validate(c *model.Composed) error {
+	if pl.K <= 0 {
+		return fmt.Errorf("infer: plan K must be positive, got %d", pl.K)
+	}
+	if pl.Offset < 0 {
+		return fmt.Errorf("infer: plan Offset must be non-negative, got %d", pl.Offset)
+	}
+	if pl.K+pl.Offset < 0 {
+		return fmt.Errorf("infer: plan K+Offset overflows (%d + %d)", pl.K, pl.Offset)
+	}
+	if pl.MaxWorkers < 0 {
+		return fmt.Errorf("infer: plan MaxWorkers must be non-negative, got %d", pl.MaxWorkers)
+	}
+	switch pl.Strategy {
+	case StrategyNaive:
+	case StrategyCascade:
+		if pl.Cascade == nil {
+			return fmt.Errorf("infer: cascade plan needs a CascadeConfig")
+		}
+		if err := pl.Cascade.Validate(c.Tree.Depth()); err != nil {
+			return err
+		}
+	case StrategyDiversified:
+		if pl.Diversify == nil {
+			return fmt.Errorf("infer: diversified plan needs a Diversify config")
+		}
+		if pl.Diversify.MaxPerCategory <= 0 {
+			return errMaxPerCategory(pl.Diversify.MaxPerCategory)
+		}
+		// check the depth the executor will actually use: on a flat
+		// taxonomy even the CatDepth=0 default resolves to an invalid
+		// level, and a validated plan must not fail during execution
+		if d := pl.diversifyDepth(c); d < 1 || d >= c.Tree.Depth() {
+			return errCatDepth(d, c.Tree.Depth())
+		}
+	default:
+		return fmt.Errorf("infer: unknown strategy %v", pl.Strategy)
+	}
+	return pl.Filter.validate(c)
+}
+
+// diversifyDepth resolves the quota level: CatDepth 0 means the lowest
+// category level.
+func (pl Plan) diversifyDepth(c *model.Composed) int {
+	if d := pl.Diversify.CatDepth; d != 0 {
+		return d
+	}
+	return c.Tree.Depth() - 1
+}
+
+// heapSize is the collector capacity a plan needs: the K+Offset page,
+// clamped to the catalog — a bounded heap can never retain more than
+// NumItems entries, so the clamp is behavior-identical while keeping an
+// absurd K or Offset from sizing a giant allocation.
+func (pl Plan) heapSize(c *model.Composed) int {
+	k := pl.K + pl.Offset
+	if n := c.Index.NumItems(); k > n {
+		k = n
+	}
+	return k
+}
+
+// Result is one executed plan's output.
+type Result struct {
+	// Items is the ranked page: up to K entries, best first, after the
+	// filter and Offset were applied. The slice aliases the collector the
+	// plan ran on (the caller's, for ExecuteInto).
+	Items []vecmath.Scored
+	// Stats reports the cascade's work; nil for other strategies.
+	Stats *Stats
+	// Eligible is how many catalog items survived the plan's filter
+	// (NumItems for an unfiltered plan).
+	Eligible int
+}
+
+// Execute validates and runs a plan against a snapshot using the pool's
+// workers (a nil receiver executes serially). The returned ranking is
+// byte-identical — order and tie-breaks included — for any precision,
+// worker count and shard size. Every error Execute returns is a plan
+// validation failure; once a plan validates, execution cannot fail.
+func (p *Pool) Execute(c *model.Composed, q []float64, pl Plan) (Result, error) {
+	// validate before sizing the collector: a malformed K/Offset must
+	// come back as an error, not a makeslice panic or a giant allocation
+	if err := pl.Validate(c); err != nil {
+		return Result{}, err
+	}
+	return p.execInto(c, q, pl, vecmath.NewTopKStream(pl.heapSize(c)))
+}
+
+// Execute runs a plan serially; it is (*Pool)(nil).Execute for callers
+// without a pool.
+func Execute(c *model.Composed, q []float64, pl Plan) (Result, error) {
+	return (*Pool)(nil).Execute(c, q, pl)
+}
+
+// ExecuteInto is Execute with a caller-owned collector, the zero-alloc
+// core for tight loops (evaluation sweeps a collector across every test
+// user). The collector is re-armed internally to K+Offset; Result.Items
+// aliases its storage and stays valid until the next Reset.
+func (p *Pool) ExecuteInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+	if err := pl.Validate(c); err != nil {
+		return Result{}, err
+	}
+	return p.execInto(c, q, pl, st)
+}
+
+// execInto runs an already-validated plan into an armed collector.
+func (p *Pool) execInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+	cf := compileFilter(c.Index, pl.Filter)
+	defer releaseFilter(cf)
+	var mask *vecmath.Bitset
+	eligible := c.Index.NumItems()
+	if cf != nil {
+		mask, eligible = &cf.mask, cf.eligible
+	}
+	st.Reset(pl.heapSize(c))
+	res := Result{Eligible: eligible}
+	switch pl.Strategy {
+	case StrategyCascade:
+		stats, err := p.executeCascade(c, q, *pl.Cascade, pl.Precision, pl.MaxWorkers, cf, st)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Stats = stats
+	case StrategyDiversified:
+		if err := p.executeDiversified(c, q, pl.Diversify.MaxPerCategory, pl.diversifyDepth(c), pl.Precision, pl.MaxWorkers, cf, st); err != nil {
+			return Result{}, err
+		}
+	default:
+		p.executeNaive(c, q, pl.Precision, pl.MaxWorkers, mask, eligible, st)
+	}
+	res.Items = page(st.Ranked(), pl.Offset)
+	return res, nil
+}
+
+// ExecuteInto runs a plan serially into a caller-owned collector.
+func ExecuteInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+	return (*Pool)(nil).ExecuteInto(c, q, pl, st)
+}
+
+// page drops the first offset entries of a ranked slice; a past-the-end
+// offset yields an empty (non-nil) page.
+func page(ranked []vecmath.Scored, offset int) []vecmath.Scored {
+	if offset >= len(ranked) {
+		return ranked[len(ranked):]
+	}
+	return ranked[offset:]
+}
+
+// ExecuteBatch coalesces naive unfiltered plans into one shared
+// multi-query sweep: each cache-resident shard of the item slab is read
+// once and scored against every query. All plans must be StrategyNaive
+// with a nil Filter and the same resolved Precision — the shared sweep is
+// one pass at one visitation pattern, which is exactly what a filter
+// changes; route filtered plans through Execute per query (the serving
+// batcher sub-groups this way). Offsets may differ: each query just
+// over-collects by its own offset. Returns one Result per plan.
+func (p *Pool) ExecuteBatch(c *model.Composed, qs [][]float64, pls []Plan) ([]Result, error) {
+	if len(qs) != len(pls) {
+		return nil, fmt.Errorf("infer: batch has %d queries but %d plans", len(qs), len(pls))
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	prec := pls[0].Precision.Resolve()
+	for i := range pls {
+		if pls[i].Strategy != StrategyNaive || !pls[i].Filter.Empty() {
+			return nil, fmt.Errorf("infer: batch plan %d is not an unfiltered naive plan", i)
+		}
+		if pls[i].Precision.Resolve() != prec {
+			return nil, fmt.Errorf("infer: batch plan %d resolves to precision %v, batch runs %v", i, pls[i].Precision.Resolve(), prec)
+		}
+		if err := pls[i].Validate(c); err != nil {
+			return nil, err
+		}
+	}
+	outs := make([]*vecmath.TopKStream, len(qs))
+	for i := range outs {
+		outs[i] = vecmath.NewTopKStream(pls[i].heapSize(c))
+	}
+	p.executeMulti(c, qs, prec, 0, outs)
+	results := make([]Result, len(qs))
+	for i := range results {
+		results[i] = Result{Items: page(outs[i].Ranked(), pls[i].Offset), Eligible: c.Index.NumItems()}
+	}
+	return results, nil
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+// fuzzSeedModel builds a tiny trained-shaped model and returns its
+// current (v2) file bytes.
+func fuzzSeedModel(tb testing.TB) []byte {
+	tb.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{CategoryLevels: []int{2, 4}, Items: 12, Skew: 0}, vecmath.NewRNG(3))
+	m, err := New(tree, 3, Params{K: 4, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 1, InitStd: 0.1, UseBias: true}, vecmath.NewRNG(4))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m.Precision = PrecisionF32
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad drives the model file parser with mutated headers, versions
+// and payloads. Load must never panic; whenever it accepts the input, the
+// model must be internally consistent and round-trip through Save/Load.
+//
+// Run longer with: go test -run '^$' -fuzz '^FuzzLoad$' ./internal/model
+func FuzzLoad(f *testing.F) {
+	v2 := fuzzSeedModel(f)
+	f.Add(v2) // current format
+	// v1 file: same gob payload under a version-1 header (the Precision
+	// field gob-defaults on decode)
+	v1 := append([]byte(nil), v2...)
+	binary.BigEndian.PutUint32(v1[len(fileMagic):], 1)
+	f.Add(v1)
+	// legacy headerless gob payload
+	f.Add(append([]byte(nil), v2[headerLen:]...))
+	// truncations: inside the header, just after it, and mid-payload
+	f.Add(append([]byte(nil), v2[:headerLen-2]...))
+	f.Add(append([]byte(nil), v2[:headerLen+3]...))
+	f.Add(append([]byte(nil), v2[:len(v2)/2]...))
+	// future version
+	future := append([]byte(nil), v2...)
+	binary.BigEndian.PutUint32(future[len(fileMagic):], 99)
+	f.Add(future)
+	// right magic, garbage payload; and plain garbage
+	f.Add(append(append([]byte(nil), v2[:headerLen]...), []byte("not a gob stream")...))
+	f.Add([]byte("TFRECMD?almost the magic"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatal("Load returned both a model and an error")
+			}
+			return
+		}
+		// accepted input: the decoded model must hold the invariants the
+		// serving stack assumes
+		if m.Tree == nil || m.Tree.NumItems() <= 0 {
+			t.Fatal("accepted model has no taxonomy leaves")
+		}
+		if m.K() <= 0 || m.NumUsers() < 0 {
+			t.Fatalf("accepted model has impossible shape: K=%d users=%d", m.K(), m.NumUsers())
+		}
+		if m.Precision > PrecisionF64 {
+			t.Fatalf("accepted model carries unknown precision %d", m.Precision)
+		}
+		if err := m.Tree.Validate(); err != nil {
+			t.Fatalf("accepted model has inconsistent taxonomy: %v", err)
+		}
+		// round-trip: what Save writes, Load reads back identically shaped
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-load failed: %v", err)
+		}
+		if m2.K() != m.K() || m2.NumUsers() != m.NumUsers() ||
+			m2.Tree.NumNodes() != m.Tree.NumNodes() || m2.Precision != m.Precision {
+			t.Fatal("round-trip changed the model shape")
+		}
+	})
+}

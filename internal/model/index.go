@@ -67,6 +67,20 @@ type ScoringIndex struct {
 	// levelPos[node] is the node's offset within its taxonomy level
 	// (tree.Level(depth(node))); per-level dense tables are indexed by it.
 	levelPos []int32
+
+	// nodeDepth[node] is the node's taxonomy depth (root = 0); the
+	// subtree-mask fallback uses it to pick the itemCat column to scan.
+	nodeDepth []int32
+
+	// itemLo/itemHi bound the item ids of node's leaf descendants:
+	// every leaf under node has an item id in [itemLo, itemHi), and
+	// subtreeLeaves counts them. When subtreeLeaves == itemHi − itemLo the
+	// subtree's leaves exactly fill the range — true for every node of a
+	// level-ordered tree like taxonomy.Generate's — and a taxonomy filter
+	// over the node becomes two word-aligned mask operations instead of a
+	// catalog scan.
+	itemLo, itemHi []int32
+	subtreeLeaves  []int32
 }
 
 // buildIndex flattens the composed factor matrices for a taxonomy. Bias is
@@ -104,9 +118,37 @@ func buildIndex(tree *taxonomy.Tree, eff *vecmath.Matrix, effBias *vecmath.Matri
 		ix.itemCat[d] = col
 	}
 	ix.levelPos = make([]int32, numNodes)
+	ix.nodeDepth = make([]int32, numNodes)
 	for d := 0; d <= tree.Depth(); d++ {
 		for i, node := range tree.Level(d) {
 			ix.levelPos[node] = int32(i)
+			ix.nodeDepth[node] = int32(d)
+		}
+	}
+	// subtree item bounds, accumulated leaves-up: a leaf spans exactly its
+	// own item id; an interior node spans the union of its children.
+	ix.itemLo = make([]int32, numNodes)
+	ix.itemHi = make([]int32, numNodes)
+	ix.subtreeLeaves = make([]int32, numNodes)
+	for node := range ix.itemLo {
+		ix.itemLo[node] = int32(numItems)
+	}
+	for item := 0; item < numItems; item++ {
+		node := tree.ItemNode(item)
+		ix.itemLo[node] = int32(item)
+		ix.itemHi[node] = int32(item + 1)
+		ix.subtreeLeaves[node] = 1
+	}
+	for d := tree.Depth(); d >= 1; d-- {
+		for _, node := range tree.Level(d) {
+			p := tree.Parent(int(node))
+			if ix.itemLo[node] < ix.itemLo[p] {
+				ix.itemLo[p] = ix.itemLo[node]
+			}
+			if ix.itemHi[node] > ix.itemHi[p] {
+				ix.itemHi[p] = ix.itemHi[node]
+			}
+			ix.subtreeLeaves[p] += ix.subtreeLeaves[node]
 		}
 	}
 	ix.shardItems = defaultShardItems(k)
@@ -289,6 +331,42 @@ func errBound32(q []float64, maxF, maxB float64) float64 {
 	}
 	const u = 1.0 / (1 << 23)
 	return (float64(len(q))+4)*u*(sumAbs*maxF+maxB) + 1e-30
+}
+
+// ItemRange returns the item-id bounds [lo, hi) of node's leaf
+// descendants and whether those leaves exactly fill the range. Contiguous
+// subtrees (every node of a level-ordered generated taxonomy) let a
+// category filter resolve to a single range operation on the item-major
+// layout; non-contiguous ones fall back to an ancestor-column scan.
+func (ix *ScoringIndex) ItemRange(node int) (lo, hi int, contiguous bool) {
+	lo, hi = int(ix.itemLo[node]), int(ix.itemHi[node])
+	return lo, hi, int(ix.subtreeLeaves[node]) == hi-lo
+}
+
+// MarkSubtree sets (value = true) or clears the mask bit of every item in
+// node's subtree. This is the item-major resolution step of taxonomy
+// allow/deny filters: contiguous subtrees become one word-aligned range
+// write; the rest scan the node's depth column of the ancestor table.
+func (ix *ScoringIndex) MarkSubtree(mask *vecmath.Bitset, node int, value bool) {
+	if lo, hi, contiguous := ix.ItemRange(node); contiguous {
+		if value {
+			mask.SetRange(lo, hi)
+		} else {
+			mask.UnsetRange(lo, hi)
+		}
+		return
+	}
+	col := ix.itemCat[ix.nodeDepth[node]]
+	for item, ancestor := range col {
+		if int(ancestor) != node {
+			continue
+		}
+		if value {
+			mask.Set(item)
+		} else {
+			mask.Unset(item)
+		}
+	}
 }
 
 // ItemCategory returns item's ancestor node at the given taxonomy depth.

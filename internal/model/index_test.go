@@ -138,3 +138,97 @@ func TestIndexFactorsDoNotAliasModel(t *testing.T) {
 		}
 	}
 }
+
+// subtreeItems walks the tree and returns the item ids of node's leaf
+// descendants — the reference MarkSubtree and ItemRange must agree with.
+func subtreeItems(tree *taxonomy.Tree, node int) map[int]bool {
+	out := make(map[int]bool)
+	var walk func(n int)
+	walk = func(n int) {
+		if tree.IsLeaf(n) {
+			out[tree.NodeItem(n)] = true
+			return
+		}
+		for _, child := range tree.Children(n) {
+			walk(int(child))
+		}
+	}
+	walk(node)
+	return out
+}
+
+func TestIndexItemRangeAndMarkSubtree(t *testing.T) {
+	_, c := indexWorld(t, false)
+	ix, tree := c.Index, c.Tree
+	for node := 0; node < tree.NumNodes(); node++ {
+		want := subtreeItems(tree, node)
+		lo, hi, contiguous := ix.ItemRange(node)
+		if len(want) == 0 {
+			t.Fatalf("node %d has no leaf descendants", node)
+		}
+		for item := range want {
+			if item < lo || item >= hi {
+				t.Fatalf("node %d: item %d outside ItemRange [%d,%d)", node, item, lo, hi)
+			}
+		}
+		if contiguous != (len(want) == hi-lo) {
+			t.Fatalf("node %d: contiguous=%v but %d items span [%d,%d)", node, contiguous, len(want), lo, hi)
+		}
+		mask := vecmath.NewBitset(ix.NumItems())
+		ix.MarkSubtree(mask, node, true)
+		if mask.Count() != len(want) {
+			t.Fatalf("node %d: MarkSubtree set %d bits, want %d", node, mask.Count(), len(want))
+		}
+		for item := 0; item < ix.NumItems(); item++ {
+			if mask.Get(item) != want[item] {
+				t.Fatalf("node %d: item %d marked %v, want %v", node, item, mask.Get(item), want[item])
+			}
+		}
+		// clearing the subtree from a full mask leaves exactly the complement
+		mask.Fill()
+		ix.MarkSubtree(mask, node, false)
+		if mask.Count() != ix.NumItems()-len(want) {
+			t.Fatalf("node %d: clear left %d bits", node, mask.Count())
+		}
+	}
+	// root covers the whole catalog
+	if lo, hi, contiguous := ix.ItemRange(tree.Root()); lo != 0 || hi != ix.NumItems() || !contiguous {
+		t.Fatalf("root range [%d,%d) contiguous=%v", lo, hi, contiguous)
+	}
+}
+
+// A hand-built interleaved tree (leaves of different parents alternating
+// in node-id order) must report non-contiguous subtrees and still mark
+// exactly the right items through the ancestor-column fallback.
+func TestIndexMarkSubtreeNonContiguous(t *testing.T) {
+	// root 0; interiors 1, 2; leaves 3..6 alternating parents 1,2,1,2
+	parents := []int{taxonomy.NoParent, 0, 0, 1, 2, 1, 2}
+	tree, err := taxonomy.NewFromParents(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tree, 2, Params{K: 3, TaxonomyLevels: 2, Alpha: 1, InitStd: 0.1}, vecmath.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := m.Compose().Index
+	for _, node := range []int{1, 2} {
+		if _, _, contiguous := ix.ItemRange(node); contiguous {
+			t.Fatalf("interleaved subtree %d reported contiguous", node)
+		}
+		mask := vecmath.NewBitset(ix.NumItems())
+		ix.MarkSubtree(mask, node, true)
+		want := subtreeItems(tree, node)
+		for item := 0; item < ix.NumItems(); item++ {
+			if mask.Get(item) != want[item] {
+				t.Fatalf("node %d: item %d marked %v, want %v", node, item, mask.Get(item), want[item])
+			}
+		}
+	}
+	// a leaf node is its own (contiguous) single-item subtree
+	leafNode := tree.ItemNode(2)
+	lo, hi, contiguous := ix.ItemRange(leafNode)
+	if lo != 2 || hi != 3 || !contiguous {
+		t.Fatalf("leaf subtree range [%d,%d) contiguous=%v", lo, hi, contiguous)
+	}
+}

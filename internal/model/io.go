@@ -129,6 +129,36 @@ func decodePersisted(r io.Reader) (*TF, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad taxonomy in file: %w", err)
 	}
+	if p.NumUsers < 0 {
+		return nil, fmt.Errorf("negative user count %d in file", p.NumUsers)
+	}
+	// MarkovOrder sizes the decay-weight table, which has no payload
+	// backing it — bound it so a hostile file cannot demand a giant
+	// allocation through a single varint. 2^20 previous transactions is
+	// orders of magnitude past any real purchase history.
+	const maxFileMarkovOrder = 1 << 20
+	if p.Params.MarkovOrder > maxFileMarkovOrder {
+		return nil, fmt.Errorf("markov order %d in file exceeds the sanity bound %d", p.Params.MarkovOrder, maxFileMarkovOrder)
+	}
+	// Check the payload's shape BEFORE building the model: New allocates
+	// numUsers×K and numNodes×K matrices up front, so a hostile file
+	// declaring a huge K or user count with a tiny payload must die on
+	// this length comparison, not on a multi-gigabyte allocation. int64
+	// math keeps an adversarial K from overflowing the expected sizes.
+	k, numNodes := int64(p.Params.K), int64(len(p.Parents))
+	for name, got := range map[string]struct{ have, want int64 }{
+		"user": {int64(len(p.User)), int64(p.NumUsers) * k},
+		"node": {int64(len(p.Node)), numNodes * k},
+		"next": {int64(len(p.Next)), numNodes * k},
+		"bias": {int64(len(p.Bias)), numNodes},
+	} {
+		if name == "bias" && got.have == 0 {
+			continue // pre-bias files: zero-filled below
+		}
+		if got.have != got.want {
+			return nil, fmt.Errorf("%s matrix size %d does not match structure %d", name, got.have, got.want)
+		}
+	}
 	m, err := New(tree, p.NumUsers, p.Params, vecmath.NewRNG(0))
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/infer"
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
@@ -116,7 +117,7 @@ func (b *Batcher) detachLocked(mb *microBatch) {
 }
 
 // run executes a detached batch: full-scan requests share one multi-query
-// sweep, everything else runs per-request, all against one snapshot.
+// plan batch, everything else runs per-request, all against one snapshot.
 func (b *Batcher) run(mb *microBatch) {
 	defer close(mb.done)
 	c := b.s.snap.Load()
@@ -124,14 +125,16 @@ func (b *Batcher) run(mb *microBatch) {
 	mb.resps = make([]Response, len(mb.reqs))
 	var (
 		qs   [][]float64
-		outs []*vecmath.TopKStream
+		pls  []infer.Plan
 		idxs []int
 	)
 	for i, req := range mb.reqs {
-		// the multi-query sweep is shared work at one precision, so a
-		// request pinning a different precision (like cascaded and
-		// diversified shapes) runs per-request where its override holds
-		if req.Cascade != nil || req.MaxPerCategory > 0 ||
+		// the multi-query sweep is shared work at one precision and one
+		// visitation pattern, so a request pinning a different precision
+		// or carrying an item filter (as well as the cascaded and
+		// diversified shapes) sub-groups onto the per-request path, where
+		// its plan holds in full
+		if req.Cascade != nil || req.MaxPerCategory > 0 || req.hasFilter() ||
 			(req.Precision != model.PrecisionDefault && req.Precision != batchPrec) {
 			mb.resps[i] = b.s.run(c, req)
 			continue
@@ -140,6 +143,7 @@ func (b *Batcher) run(mb *microBatch) {
 			mb.resps[i] = Response{Err: err}
 			continue
 		}
+		b.s.countFilters(req)
 		q := b.s.getBuf(c.K())
 		if req.User == -1 {
 			c.BuildSessionQueryInto(req.Recent, q)
@@ -147,18 +151,20 @@ func (b *Batcher) run(mb *microBatch) {
 			c.BuildQueryInto(req.User, req.Recent, q)
 		}
 		qs = append(qs, q)
-		outs = append(outs, vecmath.NewTopKStream(req.K))
+		pls = append(pls, infer.Plan{K: req.K, Offset: req.Offset, Precision: batchPrec})
 		idxs = append(idxs, i)
 	}
 	if len(qs) > 0 {
-		// everything left runs at the batch precision by construction
-		if batchPrec == model.PrecisionF32 {
-			b.s.sweep.MultiNaiveF32Into(c, qs, outs, 0)
-		} else {
-			b.s.sweep.MultiNaiveInto(c, qs, outs, 0)
-		}
+		results, err := b.s.sweep.ExecuteBatch(c, qs, pls)
 		for j, i := range idxs {
-			mb.resps[i] = Response{Items: outs[j].Ranked()}
+			if err != nil {
+				// by construction every batched plan is an unfiltered naive
+				// plan at one precision, so this cannot trip; degrade to a
+				// per-request answer rather than failing the whole batch
+				mb.resps[i] = b.s.run(c, mb.reqs[i])
+			} else {
+				mb.resps[i] = Response{Items: results[j].Items}
+			}
 			b.s.putBuf(qs[j])
 		}
 	}

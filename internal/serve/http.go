@@ -19,6 +19,7 @@ import (
 // HTTP exposes a Server over JSON endpoints — the network-facing
 // deployment shape of the recommender. Endpoints:
 //
+//	POST /v1/recommend             {"user":17,"k":10,"strategy":"cascade","keep":0.2,...}
 //	POST /v1/recommend/user        {"user":17,"recent":[[3,5]],"k":10}
 //	POST /v1/recommend/session     {"recent":[[3,5]],"k":10}
 //	POST /v1/recommend/cascade     {"user":17,"k":10,"keep":0.2} or {"keep_frac":[...]}
@@ -29,7 +30,17 @@ import (
 // "recent" lists the subject's latest baskets most-recent first; session
 // and cascade requests may set "user" to -1 (the session endpoint forces
 // it). Responses carry {"items":[{"item":id,"score":s},...]}; errors are
-// {"error":"..."} with a 4xx/5xx status.
+// {"error":"..."} with a 4xx/5xx status. /v1/recommend is the unified
+// plan endpoint: "strategy" picks naive (default), cascade or
+// diversified, with the same shape-specific fields as the per-shape
+// endpoints.
+//
+// Every recommend endpoint accepts request-time candidate filtering and
+// pagination, as JSON fields (exclude_purchased, categories,
+// exclude_categories, offset) or query parameters (?exclude_purchased=,
+// ?category=3,17, ?exclude_category=, ?offset=; parameters win). Filters
+// apply before the ranking heap, so k items come back even when most of
+// the catalog is filtered out.
 //
 // Reload hot-swaps a retrained snapshot: in-flight requests finish on the
 // snapshot they loaded, new requests see the new one (Server.Update is an
@@ -46,6 +57,7 @@ type HTTP struct {
 	sessions    atomic.Int64
 	cascades    atomic.Int64
 	diversified atomic.Int64
+	plans       atomic.Int64
 	errors      atomic.Int64
 	reloads     atomic.Int64
 }
@@ -101,6 +113,7 @@ func (h *HTTP) Reload() error {
 // Handler returns the route table.
 func (h *HTTP) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recommend", h.recommend(&h.plans, modePlan))
 	mux.HandleFunc("POST /v1/recommend/user", h.recommend(&h.users, modeUser))
 	mux.HandleFunc("POST /v1/recommend/session", h.recommend(&h.sessions, modeSession))
 	mux.HandleFunc("POST /v1/recommend/cascade", h.recommend(&h.cascades, modeCascade))
@@ -119,6 +132,7 @@ const (
 	modeSession
 	modeCascade
 	modeDiversified
+	modePlan
 )
 
 // wireRequest is the JSON request body shared by the recommend endpoints.
@@ -126,12 +140,20 @@ type wireRequest struct {
 	User   int       `json:"user"`
 	Recent [][]int32 `json:"recent"`
 	K      int       `json:"k"`
+	// strategy picks the ranking shape on the unified endpoint: "" or
+	// "naive", "cascade", "diversified"
+	Strategy string `json:"strategy"`
 	// cascade: either per-level fractions or one uniform fraction
 	KeepFrac []float64 `json:"keep_frac"`
 	Keep     float64   `json:"keep"`
 	// diversified
 	MaxPerCategory int `json:"max_per_category"`
 	CatDepth       int `json:"cat_depth"`
+	// candidate filtering and pagination
+	ExcludePurchased  bool    `json:"exclude_purchased"`
+	Categories        []int32 `json:"categories"`
+	ExcludeCategories []int32 `json:"exclude_categories"`
+	Offset            int     `json:"offset"`
 }
 
 type wireItem struct {
@@ -144,11 +166,33 @@ type wireResponse struct {
 }
 
 // toRequest translates the wire form for one endpoint mode against the
-// current snapshot.
+// current snapshot. The unified modePlan endpoint resolves the strategy
+// string and reuses the per-shape translations.
 func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, error) {
-	req := Request{User: wr.User, K: wr.K}
+	req := Request{
+		User:              wr.User,
+		K:                 wr.K,
+		Offset:            wr.Offset,
+		ExcludePurchased:  wr.ExcludePurchased,
+		Categories:        wr.Categories,
+		ExcludeCategories: wr.ExcludeCategories,
+	}
 	for _, b := range wr.Recent {
 		req.Recent = append(req.Recent, dataset.Basket(b))
+	}
+	if mode == modePlan {
+		strat, err := infer.ParseStrategy(wr.Strategy)
+		if err != nil {
+			return req, err
+		}
+		switch strat {
+		case infer.StrategyCascade:
+			mode = modeCascade
+		case infer.StrategyDiversified:
+			mode = modeDiversified
+		default:
+			return req, nil
+		}
 	}
 	switch mode {
 	case modeSession:
@@ -170,6 +214,59 @@ func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, 
 		req.CatDepth = wr.CatDepth
 	}
 	return req, nil
+}
+
+// queryParams applies the per-request knobs carried as URL query
+// parameters; parameters override the JSON body's fields.
+func queryParams(r *http.Request, req *Request) error {
+	qv := r.URL.Query()
+	// ?workers=n caps the request's share of the inference pool
+	// (0 = whole pool, 1 = serial); bad values are a client error
+	if ws := qv.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad workers parameter %q", ws)
+		}
+		req.Workers = n
+	}
+	// ?precision=f32|f64 overrides the scoring pipeline (rankings are
+	// identical; the knob is for benchmarking and escalation triage)
+	if ps := qv.Get("precision"); ps != "" {
+		p, err := model.ParsePrecision(ps)
+		if err != nil {
+			return fmt.Errorf("bad precision parameter %q (want f32 or f64)", ps)
+		}
+		req.Precision = p
+	}
+	if es := qv.Get("exclude_purchased"); es != "" {
+		v, err := strconv.ParseBool(es)
+		if err != nil {
+			return fmt.Errorf("bad exclude_purchased parameter %q", es)
+		}
+		req.ExcludePurchased = v
+	}
+	if cs := qv.Get("category"); cs != "" {
+		nodes, err := infer.ParseIDList(cs)
+		if err != nil {
+			return fmt.Errorf("bad category parameter %q", cs)
+		}
+		req.Categories = nodes
+	}
+	if cs := qv.Get("exclude_category"); cs != "" {
+		nodes, err := infer.ParseIDList(cs)
+		if err != nil {
+			return fmt.Errorf("bad exclude_category parameter %q", cs)
+		}
+		req.ExcludeCategories = nodes
+	}
+	if os := qv.Get("offset"); os != "" {
+		n, err := strconv.Atoi(os)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad offset parameter %q", os)
+		}
+		req.Offset = n
+	}
+	return nil
 }
 
 func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerFunc {
@@ -196,34 +293,20 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			h.fail(w, http.StatusBadRequest, err)
 			return
 		}
-		// ?workers=n caps the request's share of the inference pool
-		// (0 = whole pool, 1 = serial); bad values are a client error
-		if ws := r.URL.Query().Get("workers"); ws != "" {
-			n, err := strconv.Atoi(ws)
-			if err != nil || n < 0 {
-				h.fail(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", ws))
-				return
-			}
-			req.Workers = n
-		}
-		// ?precision=f32|f64 overrides the scoring pipeline (rankings are
-		// identical; the knob is for benchmarking and escalation triage)
-		if ps := r.URL.Query().Get("precision"); ps != "" {
-			p, err := model.ParsePrecision(ps)
-			if err != nil {
-				h.fail(w, http.StatusBadRequest, fmt.Errorf("bad precision parameter %q (want f32 or f64)", ps))
-				return
-			}
-			req.Precision = p
+		if err := queryParams(r, &req); err != nil {
+			h.fail(w, http.StatusBadRequest, err)
+			return
 		}
 		// a request pinning a non-zero fan-out opts out of coalescing, as
-		// does a precision override the shared batch sweep would not
-		// honor; pinning the precision the batch already runs at keeps
-		// the coalescing win
+		// do item filters (the shared sweep is one visitation pattern; the
+		// batcher would only sub-group them back onto the per-request
+		// path after the window wait) and a precision override the batch
+		// would not honor; pinning the precision the batch already runs
+		// at keeps the coalescing win
 		var resp Response
 		batchable := req.Precision == model.PrecisionDefault ||
 			req.Precision == h.srv.effectivePrecision(c, Request{})
-		if h.batcher != nil && req.Workers == 0 && batchable &&
+		if h.batcher != nil && req.Workers == 0 && batchable && !req.hasFilter() &&
 			req.Cascade == nil && req.MaxPerCategory <= 0 {
 			items, err := h.batcher.RecommendContext(r.Context(), req)
 			resp = Response{Items: items, Err: err}
@@ -239,7 +322,14 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 				w.WriteHeader(http.StatusServiceUnavailable)
 				return
 			}
-			h.fail(w, http.StatusBadRequest, resp.Err)
+			// request validation failures are typed; anything else that
+			// escapes the executor is a server fault, not a client error
+			status := http.StatusInternalServerError
+			var reqErr *RequestError
+			if errors.As(resp.Err, &reqErr) {
+				status = http.StatusBadRequest
+			}
+			h.fail(w, status, resp.Err)
 			return
 		}
 		counter.Add(1)
@@ -271,12 +361,14 @@ type statsResponse struct {
 		Session     int64 `json:"session"`
 		Cascade     int64 `json:"cascade"`
 		Diversified int64 `json:"diversified"`
+		Plan        int64 `json:"plan"`
 		Errors      int64 `json:"errors"`
 	} `json:"served"`
 	// Inference describes the parallel sweep, precision and batching
 	// configuration. F32Escalations counts process-wide two-stage margin
 	// escalations — a steady climb means scores are tighter than float32
-	// resolution and f64 may serve cheaper.
+	// resolution and f64 may serve cheaper. Filters counts how many
+	// served requests used each request-time filtering capability.
 	Inference struct {
 		PoolWorkers    int    `json:"pool_workers"`
 		Precision      string `json:"precision"`
@@ -284,6 +376,11 @@ type statsResponse struct {
 		Batching       bool   `json:"batching"`
 		Batches        int64  `json:"batches"`
 		BatchedReqs    int64  `json:"batched_requests"`
+		Filters        struct {
+			ExcludePurchased int64 `json:"exclude_purchased"`
+			Category         int64 `json:"category"`
+			Paged            int64 `json:"paged"`
+		} `json:"filters"`
 	} `json:"inference"`
 	Reloads       int64   `json:"reloads"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -303,10 +400,12 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Served.Session = h.sessions.Load()
 	out.Served.Cascade = h.cascades.Load()
 	out.Served.Diversified = h.diversified.Load()
+	out.Served.Plan = h.plans.Load()
 	out.Served.Errors = h.errors.Load()
 	out.Inference.PoolWorkers = h.srv.Pool().Workers()
 	out.Inference.Precision = h.srv.Precision().String()
 	out.Inference.F32Escalations = infer.F32Escalations()
+	out.Inference.Filters.ExcludePurchased, out.Inference.Filters.Category, out.Inference.Filters.Paged = h.srv.FilterStats()
 	if h.batcher != nil {
 		out.Inference.Batching = true
 		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()

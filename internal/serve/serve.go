@@ -3,10 +3,16 @@
 // snapshot, and a retrained model can be swapped in atomically without
 // blocking in-flight requests — the deployment shape a recommender needs
 // when training (§6.1) runs continuously beside serving (§5).
+//
+// A Request is translated into exactly one infer.Plan and executed by the
+// plan executor; strategy, precision, worker cap, result page and item
+// filters are all plan fields, so the serving layer carries no per-shape
+// dispatch of its own.
 package serve
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +21,18 @@ import (
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
+
+// RequestError marks a client-side request validation failure. The HTTP
+// layer renders it (and only it) as a 400; anything else escaping the
+// executor is a server fault.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+// badRequestf builds a RequestError with the package's error prefix.
+func badRequestf(format string, args ...any) *RequestError {
+	return &RequestError{msg: "serve: " + fmt.Sprintf(format, args...)}
+}
 
 // Server answers recommendation queries from the latest model snapshot.
 // All methods are safe for concurrent use.
@@ -29,6 +47,15 @@ type Server struct {
 	// PrecisionDefault defers to the snapshot's recorded preference and
 	// finally to the build default, the two-stage f32 pipeline.
 	prec model.Precision
+	// purchased[user] lists the distinct items of the user's recorded
+	// purchase history (WithHistory); exclude-purchased filters are built
+	// from it plus the request's Recent baskets.
+	purchased [][]int32
+
+	// filter usage counters, surfaced via FilterStats and /v1/stats.
+	filterExcluded atomic.Int64
+	filterCategory atomic.Int64
+	filterPaged    atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -56,6 +83,28 @@ func WithPrecision(p model.Precision) Option {
 	return func(s *Server) { s.prec = p }
 }
 
+// WithHistory supplies the purchase log backing exclude-purchased
+// filtering: a request with ExcludePurchased drops every item of the
+// user's recorded history plus the request's Recent baskets. Without this
+// option only the Recent baskets are known (session traffic works the
+// same way). The log is snapshotted at construction; it is filter
+// metadata, not model state, so Update does not touch it.
+func WithHistory(d *dataset.Dataset) Option {
+	return func(s *Server) {
+		purchased := make([][]int32, d.NumUsers())
+		for u := range d.Users {
+			set := d.Users[u].ItemSet()
+			items := make([]int32, 0, len(set))
+			for it := range set {
+				items = append(items, it)
+			}
+			slices.Sort(items)
+			purchased[u] = items
+		}
+		s.purchased = purchased
+	}
+}
+
 // New builds a server from a trained model (the model is snapshotted; the
 // caller may keep training it and call Update later).
 func New(m *model.TF, opts ...Option) *Server {
@@ -80,6 +129,13 @@ func (s *Server) Pool() *infer.Pool { return s.sweep }
 // snapshot — what a request with no override runs at.
 func (s *Server) Precision() model.Precision {
 	return s.effectivePrecision(s.snap.Load(), Request{})
+}
+
+// FilterStats reports how many served requests used each filter
+// capability: exclude-purchased, category allow/deny lists, and non-zero
+// pagination offsets.
+func (s *Server) FilterStats() (excludePurchased, category, paged int64) {
+	return s.filterExcluded.Load(), s.filterCategory.Load(), s.filterPaged.Load()
 }
 
 // Update atomically swaps in a fresh snapshot of the (re)trained model.
@@ -116,6 +172,9 @@ type Request struct {
 	User   int
 	Recent []dataset.Basket
 	K      int
+	// Offset skips the first Offset ranked items — pagination. K items
+	// are still returned (filters and ranking apply before the page cut).
+	Offset int
 	// Cascade, when non-nil, uses §5.1 cascaded inference instead of the
 	// full scan.
 	Cascade *infer.CascadeConfig
@@ -123,6 +182,15 @@ type Request struct {
 	// lowest category level).
 	MaxPerCategory int
 	CatDepth       int
+	// ExcludePurchased drops every item the user is known to have bought:
+	// the recorded history (WithHistory) plus this request's Recent
+	// baskets.
+	ExcludePurchased bool
+	// Categories, when non-empty, restricts results to items under these
+	// taxonomy nodes (union); ExcludeCategories removes items under its
+	// nodes.
+	Categories        []int32
+	ExcludeCategories []int32
 	// Workers caps this request's share of the server's inference pool:
 	// 0 uses the whole pool, 1 forces the serial sweep, n > 1 fans out to
 	// at most n participants. Ignored when the server has no pool.
@@ -130,6 +198,12 @@ type Request struct {
 	// Precision overrides the scoring pipeline for this request;
 	// model.PrecisionDefault defers to the server and then the snapshot.
 	Precision model.Precision
+}
+
+// hasFilter reports whether the request carries any item filter — the
+// requests the coalesced batch sweep cannot share.
+func (r Request) hasFilter() bool {
+	return r.ExcludePurchased || len(r.Categories) > 0 || len(r.ExcludeCategories) > 0
 }
 
 // effectivePrecision resolves one request's scoring pipeline: request
@@ -144,18 +218,102 @@ func (s *Server) effectivePrecision(c *model.Composed, req Request) model.Precis
 	return model.PrecisionDefault.Resolve()
 }
 
-// Validate checks a request against the snapshot.
+// validate checks a request against the snapshot. Every rejection is a
+// *RequestError, which the HTTP layer maps to a 400; request shapes that
+// previously fell through to panics (out-of-range basket items) or
+// silent clamps (k beyond the catalog) are rejected here.
 func (r Request) validate(c *model.Composed) error {
 	if r.K <= 0 {
-		return fmt.Errorf("serve: K must be positive, got %d", r.K)
+		return badRequestf("K must be positive, got %d", r.K)
+	}
+	if n := c.NumItems(); r.K > n {
+		return badRequestf("K %d exceeds the catalog size %d", r.K, n)
+	}
+	if r.Offset < 0 {
+		return badRequestf("offset must be non-negative, got %d", r.Offset)
+	}
+	if n := c.NumItems(); r.Offset > n {
+		// an offset past the catalog can only yield an empty page, and an
+		// unbounded one would size a K+Offset heap — reject it at the
+		// boundary so a single request cannot demand a giant allocation
+		return badRequestf("offset %d beyond the catalog size %d", r.Offset, n)
 	}
 	if r.User != -1 && (r.User < 0 || r.User >= c.User.Rows()) {
-		return fmt.Errorf("serve: user %d out of range [0,%d)", r.User, c.User.Rows())
+		return badRequestf("user %d out of range [0,%d)", r.User, c.User.Rows())
 	}
 	if r.User == -1 && c.P.MarkovOrder == 0 {
-		return fmt.Errorf("serve: session requests need a model with MarkovOrder > 0")
+		return badRequestf("session requests need a model with MarkovOrder > 0")
+	}
+	for _, b := range r.Recent {
+		for _, item := range b {
+			if item < 0 || int(item) >= c.NumItems() {
+				return badRequestf("recent basket item %d out of range [0,%d)", item, c.NumItems())
+			}
+		}
+	}
+	numNodes := c.Tree.NumNodes()
+	for _, node := range r.Categories {
+		if node < 0 || int(node) >= numNodes {
+			return badRequestf("category node %d out of range [0,%d)", node, numNodes)
+		}
+	}
+	for _, node := range r.ExcludeCategories {
+		if node < 0 || int(node) >= numNodes {
+			return badRequestf("exclude_category node %d out of range [0,%d)", node, numNodes)
+		}
 	}
 	return nil
+}
+
+// filterFor translates the request's filter fields into the plan filter,
+// or nil when the request filters nothing.
+func (s *Server) filterFor(req Request) *infer.Filter {
+	if !req.hasFilter() {
+		return nil
+	}
+	f := &infer.Filter{AllowNodes: req.Categories, DenyNodes: req.ExcludeCategories}
+	if req.ExcludePurchased {
+		if req.User >= 0 && req.User < len(s.purchased) {
+			f.ExcludeItems = append(f.ExcludeItems, s.purchased[req.User]...)
+		}
+		for _, b := range req.Recent {
+			f.ExcludeItems = append(f.ExcludeItems, b...)
+		}
+	}
+	return f
+}
+
+// planFor translates a validated request into its query plan.
+func (s *Server) planFor(c *model.Composed, req Request) infer.Plan {
+	pl := infer.Plan{
+		K:          req.K,
+		Offset:     req.Offset,
+		MaxWorkers: req.Workers,
+		Precision:  s.effectivePrecision(c, req),
+		Filter:     s.filterFor(req),
+	}
+	switch {
+	case req.Cascade != nil:
+		pl.Strategy = infer.StrategyCascade
+		pl.Cascade = req.Cascade
+	case req.MaxPerCategory > 0:
+		pl.Strategy = infer.StrategyDiversified
+		pl.Diversify = &infer.Diversify{MaxPerCategory: req.MaxPerCategory, CatDepth: req.CatDepth}
+	}
+	return pl
+}
+
+// countFilters bumps the filter usage counters for one served request.
+func (s *Server) countFilters(req Request) {
+	if req.ExcludePurchased {
+		s.filterExcluded.Add(1)
+	}
+	if len(req.Categories) > 0 || len(req.ExcludeCategories) > 0 {
+		s.filterCategory.Add(1)
+	}
+	if req.Offset > 0 {
+		s.filterPaged.Add(1)
+	}
 }
 
 // Recommend executes one request against the current snapshot.
@@ -165,11 +323,13 @@ func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
 }
 
 // run executes one request against a pinned snapshot with a pooled query
-// buffer. It is the single dispatch point shared by Recommend and Batch.
+// buffer. It is the single dispatch point shared by Recommend, Batch and
+// the batcher's per-request fallthrough: request → plan → Execute.
 func (s *Server) run(c *model.Composed, req Request) Response {
 	if err := req.validate(c); err != nil {
 		return Response{Err: err}
 	}
+	s.countFilters(req)
 	q := s.getBuf(c.K())
 	defer s.putBuf(q)
 	if req.User == -1 {
@@ -177,57 +337,14 @@ func (s *Server) run(c *model.Composed, req Request) Response {
 	} else {
 		c.BuildQueryInto(req.User, req.Recent, q)
 	}
-	parallel := s.sweep != nil && req.Workers != 1
-	f32 := s.effectivePrecision(c, req) == model.PrecisionF32
-	switch {
-	case req.Cascade != nil:
-		var (
-			top []vecmath.Scored
-			err error
-		)
-		switch {
-		case parallel && f32:
-			top, _, err = s.sweep.CascadeF32(c, q, *req.Cascade, req.K, req.Workers)
-		case parallel:
-			top, _, err = s.sweep.Cascade(c, q, *req.Cascade, req.K, req.Workers)
-		case f32:
-			top, _, err = infer.CascadeF32(c, q, *req.Cascade, req.K)
-		default:
-			top, _, err = infer.Cascade(c, q, *req.Cascade, req.K)
-		}
-		return Response{Items: top, Err: err}
-	case req.MaxPerCategory > 0:
-		depth := req.CatDepth
-		if depth == 0 {
-			depth = c.Tree.Depth() - 1
-		}
-		var (
-			items []vecmath.Scored
-			err   error
-		)
-		switch {
-		case parallel && f32:
-			items, err = s.sweep.DiversifiedF32(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
-		case parallel:
-			items, err = s.sweep.Diversified(c, q, req.K, req.MaxPerCategory, depth, req.Workers)
-		case f32:
-			items, err = infer.DiversifiedF32(c, q, req.K, req.MaxPerCategory, depth)
-		default:
-			items, err = infer.Diversified(c, q, req.K, req.MaxPerCategory, depth)
-		}
-		return Response{Items: items, Err: err}
-	default:
-		switch {
-		case parallel && f32:
-			return Response{Items: s.sweep.NaiveF32(c, q, req.K, req.Workers)}
-		case parallel:
-			return Response{Items: s.sweep.Naive(c, q, req.K, req.Workers)}
-		case f32:
-			return Response{Items: infer.NaiveF32(c, q, req.K)}
-		default:
-			return Response{Items: infer.Naive(c, q, req.K)}
-		}
+	res, err := s.sweep.Execute(c, q, s.planFor(c, req))
+	if err != nil {
+		// Execute errors are plan validation failures by contract, and
+		// the plan is built from the request — so a rejection (bad keep
+		// fractions, impossible category depth) is a client error
+		return Response{Err: &RequestError{msg: err.Error()}}
 	}
+	return Response{Items: res.Items}
 }
 
 // Response pairs a request's result with its error.

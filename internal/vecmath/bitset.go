@@ -1,0 +1,246 @@
+package vecmath
+
+import "math/bits"
+
+// Bitset is a fixed-size bit vector over [0, Len()). Filtered inference
+// uses one as the item-eligibility mask of a query plan: bit i set means
+// item i may appear in the result. The representation keeps every bit at
+// position >= Len() zero, so whole-word operations (Count, AnyInRange)
+// never see ghost entries from a previous, larger arming.
+//
+// A Bitset is not safe for concurrent mutation, but concurrent readers
+// are fine once it is built — the filtered sweep fans a compiled mask out
+// to pool workers read-only.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an all-clear bitset over [0, n).
+func NewBitset(n int) *Bitset {
+	b := &Bitset{}
+	b.Resize(n)
+	return b
+}
+
+// Resize re-arms the bitset for n bits, all clear, growing the backing
+// array only when n exceeds its capacity — the recycling hook the pooled
+// filter compiler uses.
+func (b *Bitset) Resize(n int) {
+	w := (n + 63) / 64
+	if w > cap(b.words) {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// Len returns the universe size the bitset was armed with.
+func (b *Bitset) Len() int { return b.n }
+
+// Fill sets every bit in [0, Len()).
+func (b *Bitset) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clampTail()
+}
+
+// Clear unsets every bit.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// clampTail zeroes the ghost bits of the last word beyond Len().
+func (b *Bitset) clampTail() {
+	if tail := b.n & 63; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << tail) - 1
+	}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (i & 63) }
+
+// Unset clears bit i.
+func (b *Bitset) Unset(i int) { b.words[i>>6] &^= 1 << (i & 63) }
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
+// SetRange sets every bit in [lo, hi).
+func (b *Bitset) SetRange(lo, hi int) {
+	b.rangeOp(lo, hi, true)
+}
+
+// UnsetRange clears every bit in [lo, hi).
+func (b *Bitset) UnsetRange(lo, hi int) {
+	b.rangeOp(lo, hi, false)
+}
+
+func (b *Bitset) rangeOp(lo, hi int, set bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		m := loMask & hiMask
+		if set {
+			b.words[loW] |= m
+		} else {
+			b.words[loW] &^= m
+		}
+		return
+	}
+	if set {
+		b.words[loW] |= loMask
+		for w := loW + 1; w < hiW; w++ {
+			b.words[w] = ^uint64(0)
+		}
+		b.words[hiW] |= hiMask
+	} else {
+		b.words[loW] &^= loMask
+		for w := loW + 1; w < hiW; w++ {
+			b.words[w] = 0
+		}
+		b.words[hiW] &^= hiMask
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountRange returns the number of set bits in [lo, hi). The filtered
+// sweep uses the block's eligible count to pick between the dense blocked
+// kernel and per-row gathers.
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(b.words[loW] & loMask & hiMask)
+	}
+	n := bits.OnesCount64(b.words[loW]&loMask) + bits.OnesCount64(b.words[hiW]&hiMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(b.words[w])
+	}
+	return n
+}
+
+// ForEachInRange calls visit for every set bit in [lo, hi), in ascending
+// order — the visitation order a filtered sweep needs so its pushes match
+// the dense sweep's tie-breaking exactly.
+func (b *Bitset) ForEachInRange(lo, hi int, visit func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	for w := loW; w <= hiW; w++ {
+		word := b.words[w]
+		if w == loW {
+			word &= ^uint64(0) << (lo & 63)
+		}
+		if w == hiW {
+			word &= ^uint64(0) >> (63 - (hi-1)&63)
+		}
+		for word != 0 {
+			visit(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// AnyInRange reports whether any bit in [lo, hi) is set. The filtered
+// sweep uses it to skip whole score blocks whose items are all excluded
+// without touching their factor rows.
+func (b *Bitset) AnyInRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return false
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		return b.words[loW]&loMask&hiMask != 0
+	}
+	if b.words[loW]&loMask != 0 || b.words[hiW]&hiMask != 0 {
+		return true
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if b.words[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AllInRange reports whether every bit in [lo, hi) is set. The filtered
+// sweep uses it to take the branch-free fast path on fully eligible
+// blocks. An empty range is vacuously all-set.
+func (b *Bitset) AllInRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return true
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (lo & 63)
+	hiMask := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		m := loMask & hiMask
+		return b.words[loW]&m == m
+	}
+	if b.words[loW]&loMask != loMask || b.words[hiW]&hiMask != hiMask {
+		return false
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if b.words[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return true
+}

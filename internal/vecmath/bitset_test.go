@@ -1,0 +1,114 @@
+package vecmath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitset: len %d count %d", b.Len(), b.Count())
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 4 {
+		t.Fatalf("count %d after 4 sets", b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d lost", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("ghost bit set")
+	}
+	b.Unset(63)
+	if b.Get(63) || b.Count() != 3 {
+		t.Fatal("unset failed")
+	}
+	b.Fill()
+	if b.Count() != 130 {
+		t.Fatalf("fill count %d, want 130", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// Resize must clear recycled words so a smaller re-arming never leaks
+// bits from a previous use, and Fill must not set ghost tail bits that
+// Count would then report.
+func TestBitsetResizeAndTail(t *testing.T) {
+	b := NewBitset(200)
+	b.Fill()
+	b.Resize(70)
+	if b.Count() != 0 {
+		t.Fatalf("resize leaked %d bits", b.Count())
+	}
+	b.Fill()
+	if b.Count() != 70 {
+		t.Fatalf("fill after resize counts %d, want 70", b.Count())
+	}
+	if !b.AllInRange(0, 70) || b.AnyInRange(70, 70) {
+		t.Fatal("range views disagree with fill")
+	}
+}
+
+// Property: the word-sliced range operations agree with the obvious
+// bit-at-a-time reference for arbitrary (lo, hi) windows.
+func TestQuickBitsetRangesMatchReference(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw, cRaw, dRaw uint8, fill bool) bool {
+		n := 1 + int(nRaw)
+		b := NewBitset(n)
+		ref := make([]bool, n)
+		if fill {
+			b.Fill()
+			for i := range ref {
+				ref[i] = true
+			}
+		}
+		clamp := func(x uint8) int { return int(x) % (n + 1) }
+		lo, hi := clamp(aRaw), clamp(bRaw)
+		b.SetRange(lo, hi)
+		for i := lo; i < hi; i++ {
+			ref[i] = true
+		}
+		lo, hi = clamp(cRaw), clamp(dRaw)
+		b.UnsetRange(lo, hi)
+		for i := lo; i < hi; i++ {
+			ref[i] = false
+		}
+		count := 0
+		for i, want := range ref {
+			if b.Get(i) != want {
+				return false
+			}
+			if want {
+				count++
+			}
+		}
+		if b.Count() != count {
+			return false
+		}
+		// probe Any/All on a few windows against the reference
+		for _, w := range [][2]int{{0, n}, {clamp(aRaw), clamp(dRaw)}, {clamp(cRaw), clamp(bRaw)}} {
+			lo, hi := w[0], w[1]
+			any, all := false, true
+			for i := lo; i < hi; i++ {
+				any = any || ref[i]
+				all = all && ref[i]
+			}
+			if b.AnyInRange(lo, hi) != any || b.AllInRange(lo, hi) != all {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -63,6 +63,14 @@ type (
 	// CascadeConfig sets the per-level keep fractions of cascaded
 	// inference.
 	CascadeConfig = infer.CascadeConfig
+	// Plan is one fully specified recommendation query: strategy,
+	// precision, result page, worker cap and item filter.
+	Plan = infer.Plan
+	// Filter restricts a plan's eligible items (taxonomy allow/deny
+	// lists, explicit exclusions such as already-purchased items).
+	Filter = infer.Filter
+	// PlanResult is an executed plan's output page plus work stats.
+	PlanResult = infer.Result
 	// Scored is a ranked (id, score) pair.
 	Scored = vecmath.Scored
 	// StructuredRanking is a per-taxonomy-level ranking plus top items.
@@ -152,11 +160,11 @@ func (r *Recommender) query(user int, recent []Basket) ([]float64, error) {
 // the user's latest baskets, most recent first; it feeds the short-term
 // (Markov) term and may be nil.
 func (r *Recommender) Recommend(user int, recent []Basket, k int) ([]Scored, error) {
-	q, err := r.query(user, recent)
+	res, err := r.RecommendPlan(user, recent, Plan{K: k})
 	if err != nil {
 		return nil, err
 	}
-	return infer.Naive(r.composed, q, k), nil
+	return res.Items, nil
 }
 
 // RecommendSession returns top-k items for an anonymous session: no user
@@ -169,18 +177,39 @@ func (r *Recommender) RecommendSession(recent []Basket, k int) ([]Scored, error)
 	}
 	q := make([]float64, r.model.K())
 	r.composed.BuildSessionQueryInto(recent, q)
-	return infer.Naive(r.composed, q, k), nil
-}
-
-// RecommendDiversified returns a top-k list with at most maxPerCategory
-// items from any single category at taxonomy depth catDepth — the §1
-// "reduce duplication of items of similar type" use of the taxonomy.
-func (r *Recommender) RecommendDiversified(user int, recent []Basket, k, maxPerCategory, catDepth int) ([]Scored, error) {
-	q, err := r.query(user, recent)
+	res, err := infer.Execute(r.composed, q, Plan{K: k})
 	if err != nil {
 		return nil, err
 	}
-	return infer.Diversified(r.composed, q, k, maxPerCategory, catDepth)
+	return res.Items, nil
+}
+
+// RecommendPlan executes one query plan for a user — the full serving
+// surface (strategy, precision, filters, pagination) through a single
+// call. The zero-valued plan fields default sensibly: strategy naive,
+// precision f32 two-stage, whole catalog, first page.
+func (r *Recommender) RecommendPlan(user int, recent []Basket, pl Plan) (PlanResult, error) {
+	q, err := r.query(user, recent)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return infer.Execute(r.composed, q, pl)
+}
+
+// RecommendDiversified returns a top-k list with at most maxPerCategory
+// items from any single category at taxonomy depth catDepth (0 = the
+// lowest category level) — the §1 "reduce duplication of items of
+// similar type" use of the taxonomy.
+func (r *Recommender) RecommendDiversified(user int, recent []Basket, k, maxPerCategory, catDepth int) ([]Scored, error) {
+	res, err := r.RecommendPlan(user, recent, Plan{
+		Strategy:  infer.StrategyDiversified,
+		K:         k,
+		Diversify: &infer.Diversify{MaxPerCategory: maxPerCategory, CatDepth: catDepth},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Items, nil
 }
 
 // EvaluateTopK computes precision/recall/hit-rate/NDCG at cut k.
@@ -191,12 +220,11 @@ func (r *Recommender) EvaluateTopK(history, test *Dataset, k int) (eval.TopKResu
 // RecommendCascaded returns the top-k items using §5.1 cascaded inference
 // with the given per-level keep fractions (see UniformCascade).
 func (r *Recommender) RecommendCascaded(user int, recent []Basket, cfg CascadeConfig, k int) ([]Scored, error) {
-	q, err := r.query(user, recent)
+	res, err := r.RecommendPlan(user, recent, Plan{Strategy: infer.StrategyCascade, K: k, Cascade: &cfg})
 	if err != nil {
 		return nil, err
 	}
-	top, _, err := infer.Cascade(r.composed, q, cfg, k)
-	return top, err
+	return res.Items, nil
 }
 
 // RecommendStructured returns a complete per-level category ranking plus

@@ -289,3 +289,50 @@ func TestRefreshPicksUpModelChanges(t *testing.T) {
 	}
 	_ = before
 }
+
+func TestRecommendPlanFacade(t *testing.T) {
+	tree, log := buildWorld(t)
+	rec := trainedRecommender(t, tree, log)
+	recent := log.Users[0].Baskets
+
+	// a plain plan matches the legacy facade call
+	res, err := rec.RecommendPlan(0, recent, Plan{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rec.Recommend(0, recent, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Items[i] != want[i] {
+			t.Fatalf("rank %d: plan %v, legacy %v", i, res.Items[i], want[i])
+		}
+	}
+
+	// a filtered plan drops the user's own purchases
+	var bought []int32
+	for _, b := range recent {
+		bought = append(bought, b...)
+	}
+	res, err = rec.RecommendPlan(0, recent, Plan{K: 8, Filter: &Filter{ExcludeItems: bought}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[int]bool{}
+	for _, it := range bought {
+		set[int(it)] = true
+	}
+	for _, it := range res.Items {
+		if set[it.ID] {
+			t.Fatalf("excluded item %d returned", it.ID)
+		}
+	}
+	if res.Eligible >= tree.NumItems() {
+		t.Fatalf("eligible %d not reduced", res.Eligible)
+	}
+
+	if _, err := rec.RecommendPlan(99999, nil, Plan{K: 3}); err == nil {
+		t.Fatal("bad user accepted")
+	}
+}
