@@ -284,7 +284,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	meas := medians(samples)
 
 	if *update {
-		base.Note = "Median ns/op from `go test -run '^$' -bench 'BenchmarkTopK|BenchmarkSharded' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware; the speedups entries additionally gate parallel scaling itself on machines with enough cores."
+		base.Note = "Median ns/op from `go test -run '^$' -bench '^(BenchmarkTopK|BenchmarkSharded|BenchmarkServe|BenchmarkExecuteDeadline)' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware; the speedups entries additionally gate parallel scaling itself on machines with enough cores."
 		if base.Canary == "" {
 			base.Canary = "BenchmarkTopKIndexStreaming"
 		}
@@ -314,6 +314,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				{Slow: "BenchmarkShardedTopKSerial", Fast: "BenchmarkTopKF32Saturated", Min: 2.0, MinProcs: 4},
 				{Slow: "BenchmarkTopKIndexStreaming", Fast: "BenchmarkTopKPlanStreaming", Min: 0.9, MinProcs: 1},
 				{Slow: "BenchmarkTopKFiltered/excl=0", Fast: "BenchmarkTopKFiltered/excl=95", Min: 2.5, MinProcs: 1},
+				// serving resilience: a result-cache hit must skip the sweep
+				// (>=10x the uncached request; measured ~6000x), and an armed
+				// deadline must not measurably slow the uncontended sweep —
+				// none/far >= 0.95 bounds the armed sweep at ~1.05x the
+				// unarmed one, comfortably above bench noise yet far below
+				// the +30%-style regressions a misplaced per-item check
+				// would cause
+				{Slow: "BenchmarkServeUncached", Fast: "BenchmarkServeCachedHit", Min: 10.0, MinProcs: 1},
+				{Slow: "BenchmarkExecuteDeadlineNone", Fast: "BenchmarkExecuteDeadlineFar", Min: 0.95, MinProcs: 1},
 			} {
 				if _, okSlow := meas[s.Slow]; !okSlow {
 					continue

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/taxonomy"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+func TestPercentile(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(lats, 50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(lats, 99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("empty p99 = %v", got)
+	}
+}
+
+func TestPickScenarioRespectsWeights(t *testing.T) {
+	scs := []scenario{{Name: "a", Weight: 9}, {Name: "b", Weight: 1}}
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickScenario(rng, scs, 10).Name]++
+	}
+	if counts["a"] < 8500 || counts["b"] < 500 {
+		t.Fatalf("weighted sampling off: %v", counts)
+	}
+}
+
+func TestBuildRequestShapes(t *testing.T) {
+	var info modelInfo
+	info.Model.Users = 100
+	info.Model.Items = 50
+	info.Model.Nodes = 10
+	info.Model.MarkovOrder = 1
+	rng := rand.New(rand.NewSource(7))
+	path, raw := buildRequest(rng, scenario{Session: true, RecentBaskets: 2, Precision: "f64"}, info, 10)
+	if !strings.Contains(path, "precision=f64") {
+		t.Fatalf("precision not on path: %s", path)
+	}
+	var body wireBody
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.User != -1 || len(body.Recent) != 2 || body.K != 10 {
+		t.Fatalf("session body wrong: %+v", body)
+	}
+	_, raw = buildRequest(rng, scenario{Categories: []int32{25}}, info, 5)
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Categories) != 1 || body.Categories[0] != 25%10 {
+		t.Fatalf("category not clamped to node count: %+v", body.Categories)
+	}
+}
+
+func testServer(t *testing.T) *serve.HTTP {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 9, 27},
+		Items:          270,
+		Skew:           0.4,
+	}, vecmath.NewRNG(61))
+	cfg := synth.DefaultConfig()
+	cfg.Users = 200
+	data, _, err := synth.Generate(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.Params{K: 8, TaxonomyLevels: 4, MarkovOrder: 1, Alpha: 1, InitStd: 0.01}
+	m, err := model.New(tree, data.NumUsers(), p, vecmath.NewRNG(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := train.DefaultConfig()
+	tc.Epochs = 2
+	if _, err := train.Train(m, data, tc); err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewHTTP(serve.New(m, serve.WithCache(256)), nil)
+}
+
+// End to end: the default mix against a live handler must sustain its
+// schedule with zero hard errors and pass its own gates.
+func TestLoadgenEndToEnd(t *testing.T) {
+	h := testServer(t)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-rps", "300", "-duration", "400ms",
+		"-fail-on-error", "-max-p99", "5s", "-max-goroutines", "200",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "latency (2xx)") {
+		t.Fatalf("no latency report:\n%s", out.String())
+	}
+}
+
+// shedStub answers like a saturated tfrec-serve: /v1/stats works, and
+// every other recommend request is shed with 429. It pins down loadgen's
+// shed accounting deterministically — on a single-core test box the real
+// admission layer sheds only when arrivals genuinely overlap, which a
+// microsecond-fast tiny model can't guarantee (the CI loadtest job
+// exercises the real thing under sustained load).
+func shedStub() http.Handler {
+	mux := http.NewServeMux()
+	var n atomic.Int64
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"model":{"users":10,"items":20,"nodes":5,"markov_order":0},"goroutines":3}`))
+	})
+	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded, retry later"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"items":[{"item":1,"score":0.5}]}`))
+	})
+	return mux
+}
+
+// Sheds must be counted as sheds (not errors), satisfy -require-shed,
+// and still fail -fail-on-error runs when shed-ok is off.
+func TestLoadgenRequireShed(t *testing.T) {
+	ts := httptest.NewServer(shedStub())
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-rps", "500", "-duration", "200ms",
+		"-require-shed", "-fail-on-error",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("overload probe exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "shed (429/503)") {
+		t.Fatalf("no sheds reported:\n%s", out.String())
+	}
+	// without -shed-ok the same traffic is a hard failure
+	out.Reset()
+	code = run([]string{
+		"-addr", ts.URL, "-rps", "500", "-duration", "200ms", "-fail-on-error",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("429s without -shed-ok should fail: exit %d\n%s", code, out.String())
+	}
+}
+
+// A server that sheds nothing must fail a -require-shed run.
+func TestLoadgenRequireShedUnmet(t *testing.T) {
+	h := testServer(t)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-rps", "100", "-duration", "200ms", "-require-shed",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("unshed overload probe should fail: exit %d\n%s", code, out.String())
+	}
+}
+
+// A scenario file overrides the mix, and a broken one is rejected.
+func TestLoadgenScenarioFile(t *testing.T) {
+	h := testServer(t)
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+	dir := t.TempDir()
+	good := filepath.Join(dir, "mix.json")
+	os.WriteFile(good, []byte(`{"scenarios":[{"name":"only-cascade","strategy":"cascade","keep":0.5,"weight":1}]}`), 0o644)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-rps", "100", "-duration", "200ms",
+		"-scenario", good, "-fail-on-error"}, &out, &errOut); code != 0 {
+		t.Fatalf("scenario run exit %d\n%s\n%s", code, out.String(), errOut.String())
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"scenarios":[]}`), 0o644)
+	if code := run([]string{"-addr", ts.URL, "-scenario", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("empty scenario file: exit %d, want 2", code)
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -146,7 +147,7 @@ func main() {
 		pool = infer.NewPool(*workers)
 		defer pool.Close()
 	}
-	res, err := pool.Execute(c, q, pl)
+	res, err := pool.Execute(context.Background(), c, q, pl)
 	if err != nil {
 		log.Fatalf("execute: %v", err)
 	}

@@ -53,6 +53,10 @@ func main() {
 	precision := flag.String("precision", "", "scoring precision: f32 (compact-slab sweep + exact rescore, the default), f64, or empty to follow the model file")
 	maxBody := flag.Int64("max-body", 0, "request body size limit in bytes (0 = 1MiB default); oversize bodies get 413")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	cacheSize := flag.Int("cache-size", 0, "versioned LRU result cache capacity in entries (0 = caching off); SIGHUP reload invalidates all entries atomically")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing recommend requests (0 = unlimited); excess waits briefly, then sheds 429/503 with Retry-After")
+	queueWait := flag.Duration("queue-wait", 10*time.Millisecond, "admission control: how long a request may wait for an execution slot before shedding 503 (queue depth is 2x -max-inflight)")
+	timeout := flag.Duration("timeout", 0, "per-request budget covering queue wait, batch window and sweep (0 = unbounded); a deadline firing mid-sweep sheds 503, never a partial ranking")
 	flag.Parse()
 
 	prec, err := model.ParsePrecision(*precision)
@@ -63,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec)}
+	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec), serve.WithCache(*cacheSize)}
 	if *dataDir != "" {
 		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
 		if err != nil {
@@ -83,6 +87,10 @@ func main() {
 		h.EnableBatching(*batchMax, *batchWindow)
 	}
 	h.SetMaxBodyBytes(*maxBody)
+	if *maxInflight > 0 {
+		h.SetAdmission(*maxInflight, 2*(*maxInflight), *queueWait)
+	}
+	h.SetTimeout(*timeout)
 	if *debugAddr != "" {
 		// pprof lives on its own listener so profiling stays reachable
 		// (and firewallable) independently of the serving port
@@ -99,8 +107,8 @@ func main() {
 		}()
 		log.Printf("pprof on %s/debug/pprof/", *debugAddr)
 	}
-	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, batching max=%d window=%s",
-		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *batchMax, *batchWindow)
+	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, batching max=%d window=%s, cache=%d, max-inflight=%d, timeout=%s",
+		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *batchMax, *batchWindow, *cacheSize, *maxInflight, *timeout)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -122,6 +130,9 @@ func main() {
 		signal.Notify(quit, os.Interrupt, syscall.SIGTERM)
 		<-quit
 		log.Print("shutting down")
+		// flush the batcher first so callers parked on a coalescing window
+		// finish promptly instead of eating into the drain budget
+		h.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -12,6 +12,7 @@ package tfrec
 // BENCH_baseline.json).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkTopKPlanStreaming(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := infer.ExecuteInto(c, q, pl, st); err != nil {
+		if _, err := infer.ExecuteInto(context.Background(), c, q, pl, st); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +74,7 @@ func BenchmarkTopKFiltered(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := infer.ExecuteInto(c, q, pl, st)
+				res, err := infer.ExecuteInto(context.Background(), c, q, pl, st)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -94,13 +95,13 @@ func BenchmarkTopKFilteredF32(b *testing.B) {
 	pl := infer.Plan{K: 10, Precision: model.PrecisionF32, Filter: flt}
 	st := vecmath.NewTopKStream(10)
 	// warm the compact slabs and scratch pools outside the timer
-	if _, err := infer.ExecuteInto(c, q, pl, st); err != nil {
+	if _, err := infer.ExecuteInto(context.Background(), c, q, pl, st); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := infer.ExecuteInto(c, q, pl, st); err != nil {
+		if _, err := infer.ExecuteInto(context.Background(), c, q, pl, st); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkTopKFilteredSharded(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := pool.ExecuteInto(c, q, pl, st); err != nil {
+				if _, err := pool.ExecuteInto(context.Background(), c, q, pl, st); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -114,7 +115,7 @@ func evaluateTopKUser(c *model.Composed, history, test *dataset.Dataset, u, k in
 	c.BuildQueryInto(u, c.PrevBaskets(seq, len(seq)), q)
 	// run the plan into a reused bounded heap instead of materializing a
 	// catalog-sized score array per user
-	res, err := infer.ExecuteInto(c, q, pl, st)
+	res, err := infer.ExecuteInto(context.Background(), c, q, pl, st)
 	if err != nil {
 		// the plan is constant and k was validated above; nothing per-user
 		// can fail here

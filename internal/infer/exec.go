@@ -126,46 +126,69 @@ func sweepRange32MaskedInto(ix *model.ScoringIndex, q32 []float32, rangeLo, rang
 // ---- fan-out-aware sweep drivers ----------------------------------------
 
 // runSweep streams the f64 score of every eligible item into the armed
-// collector, fanning the shard claims across the pool when it pays.
-func (p *Pool) runSweep(ix *model.ScoringIndex, q []float64, mask *vecmath.Bitset, maxWorkers int, st *vecmath.TopKStream) {
+// collector, fanning the shard claims across the pool when it pays. The
+// done channel is polled at every shard boundary — serial and fanned
+// alike — so a fired deadline abandons the sweep within one shard's work;
+// the caller decides what to do with the (possibly partial) collector.
+//
+// The serial claim loop below recurs, with only its per-shard body
+// differing, in runSweep32, both executeMulti serial arms and both
+// executeDiversified serial arms. The duplication is deliberate: a
+// forEachShard(done, ix, func(lo, hi)) helper would capture each
+// caller's stack block buffer in a closure, heap-escaping it and
+// breaking the zero-alloc-per-query guarantee the serving benches gate.
+// A change to the poll policy must be applied at all six sites.
+func (p *Pool) runSweep(done <-chan struct{}, ix *model.ScoringIndex, q []float64, mask *vecmath.Bitset, maxWorkers int, st *vecmath.TopKStream) {
 	fan := p.fanout(maxWorkers, ix.NumShards())
 	if fan <= 1 {
 		var block [blockItems]float64
-		if mask == nil {
-			sweepRangeInto(ix, q, 0, ix.NumItems(), block[:], st)
-		} else {
-			sweepRangeMaskedInto(ix, q, 0, ix.NumItems(), block[:], mask, st)
+		for s, n := 0, ix.NumShards(); s < n; s++ {
+			if canceled(done) {
+				return
+			}
+			lo, hi := ix.Shard(s)
+			if mask == nil {
+				sweepRangeInto(ix, q, lo, hi, block[:], st)
+			} else {
+				sweepRangeMaskedInto(ix, q, lo, hi, block[:], mask, st)
+			}
 		}
 		return
 	}
 	t := p.getSweepTask()
-	t.ix, t.q, t.k, t.out, t.mask = ix, q, st.K(), st, mask
+	t.ix, t.q, t.k, t.out, t.mask, t.done = ix, q, st.K(), st, mask, done
 	t.numShards = int32(ix.NumShards())
 	t.next.Store(0)
 	p.dispatch(t, fan)
-	t.ix, t.q, t.out, t.mask = nil, nil, nil, nil
+	t.ix, t.q, t.out, t.mask, t.done = nil, nil, nil, nil, nil
 	p.sweeps.Put(t)
 }
 
 // runSweep32 is runSweep over the compact f32 slab into a candidate heap
 // of budget kp (per participant, merged under the f32 total order).
-func (p *Pool) runSweep32(ix *model.ScoringIndex, q32 []float32, mask *vecmath.Bitset, maxWorkers, kp int, cand *vecmath.TopKStream32) {
+func (p *Pool) runSweep32(done <-chan struct{}, ix *model.ScoringIndex, q32 []float32, mask *vecmath.Bitset, maxWorkers, kp int, cand *vecmath.TopKStream32) {
 	fan := p.fanout(maxWorkers, ix.NumShards())
 	if fan <= 1 {
 		var block [blockItems]float32
-		if mask == nil {
-			sweepRange32Into(ix, q32, 0, ix.NumItems(), block[:], cand)
-		} else {
-			sweepRange32MaskedInto(ix, q32, 0, ix.NumItems(), block[:], mask, cand)
+		for s, n := 0, ix.NumShards(); s < n; s++ {
+			if canceled(done) {
+				return
+			}
+			lo, hi := ix.Shard(s)
+			if mask == nil {
+				sweepRange32Into(ix, q32, lo, hi, block[:], cand)
+			} else {
+				sweepRange32MaskedInto(ix, q32, lo, hi, block[:], mask, cand)
+			}
 		}
 		return
 	}
 	t := p.getSweepTask()
-	t.ix, t.q32, t.k, t.out32, t.mask = ix, q32, kp, cand, mask
+	t.ix, t.q32, t.k, t.out32, t.mask, t.done = ix, q32, kp, cand, mask, done
 	t.numShards = int32(ix.NumShards())
 	t.next.Store(0)
 	p.dispatch(t, fan)
-	t.ix, t.q32, t.out32, t.mask = nil, nil, nil, nil
+	t.ix, t.q32, t.out32, t.mask, t.done = nil, nil, nil, nil, nil
 	p.sweeps.Put(t)
 }
 
@@ -175,19 +198,19 @@ func (p *Pool) runSweep32(ix *model.ScoringIndex, q32 []float32, mask *vecmath.B
 // eligible items, at either precision and any fan-out. eligible is the
 // mask's surviving item count (NumItems when mask is nil); the f32
 // escalation loop stops pruning once its candidate budget covers it.
-func (p *Pool) executeNaive(c *model.Composed, q []float64, prec model.Precision, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream) {
+func (p *Pool) executeNaive(done <-chan struct{}, c *model.Composed, q []float64, prec model.Precision, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream) {
 	if prec.Resolve() == model.PrecisionF32 {
-		p.naiveF32(c, q, maxWorkers, mask, eligible, st, f32OverFetch(st.K()))
+		p.naiveF32(done, c, q, maxWorkers, mask, eligible, st, f32OverFetch(st.K()))
 		return
 	}
-	p.runSweep(c.Index, q, mask, maxWorkers, st)
+	p.runSweep(done, c.Index, q, mask, maxWorkers, st)
 }
 
 // naiveF32 runs the two-stage pipeline from an explicit starting
 // candidate budget (a failed shared-batch pass resumes at the next
 // doubling instead of repeating work). Steady-state calls allocate
 // nothing: query rounding and the candidate heap live in pooled scratch.
-func (p *Pool) naiveF32(c *model.Composed, q []float64, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream, kp0 int) {
+func (p *Pool) naiveF32(done <-chan struct{}, c *model.Composed, q []float64, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream, kp0 int) {
 	ix := c.Index
 	k := st.K()
 	if k <= 0 {
@@ -197,17 +220,25 @@ func (p *Pool) naiveF32(c *model.Composed, q []float64, maxWorkers int, mask *ve
 	defer f32Scratches.Put(sc)
 	eps := ix.ItemErrBound32(q)
 	for kp := kp0; ; kp *= 2 {
+		if canceled(done) {
+			return
+		}
 		if kp >= eligible {
 			// the candidate budget covers every eligible item: nothing to
 			// prune, run the exact sweep directly
 			st.Reset(k)
-			p.runSweep(ix, q, mask, maxWorkers, st)
+			p.runSweep(done, ix, q, mask, maxWorkers, st)
 			return
 		}
 		sc.cand.Reset(kp)
-		p.runSweep32(ix, sc.q32, mask, maxWorkers, kp, &sc.cand)
+		p.runSweep32(done, ix, sc.q32, mask, maxWorkers, kp, &sc.cand)
+		if canceled(done) {
+			// a cancelled sweep left a truncated candidate set; rescoring it
+			// could "certify" a wrong ranking, so bail before stage two
+			return
+		}
 		st.Reset(k)
-		if rescoreItems(ix, q, &sc.cand, st, eps) {
+		if rescoreItems(done, ix, q, &sc.cand, st, eps) {
 			return
 		}
 		f32Escalations.Add(1)
@@ -222,7 +253,7 @@ func (p *Pool) naiveF32(c *model.Composed, q []float64, maxWorkers int, mask *ve
 // byte-identical to its serial single-query f64 ranking. Filtered plans
 // do not batch: the shared sweep is one pass at one visitation pattern,
 // so callers route filtered queries through executeNaive instead.
-func (p *Pool) executeMulti(c *model.Composed, qs [][]float64, prec model.Precision, maxWorkers int, outs []*vecmath.TopKStream) {
+func (p *Pool) executeMulti(done <-chan struct{}, c *model.Composed, qs [][]float64, prec model.Precision, maxWorkers int, outs []*vecmath.TopKStream) {
 	if len(qs) == 0 {
 		return
 	}
@@ -235,6 +266,9 @@ func (p *Pool) executeMulti(c *model.Composed, qs [][]float64, prec model.Precis
 			items := ix.NumItems()
 			var block [blockItems]float32
 			for s, n := 0, ix.NumShards(); s < n; s++ {
+				if canceled(done) {
+					return
+				}
 				lo, hi := ix.Shard(s)
 				for i := range sc.qs32 {
 					// a budget covering the catalog means this query goes
@@ -248,19 +282,26 @@ func (p *Pool) executeMulti(c *model.Composed, qs [][]float64, prec model.Precis
 			}
 		} else {
 			t := p.getMultiTask()
-			t.ix, t.qs32, t.outs32 = ix, sc.qs32, sc.ptrs
+			t.ix, t.qs32, t.outs32, t.done = ix, sc.qs32, sc.ptrs, done
 			t.numShards = int32(ix.NumShards())
 			t.next.Store(0)
 			p.dispatch(t, fan)
-			t.ix, t.qs32, t.outs32 = nil, nil, nil
+			t.ix, t.qs32, t.outs32, t.done = nil, nil, nil, nil
 			p.multis.Put(t)
 		}
-		finishMultiF32(c, qs, outs, sc.cands)
+		if canceled(done) {
+			// truncated candidate sets must not reach the rescore stage
+			return
+		}
+		finishMultiF32(done, c, qs, outs, sc.cands)
 		return
 	}
 	if fan <= 1 {
 		var block [blockItems]float64
 		for s, n := 0, ix.NumShards(); s < n; s++ {
+			if canceled(done) {
+				return
+			}
 			lo, hi := ix.Shard(s)
 			// query-major within one cache-resident shard: the shard's
 			// factor rows are loaded once and scored against every query
@@ -271,11 +312,11 @@ func (p *Pool) executeMulti(c *model.Composed, qs [][]float64, prec model.Precis
 		return
 	}
 	t := p.getMultiTask()
-	t.ix, t.qs, t.outs = ix, qs, outs
+	t.ix, t.qs, t.outs, t.done = ix, qs, outs, done
 	t.numShards = int32(ix.NumShards())
 	t.next.Store(0)
 	p.dispatch(t, fan)
-	t.ix, t.qs, t.outs = nil, nil, nil
+	t.ix, t.qs, t.outs, t.done = nil, nil, nil, nil
 	p.multis.Put(t)
 }
 
@@ -288,7 +329,7 @@ func (p *Pool) executeMulti(c *model.Composed, qs [][]float64, prec model.Precis
 // precision knob. A filter drops ineligible leaves from the frontier
 // before any leaf is scored (filters apply before the heap), so Stats
 // count only eligible leaves.
-func (p *Pool) executeCascade(c *model.Composed, q []float64, cfg CascadeConfig, prec model.Precision, maxWorkers int, cf *compiledFilter, st *vecmath.TopKStream) (*Stats, error) {
+func (p *Pool) executeCascade(done <-chan struct{}, c *model.Composed, q []float64, cfg CascadeConfig, prec model.Precision, maxWorkers int, cf *compiledFilter, st *vecmath.TopKStream) (*Stats, error) {
 	frontier, stats, err := walk(c, q, cfg)
 	if err != nil {
 		return nil, err
@@ -311,26 +352,41 @@ func (p *Pool) executeCascade(c *model.Composed, q []float64, cfg CascadeConfig,
 		sc := getF32Scratch(q)
 		eps := ix.NodeErrBound32(q)
 		for kp := f32OverFetch(k); ; kp *= 2 {
+			if canceled(done) {
+				break
+			}
 			if kp >= len(frontier) {
 				// budget covers the frontier: exact f64 frontier scoring
 				st.Reset(k)
-				p.scoreFrontier(c, q, nil, frontier, fan, st, nil)
+				p.scoreFrontier(done, c, q, nil, frontier, fan, st, nil)
 				break
 			}
 			sc.cand.Reset(kp)
-			p.scoreFrontier(c, nil, sc.q32, frontier, fan, nil, &sc.cand)
+			p.scoreFrontier(done, c, nil, sc.q32, frontier, fan, nil, &sc.cand)
+			if canceled(done) {
+				break
+			}
 			st.Reset(k)
-			if rescoreItems(ix, q, &sc.cand, st, eps) {
+			if rescoreItems(done, ix, q, &sc.cand, st, eps) {
 				break
 			}
 			f32Escalations.Add(1)
 		}
 		f32Scratches.Put(sc)
 	case fan > 1:
-		p.scoreFrontier(c, q, nil, frontier, fan, st, nil)
+		p.scoreFrontier(done, c, q, nil, frontier, fan, st, nil)
 	default:
-		for _, leaf := range frontier {
-			st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+		for lo := 0; lo < len(frontier); lo += leafChunk {
+			if canceled(done) {
+				break
+			}
+			hi := lo + leafChunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			for _, leaf := range frontier[lo:hi] {
+				st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+			}
 		}
 	}
 	stats.NodesScored += len(frontier)
@@ -341,17 +397,28 @@ func (p *Pool) executeCascade(c *model.Composed, q []float64, cfg CascadeConfig,
 // scoreFrontier scores a leaf frontier into exactly one of st (f64 mode,
 // q set) or cand (f32 mode, q32 set), chunked across the pool when fan
 // allows.
-func (p *Pool) scoreFrontier(c *model.Composed, q []float64, q32 []float32, frontier []int32, fan int, st *vecmath.TopKStream, cand *vecmath.TopKStream32) {
+func (p *Pool) scoreFrontier(done <-chan struct{}, c *model.Composed, q []float64, q32 []float32, frontier []int32, fan int, st *vecmath.TopKStream, cand *vecmath.TopKStream32) {
 	ix := c.Index
 	if fan <= 1 {
-		if cand != nil {
-			for _, leaf := range frontier {
-				cand.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode32(int(leaf), q32))
+		// the frontier can approach catalog size at high keep fractions,
+		// so the serial pass polls per leaf chunk like the pooled one
+		for lo := 0; lo < len(frontier); lo += leafChunk {
+			if canceled(done) {
+				return
 			}
-			return
-		}
-		for _, leaf := range frontier {
-			st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+			hi := lo + leafChunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			if cand != nil {
+				for _, leaf := range frontier[lo:hi] {
+					cand.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode32(int(leaf), q32))
+				}
+			} else {
+				for _, leaf := range frontier[lo:hi] {
+					st.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNode(int(leaf), q))
+				}
+			}
 		}
 		return
 	}
@@ -361,9 +428,10 @@ func (p *Pool) scoreFrontier(c *model.Composed, q []float64, q32 []float32, fron
 	} else {
 		t.tree, t.ix, t.q, t.k, t.leaves, t.out = c.Tree, ix, q, st.K(), frontier, st
 	}
+	t.done = done
 	t.next.Store(0)
 	p.dispatch(t, fan)
-	t.tree, t.ix, t.q, t.q32, t.leaves, t.out, t.out32 = nil, nil, nil, nil, nil, nil, nil
+	t.tree, t.ix, t.q, t.q32, t.leaves, t.out, t.out32, t.done = nil, nil, nil, nil, nil, nil, nil, nil
 	p.leaves.Put(t)
 }
 
@@ -375,7 +443,7 @@ func (p *Pool) scoreFrontier(c *model.Composed, q []float64, q32 []float32, fron
 // greedy score-ordered selection exact without sorting the catalog; the
 // f32 mode additionally needs the per-category separation certificate of
 // rescoreDiversified before its pruning is trusted.
-func (p *Pool) executeDiversified(c *model.Composed, q []float64, maxPerCategory, catDepth int, prec model.Precision, maxWorkers int, cf *compiledFilter, final *vecmath.TopKStream) error {
+func (p *Pool) executeDiversified(done <-chan struct{}, c *model.Composed, q []float64, maxPerCategory, catDepth int, prec model.Precision, maxWorkers int, cf *compiledFilter, final *vecmath.TopKStream) error {
 	if maxPerCategory <= 0 {
 		return errMaxPerCategory(maxPerCategory)
 	}
@@ -405,7 +473,13 @@ func (p *Pool) executeDiversified(c *model.Composed, q []float64, maxPerCategory
 			// category, final selection from the retained union
 			cats := make([]vecmath.TopKStream, width)
 			armed := make([]bool, width)
-			diversifiedSweepRange(ix, q, mask, 0, ix.NumItems(), perCat, catDepth, cats, armed)
+			for s, n := 0, ix.NumShards(); s < n; s++ {
+				if canceled(done) {
+					return nil
+				}
+				shardLo, shardHi := ix.Shard(s)
+				diversifiedSweepRange(ix, q, mask, shardLo, shardHi, perCat, catDepth, cats, armed)
+			}
 			for pos := range cats {
 				if armed[pos] {
 					final.Merge(&cats[pos])
@@ -415,7 +489,7 @@ func (p *Pool) executeDiversified(c *model.Composed, q []float64, maxPerCategory
 		}
 		t := p.getDivTask()
 		t.armDiv(width, perCat)
-		t.ix, t.q, t.catDepth, t.mask = ix, q, catDepth, mask
+		t.ix, t.q, t.catDepth, t.mask, t.done = ix, q, catDepth, mask, done
 		t.numShards = int32(ix.NumShards())
 		t.next.Store(0)
 		p.dispatch(t, fan)
@@ -424,7 +498,7 @@ func (p *Pool) executeDiversified(c *model.Composed, q []float64, maxPerCategory
 				final.Merge(&t.gcats[pos])
 			}
 		}
-		t.ix, t.q, t.mask = nil, nil, nil
+		t.ix, t.q, t.mask, t.done = nil, nil, nil, nil
 		p.divs.Put(t)
 		return nil
 	}
@@ -440,26 +514,42 @@ func (p *Pool) executeDiversified(c *model.Composed, q []float64, maxPerCategory
 		armed = make([]bool, width)
 	}
 	for perp := f32OverFetch(perCat); ; perp *= 2 {
+		if canceled(done) {
+			return nil
+		}
 		if perp >= eligible {
 			// every category retains all its eligible items: no pruning left
-			return p.executeDiversified(c, q, maxPerCategory, catDepth, model.PrecisionF64, maxWorkers, cf, final)
+			return p.executeDiversified(done, c, q, maxPerCategory, catDepth, model.PrecisionF64, maxWorkers, cf, final)
 		}
 		var ok bool
 		if fan <= 1 {
 			for i := range armed {
 				armed[i] = false
 			}
-			diversifiedSweepRange32(ix, sc.q32, mask, 0, ix.NumItems(), perp, catDepth, cats32, armed)
-			ok = rescoreDiversified(ix, q, cats32, cats, armed, perCat, k, eps, final)
+			for s, n := 0, ix.NumShards(); s < n; s++ {
+				if canceled(done) {
+					return nil
+				}
+				shardLo, shardHi := ix.Shard(s)
+				diversifiedSweepRange32(ix, sc.q32, mask, shardLo, shardHi, perp, catDepth, cats32, armed)
+			}
+			ok = rescoreDiversified(done, ix, q, cats32, cats, armed, perCat, k, eps, final)
 		} else {
 			t := p.getDivTask()
 			t.armDiv32(width, perp)
-			t.ix, t.q32, t.catDepth, t.mask = ix, sc.q32, catDepth, mask
+			t.ix, t.q32, t.catDepth, t.mask, t.done = ix, sc.q32, catDepth, mask, done
 			t.numShards = int32(ix.NumShards())
 			t.next.Store(0)
 			p.dispatch(t, fan)
-			ok = rescoreDiversified(ix, q, t.gcats32, cats, t.garmed, perCat, k, eps, final)
-			t.ix, t.q32, t.mask = nil, nil, nil
+			if canceled(done) {
+				// the dispatched sweep stopped early; its truncated category
+				// heaps must not reach the certificate
+				t.ix, t.q32, t.mask, t.done = nil, nil, nil, nil
+				p.divs.Put(t)
+				return nil
+			}
+			ok = rescoreDiversified(done, ix, q, t.gcats32, cats, t.garmed, perCat, k, eps, final)
+			t.ix, t.q32, t.mask, t.done = nil, nil, nil, nil
 			p.divs.Put(t)
 		}
 		if ok {

@@ -99,13 +99,32 @@ func sweepRange32Into(ix *model.ScoringIndex, q32 []float32, rangeLo, rangeHi in
 	}
 }
 
+// rescoreChunk is how many candidates the rescore stages score between
+// cancellation polls. Escalated candidate sets can approach catalog
+// size, so stage two polls like the sweeps do — without it a deadline
+// firing at the start of a rescore could not abandon the query until a
+// catalog-scale scoring pass finished.
+const rescoreChunk = 1024
+
 // rescoreItems pushes the exact float64 score of every retained candidate
 // into st and reports whether the boundary is certified separated (see
 // the package comment above): true means st now holds exactly the global
-// f64 top-k of the swept items.
-func rescoreItems(ix *model.ScoringIndex, q []float64, cand *vecmath.TopKStream32, st *vecmath.TopKStream, eps float64) bool {
-	for _, e := range cand.Entries() {
-		st.Push(e.ID, ix.ScoreItem(e.ID, q))
+// f64 top-k of the swept items. A cancelled rescore reports false — the
+// partial heap must never be certified; the caller's escalation loop
+// observes the cancellation before re-sweeping.
+func rescoreItems(done <-chan struct{}, ix *model.ScoringIndex, q []float64, cand *vecmath.TopKStream32, st *vecmath.TopKStream, eps float64) bool {
+	entries := cand.Entries()
+	for lo := 0; lo < len(entries); lo += rescoreChunk {
+		if canceled(done) {
+			return false
+		}
+		hi := lo + rescoreChunk
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for _, e := range entries[lo:hi] {
+			st.Push(e.ID, ix.ScoreItem(e.ID, q))
+		}
 	}
 	return separated(st, cand, eps)
 }
@@ -140,7 +159,7 @@ func separated(st *vecmath.TopKStream, cand *vecmath.TopKStream32, eps float64) 
 // Deprecated: build a Plan with model.PrecisionF32 and call
 // Execute/ExecuteInto.
 func NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream) {
-	(*Pool)(nil).executeNaive(c, q, model.PrecisionF32, 1, nil, c.Index.NumItems(), st)
+	(*Pool)(nil).executeNaive(nil, c, q, model.PrecisionF32, 1, nil, c.Index.NumItems(), st)
 }
 
 // NaiveF32 scores every item through the two-stage pipeline and returns
@@ -188,10 +207,16 @@ func DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth 
 // per-category quota heaps, selects the final top-k into final (which is
 // Reset to k), and checks the per-category separation certificate of
 // DiversifiedF32. It reports whether the result is certified exact.
-func rescoreDiversified(ix *model.ScoringIndex, q []float64, cats32 []vecmath.TopKStream32, cats []vecmath.TopKStream, armed []bool, perCat, k int, eps float64, final *vecmath.TopKStream) bool {
+func rescoreDiversified(done <-chan struct{}, ix *model.ScoringIndex, q []float64, cats32 []vecmath.TopKStream32, cats []vecmath.TopKStream, armed []bool, perCat, k int, eps float64, final *vecmath.TopKStream) bool {
 	for pos := range cats32 {
 		if !armed[pos] {
 			continue
+		}
+		// per-category poll: the union of escalated per-category budgets
+		// can approach catalog size, and a cancelled rescore must never
+		// certify (false sends the caller back to its cancellation check)
+		if canceled(done) {
+			return false
 		}
 		cats[pos].Reset(perCat)
 		for _, e := range cats32[pos].Entries() {
@@ -278,14 +303,19 @@ func getMultiF32Scratch(qs [][]float64, outs []*vecmath.TopKStream) *multiF32Scr
 //
 // Deprecated: use ExecuteBatch with model.PrecisionF32 plans.
 func MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
-	(*Pool)(nil).executeMulti(c, qs, model.PrecisionF32, 1, outs)
+	(*Pool)(nil).executeMulti(nil, c, qs, model.PrecisionF32, 1, outs)
 }
 
 // finishMultiF32 runs the per-query rescore stage of a batched f32 sweep.
-func finishMultiF32(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, cands []vecmath.TopKStream32) {
+// The done channel gates the per-query escalation re-sweeps; a fired
+// deadline abandons the remaining queries (the caller discards the batch).
+func finishMultiF32(done <-chan struct{}, c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, cands []vecmath.TopKStream32) {
 	ix := c.Index
 	n := ix.NumItems()
 	for i, q := range qs {
+		if canceled(done) {
+			return
+		}
 		k := outs[i].K()
 		if k <= 0 {
 			continue
@@ -298,10 +328,10 @@ func finishMultiF32(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStrea
 		}
 		eps := ix.ItemErrBound32(q)
 		outs[i].Reset(k)
-		if rescoreItems(ix, q, &cands[i], outs[i], eps) {
+		if rescoreItems(done, ix, q, &cands[i], outs[i], eps) {
 			continue
 		}
 		f32Escalations.Add(1)
-		(*Pool)(nil).naiveF32(c, q, 1, nil, n, outs[i], cands[i].K()*2)
+		(*Pool)(nil).naiveF32(done, c, q, 1, nil, n, outs[i], cands[i].K()*2)
 	}
 }

@@ -160,6 +160,7 @@ type sweepTask struct {
 	q32       []float32
 	out32     *vecmath.TopKStream32
 	mask      *vecmath.Bitset
+	done      <-chan struct{}
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -172,6 +173,9 @@ func (t *sweepTask) run(sc *scratch) {
 		st.Reset(t.k)
 		var block [blockItems]float32
 		for {
+			if canceled(t.done) {
+				break
+			}
 			s := int(t.next.Add(1)) - 1
 			if s >= int(t.numShards) {
 				break
@@ -194,6 +198,9 @@ func (t *sweepTask) run(sc *scratch) {
 	st.Reset(t.k)
 	var block [blockItems]float64
 	for {
+		if canceled(t.done) {
+			break
+		}
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
@@ -227,7 +234,7 @@ func (p *Pool) getSweepTask() *sweepTask {
 //
 // Deprecated: build a Plan and call Execute/ExecuteInto.
 func (p *Pool) NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	p.executeNaive(c, q, model.PrecisionF64, maxWorkers, nil, c.Index.NumItems(), st)
+	p.executeNaive(nil, c, q, model.PrecisionF64, maxWorkers, nil, c.Index.NumItems(), st)
 }
 
 // Naive returns the top-k items by parallel full sweep — the drop-in
@@ -252,7 +259,7 @@ func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmat
 // Deprecated: build a Plan with model.PrecisionF32 and call
 // Execute/ExecuteInto.
 func (p *Pool) NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	p.executeNaive(c, q, model.PrecisionF32, maxWorkers, nil, c.Index.NumItems(), st)
+	p.executeNaive(nil, c, q, model.PrecisionF32, maxWorkers, nil, c.Index.NumItems(), st)
 }
 
 // NaiveF32 returns the exact top-k via the sharded two-stage pipeline.
@@ -280,6 +287,7 @@ type leafTask struct {
 	q32    []float32
 	out32  *vecmath.TopKStream32
 	leaves []int32
+	done   <-chan struct{}
 	next   atomic.Int32
 	mu     sync.Mutex
 	out    *vecmath.TopKStream
@@ -316,6 +324,9 @@ func (t *leafTask) run(sc *scratch) {
 func (t *leafTask) eachChunk(visit func(leaf int32)) {
 	chunks := (len(t.leaves) + leafChunk - 1) / leafChunk
 	for {
+		if canceled(t.done) {
+			return
+		}
 		ci := int(t.next.Add(1)) - 1
 		if ci >= chunks {
 			return
@@ -348,7 +359,7 @@ func (p *Pool) getLeafTask() *leafTask {
 // Deprecated: build a Plan with StrategyCascade and call Execute.
 func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
 	st := vecmath.NewTopKStream(k)
-	stats, err := p.executeCascade(c, q, cfg, model.PrecisionF64, maxWorkers, nil, st)
+	stats, err := p.executeCascade(nil, c, q, cfg, model.PrecisionF64, maxWorkers, nil, st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -364,7 +375,7 @@ func (p *Pool) Cascade(c *model.Composed, q []float64, cfg CascadeConfig, k, max
 // and call Execute.
 func (p *Pool) CascadeF32(c *model.Composed, q []float64, cfg CascadeConfig, k, maxWorkers int) ([]vecmath.Scored, *Stats, error) {
 	st := vecmath.NewTopKStream(k)
-	stats, err := p.executeCascade(c, q, cfg, model.PrecisionF32, maxWorkers, nil, st)
+	stats, err := p.executeCascade(nil, c, q, cfg, model.PrecisionF32, maxWorkers, nil, st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -381,6 +392,7 @@ type divTask struct {
 	perCat    int
 	catDepth  int
 	mask      *vecmath.Bitset
+	done      <-chan struct{}
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -441,6 +453,9 @@ func (t *divTask) run(sc *scratch) {
 	}
 	cats, armed := sc.cats[:width], sc.armedSlice(width)
 	for {
+		if canceled(t.done) {
+			break
+		}
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
@@ -478,6 +493,9 @@ func (t *divTask) run32(sc *scratch) {
 	}
 	cats, armed := sc.cats32[:width], sc.armedSlice(width)
 	for {
+		if canceled(t.done) {
+			break
+		}
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
@@ -526,7 +544,7 @@ func (sc *scratch) armedSlice(width int) []bool {
 // Deprecated: build a Plan with StrategyDiversified and call Execute.
 func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
 	final := vecmath.NewTopKStream(k)
-	if err := p.executeDiversified(c, q, maxPerCategory, catDepth, model.PrecisionF64, maxWorkers, nil, final); err != nil {
+	if err := p.executeDiversified(nil, c, q, maxPerCategory, catDepth, model.PrecisionF64, maxWorkers, nil, final); err != nil {
 		return nil, err
 	}
 	return final.Ranked(), nil
@@ -543,7 +561,7 @@ func (p *Pool) Diversified(c *model.Composed, q []float64, k, maxPerCategory, ca
 // model.PrecisionF32 and call Execute.
 func (p *Pool) DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory, catDepth, maxWorkers int) ([]vecmath.Scored, error) {
 	final := vecmath.NewTopKStream(k)
-	if err := p.executeDiversified(c, q, maxPerCategory, catDepth, model.PrecisionF32, maxWorkers, nil, final); err != nil {
+	if err := p.executeDiversified(nil, c, q, maxPerCategory, catDepth, model.PrecisionF32, maxWorkers, nil, final); err != nil {
 		return nil, err
 	}
 	return final.Ranked(), nil
@@ -557,6 +575,7 @@ type multiTask struct {
 	qs        [][]float64
 	qs32      [][]float32
 	outs32    []*vecmath.TopKStream32
+	done      <-chan struct{}
 	numShards int32
 	next      atomic.Int32
 	mu        sync.Mutex
@@ -586,6 +605,9 @@ func (t *multiTask) run(sc *scratch) {
 	}
 	var block [blockItems]float64
 	for {
+		if canceled(t.done) {
+			break
+		}
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
@@ -621,6 +643,9 @@ func (t *multiTask) run32(sc *scratch) {
 	items := t.ix.NumItems()
 	var block [blockItems]float32
 	for {
+		if canceled(t.done) {
+			break
+		}
 		s := int(t.next.Add(1)) - 1
 		if s >= int(t.numShards) {
 			break
@@ -652,7 +677,7 @@ func (t *multiTask) run32(sc *scratch) {
 //
 // Deprecated: use ExecuteBatch.
 func MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream) {
-	(*Pool)(nil).executeMulti(c, qs, model.PrecisionF64, 1, outs)
+	(*Pool)(nil).executeMulti(nil, c, qs, model.PrecisionF64, 1, outs)
 }
 
 // MultiNaiveInto fans the batched sweep across the pool: participants
@@ -660,7 +685,7 @@ func MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStrea
 //
 // Deprecated: use ExecuteBatch.
 func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
-	p.executeMulti(c, qs, model.PrecisionF64, maxWorkers, outs)
+	p.executeMulti(nil, c, qs, model.PrecisionF64, maxWorkers, outs)
 }
 
 // MultiNaiveF32Into fans the batched two-stage sweep across the pool:
@@ -672,5 +697,5 @@ func (p *Pool) MultiNaiveInto(c *model.Composed, qs [][]float64, outs []*vecmath
 //
 // Deprecated: use ExecuteBatch with model.PrecisionF32 plans.
 func (p *Pool) MultiNaiveF32Into(c *model.Composed, qs [][]float64, outs []*vecmath.TopKStream, maxWorkers int) {
-	p.executeMulti(c, qs, model.PrecisionF32, maxWorkers, outs)
+	p.executeMulti(nil, c, qs, model.PrecisionF32, maxWorkers, outs)
 }

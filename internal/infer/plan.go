@@ -1,6 +1,8 @@
 package infer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,6 +10,34 @@ import (
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
+
+// ErrDeadline marks a plan whose context ended — deadline exceeded or
+// cancelled — before its ranking completed. The executor checks the
+// context cooperatively at shard-claim boundaries, so a cancelled sweep
+// stops within one shard's worth of work and returns this error with an
+// empty Result: callers never observe a partial ranking. Test with
+// errors.Is(err, ErrDeadline); the context's own error (and cause) is
+// wrapped alongside.
+var ErrDeadline = errors.New("infer: context ended before the ranking completed")
+
+// deadlineErr builds the error a cancelled plan returns, wrapping both the
+// typed sentinel and the context's cause.
+func deadlineErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrDeadline, context.Cause(ctx))
+}
+
+// canceled reports whether a dispatch's done channel has fired. A nil
+// channel (plan with no deadline) never fires and costs one skipped
+// select per shard claim — the reason deadline support is free on the
+// uncontended sweep.
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Strategy selects a plan's ranking shape.
 type Strategy uint8
@@ -189,36 +219,47 @@ type Result struct {
 // Execute validates and runs a plan against a snapshot using the pool's
 // workers (a nil receiver executes serially). The returned ranking is
 // byte-identical — order and tie-breaks included — for any precision,
-// worker count and shard size. Every error Execute returns is a plan
-// validation failure; once a plan validates, execution cannot fail.
-func (p *Pool) Execute(c *model.Composed, q []float64, pl Plan) (Result, error) {
+// worker count and shard size. An error is either a plan validation
+// failure or — when ctx carries a deadline or cancellation that fires
+// mid-query — ErrDeadline; once a plan validates and its context holds,
+// execution cannot fail. A cancelled plan returns an empty Result, never
+// a partial ranking.
+func (p *Pool) Execute(ctx context.Context, c *model.Composed, q []float64, pl Plan) (Result, error) {
 	// validate before sizing the collector: a malformed K/Offset must
 	// come back as an error, not a makeslice panic or a giant allocation
 	if err := pl.Validate(c); err != nil {
 		return Result{}, err
 	}
-	return p.execInto(c, q, pl, vecmath.NewTopKStream(pl.heapSize(c)))
+	return p.execInto(ctx, c, q, pl, vecmath.NewTopKStream(pl.heapSize(c)))
 }
 
 // Execute runs a plan serially; it is (*Pool)(nil).Execute for callers
 // without a pool.
-func Execute(c *model.Composed, q []float64, pl Plan) (Result, error) {
-	return (*Pool)(nil).Execute(c, q, pl)
+func Execute(ctx context.Context, c *model.Composed, q []float64, pl Plan) (Result, error) {
+	return (*Pool)(nil).Execute(ctx, c, q, pl)
 }
 
 // ExecuteInto is Execute with a caller-owned collector, the zero-alloc
 // core for tight loops (evaluation sweeps a collector across every test
 // user). The collector is re-armed internally to K+Offset; Result.Items
 // aliases its storage and stays valid until the next Reset.
-func (p *Pool) ExecuteInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+func (p *Pool) ExecuteInto(ctx context.Context, c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
 	if err := pl.Validate(c); err != nil {
 		return Result{}, err
 	}
-	return p.execInto(c, q, pl, st)
+	return p.execInto(ctx, c, q, pl, st)
 }
 
-// execInto runs an already-validated plan into an armed collector.
-func (p *Pool) execInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+// execInto runs an already-validated plan into an armed collector. The
+// context's done channel is threaded into every engine and checked at
+// shard-claim boundaries; a fired deadline abandons the sweep (the
+// collector may hold partial state, which is discarded — the re-arm on
+// the next use wipes it) and surfaces as ErrDeadline.
+func (p *Pool) execInto(ctx context.Context, c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+	done := ctx.Done()
+	if canceled(done) {
+		return Result{}, deadlineErr(ctx)
+	}
 	cf := compileFilter(c.Index, pl.Filter)
 	defer releaseFilter(cf)
 	var mask *vecmath.Bitset
@@ -230,25 +271,31 @@ func (p *Pool) execInto(c *model.Composed, q []float64, pl Plan, st *vecmath.Top
 	res := Result{Eligible: eligible}
 	switch pl.Strategy {
 	case StrategyCascade:
-		stats, err := p.executeCascade(c, q, *pl.Cascade, pl.Precision, pl.MaxWorkers, cf, st)
+		stats, err := p.executeCascade(done, c, q, *pl.Cascade, pl.Precision, pl.MaxWorkers, cf, st)
 		if err != nil {
 			return Result{}, err
 		}
 		res.Stats = stats
 	case StrategyDiversified:
-		if err := p.executeDiversified(c, q, pl.Diversify.MaxPerCategory, pl.diversifyDepth(c), pl.Precision, pl.MaxWorkers, cf, st); err != nil {
+		if err := p.executeDiversified(done, c, q, pl.Diversify.MaxPerCategory, pl.diversifyDepth(c), pl.Precision, pl.MaxWorkers, cf, st); err != nil {
 			return Result{}, err
 		}
 	default:
-		p.executeNaive(c, q, pl.Precision, pl.MaxWorkers, mask, eligible, st)
+		p.executeNaive(done, c, q, pl.Precision, pl.MaxWorkers, mask, eligible, st)
+	}
+	// one check decides: engines bail cooperatively but quietly, so a
+	// ranking is returned iff the context still holds here — a cancelled
+	// sweep can never leak the partial heap it stopped with
+	if canceled(done) {
+		return Result{}, deadlineErr(ctx)
 	}
 	res.Items = page(st.Ranked(), pl.Offset)
 	return res, nil
 }
 
 // ExecuteInto runs a plan serially into a caller-owned collector.
-func ExecuteInto(c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
-	return (*Pool)(nil).ExecuteInto(c, q, pl, st)
+func ExecuteInto(ctx context.Context, c *model.Composed, q []float64, pl Plan, st *vecmath.TopKStream) (Result, error) {
+	return (*Pool)(nil).ExecuteInto(ctx, c, q, pl, st)
 }
 
 // page drops the first offset entries of a ranked slice; a past-the-end
@@ -267,8 +314,10 @@ func page(ranked []vecmath.Scored, offset int) []vecmath.Scored {
 // one pass at one visitation pattern, which is exactly what a filter
 // changes; route filtered plans through Execute per query (the serving
 // batcher sub-groups this way). Offsets may differ: each query just
-// over-collects by its own offset. Returns one Result per plan.
-func (p *Pool) ExecuteBatch(c *model.Composed, qs [][]float64, pls []Plan) ([]Result, error) {
+// over-collects by its own offset. Returns one Result per plan. A ctx
+// deadline firing mid-sweep fails the whole batch with ErrDeadline — the
+// sweep is shared work, so there is no per-plan partial answer to save.
+func (p *Pool) ExecuteBatch(ctx context.Context, c *model.Composed, qs [][]float64, pls []Plan) ([]Result, error) {
 	if len(qs) != len(pls) {
 		return nil, fmt.Errorf("infer: batch has %d queries but %d plans", len(qs), len(pls))
 	}
@@ -287,11 +336,18 @@ func (p *Pool) ExecuteBatch(c *model.Composed, qs [][]float64, pls []Plan) ([]Re
 			return nil, err
 		}
 	}
+	done := ctx.Done()
+	if canceled(done) {
+		return nil, deadlineErr(ctx)
+	}
 	outs := make([]*vecmath.TopKStream, len(qs))
 	for i := range outs {
 		outs[i] = vecmath.NewTopKStream(pls[i].heapSize(c))
 	}
-	p.executeMulti(c, qs, prec, 0, outs)
+	p.executeMulti(done, c, qs, prec, 0, outs)
+	if canceled(done) {
+		return nil, deadlineErr(ctx)
+	}
 	results := make([]Result, len(qs))
 	for i := range results {
 		results[i] = Result{Items: page(outs[i].Ranked(), pls[i].Offset), Eligible: c.Index.NumItems()}

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sort"
@@ -123,7 +124,7 @@ func executeAll(t *testing.T, pool *Pool, c *model.Composed, q []float64, pl Pla
 	for _, prec := range []model.Precision{model.PrecisionF64, model.PrecisionF32} {
 		for _, p := range []*Pool{nil, pool} {
 			pl.Precision = prec
-			res, err := p.Execute(c, q, pl)
+			res, err := p.Execute(context.Background(), c, q, pl)
 			if err != nil {
 				t.Logf("execute (%v, pool=%v): %v", prec, p != nil, err)
 				return false
@@ -162,7 +163,7 @@ func TestQuickFilteredNaivePlanMatchesOracle(t *testing.T) {
 			return false
 		}
 		// the executor must also report the oracle's eligible count
-		res, err := pool.Execute(c, q, pl)
+		res, err := pool.Execute(context.Background(), c, q, pl)
 		if err != nil || res.Eligible != len(scores) {
 			t.Logf("eligible count %d, oracle %d (err %v)", res.Eligible, len(scores), err)
 			return false
@@ -261,7 +262,7 @@ func TestQuickFilteredCascadePlanMatchesOracle(t *testing.T) {
 		if !executeAll(t, pool, c, q, pl, want) {
 			return false
 		}
-		res, err := pool.Execute(c, q, pl)
+		res, err := pool.Execute(context.Background(), c, q, pl)
 		if err != nil || res.Stats == nil || res.Stats.LeavesScored != len(scores) {
 			t.Logf("cascade stats %+v, want %d eligible leaves (err %v)", res.Stats, len(scores), err)
 			return false
@@ -281,11 +282,11 @@ func TestPlanMatchesLegacyEntryPoints(t *testing.T) {
 	c, q := f32World(t, 97, 31, 5, 3, 0)
 	k := 9
 
-	res, err := Execute(c, q, Plan{K: k, Precision: model.PrecisionF64})
+	res, err := Execute(context.Background(), c, q, Plan{K: k, Precision: model.PrecisionF64})
 	if err != nil || !reflect.DeepEqual(res.Items, Naive(c, q, k)) {
 		t.Fatalf("naive plan diverged from Naive (err %v)", err)
 	}
-	res, err = pool.Execute(c, q, Plan{K: k})
+	res, err = pool.Execute(context.Background(), c, q, Plan{K: k})
 	if err != nil || !reflect.DeepEqual(res.Items, NaiveF32(c, q, k)) {
 		t.Fatalf("f32 plan diverged from NaiveF32 (err %v)", err)
 	}
@@ -295,7 +296,7 @@ func TestPlanMatchesLegacyEntryPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = pool.Execute(c, q, Plan{Strategy: StrategyCascade, K: k, Cascade: &cfg})
+	res, err = pool.Execute(context.Background(), c, q, Plan{Strategy: StrategyCascade, K: k, Cascade: &cfg})
 	if err != nil || !reflect.DeepEqual(res.Items, wantItems) || !reflect.DeepEqual(res.Stats, wantStats) {
 		t.Fatalf("cascade plan diverged (err %v)", err)
 	}
@@ -304,7 +305,7 @@ func TestPlanMatchesLegacyEntryPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = pool.Execute(c, q, Plan{Strategy: StrategyDiversified, K: k, Diversify: &Diversify{MaxPerCategory: 2, CatDepth: 1}})
+	res, err = pool.Execute(context.Background(), c, q, Plan{Strategy: StrategyDiversified, K: k, Diversify: &Diversify{MaxPerCategory: 2, CatDepth: 1}})
 	if err != nil || !reflect.DeepEqual(res.Items, wantDiv) {
 		t.Fatalf("diversified plan diverged (err %v)", err)
 	}
@@ -327,12 +328,12 @@ func TestExecuteBatchMatchesPerQuery(t *testing.T) {
 		pls[i] = Plan{K: 3 + i, Offset: i % 3}
 	}
 	for _, p := range []*Pool{nil, pool} {
-		results, err := p.ExecuteBatch(c, qs, pls)
+		results, err := p.ExecuteBatch(context.Background(), c, qs, pls)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := range results {
-			want, err := p.Execute(c, qs[i], pls[i])
+			want, err := p.Execute(context.Background(), c, qs[i], pls[i])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -343,12 +344,12 @@ func TestExecuteBatchMatchesPerQuery(t *testing.T) {
 	}
 	bad := append([]Plan(nil), pls...)
 	bad[2].Filter = &Filter{ExcludeItems: []int32{0}}
-	if _, err := pool.ExecuteBatch(c, qs, bad); err == nil {
+	if _, err := pool.ExecuteBatch(context.Background(), c, qs, bad); err == nil {
 		t.Fatal("filtered plan accepted into a shared batch sweep")
 	}
 	bad = append([]Plan(nil), pls...)
 	bad[1].Precision = model.PrecisionF64
-	if _, err := pool.ExecuteBatch(c, qs, bad); err == nil {
+	if _, err := pool.ExecuteBatch(context.Background(), c, qs, bad); err == nil {
 		t.Fatal("mixed-precision batch accepted")
 	}
 }
@@ -373,11 +374,11 @@ func TestPlanValidation(t *testing.T) {
 		"bad deny node":     {K: 5, Filter: &Filter{DenyNodes: []int32{-1}}},
 		"bad exclude item":  {K: 5, Filter: &Filter{ExcludeItems: []int32{int32(c.NumItems())}}},
 	} {
-		if _, err := Execute(c, q, pl); err == nil {
+		if _, err := Execute(context.Background(), c, q, pl); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
-	res, err := Execute(c, q, Plan{K: c.NumItems() + 10})
+	res, err := Execute(context.Background(), c, q, Plan{K: c.NumItems() + 10})
 	if err != nil {
 		t.Fatalf("k beyond catalog must use heap semantics at this layer: %v", err)
 	}
@@ -385,7 +386,7 @@ func TestPlanValidation(t *testing.T) {
 		t.Fatalf("over-catalog k returned %d items", len(res.Items))
 	}
 	// everything-excluded filter yields an empty page, not an error
-	res, err = Execute(c, q, Plan{K: 3, Filter: &Filter{DenyNodes: []int32{int32(c.Tree.Root())}}})
+	res, err = Execute(context.Background(), c, q, Plan{K: 3, Filter: &Filter{DenyNodes: []int32{int32(c.Tree.Root())}}})
 	if err != nil || len(res.Items) != 0 || res.Eligible != 0 {
 		t.Fatalf("deny-all: items %d eligible %d err %v", len(res.Items), res.Eligible, err)
 	}

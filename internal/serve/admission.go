@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the load-shedding front of the HTTP layer: a concurrency
+// limiter with a bounded wait queue. Up to maxInflight requests execute
+// at once; up to maxQueue more may wait up to queueWait for a slot; and
+// everything beyond that is rejected immediately. Saturation therefore
+// degrades by shedding — cheap 429/503 responses with Retry-After — not
+// by stacking goroutines until the sweep pool, the batcher and the
+// kernel's accept queue all drown at once. Both shed paths are counted
+// separately so /v1/stats distinguishes "the queue was full" (arrival
+// rate beyond even the buffer) from "a slot never freed in time"
+// (service time collapsed).
+type admission struct {
+	slots chan struct{} // one token per executing request
+	queue chan struct{} // one token per waiting request
+	wait  time.Duration
+
+	inflight      atomic.Int64
+	queued        atomic.Int64
+	shedQueueFull atomic.Int64
+	shedWait      atomic.Int64
+	queueAborted  atomic.Int64
+}
+
+func newAdmission(maxInflight, maxQueue int, queueWait time.Duration) *admission {
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInflight),
+		queue: make(chan struct{}, maxQueue),
+		wait:  queueWait,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// none is free. It returns a non-nil release func on admission; on shed
+// it returns nil and the HTTP status to answer with: 429 when the wait
+// queue itself is full (the client should back off), 503 when a slot did
+// not free up within the queue wait or the caller's context ended first.
+// Only genuine slot starvation — the wait timer or a deadline expiring —
+// counts toward shed_wait_timeout; a client that hangs up while queued is
+// tallied separately (queue_abandoned), so the "service time collapsed"
+// signal is not inflated by client churn.
+func (a *admission) acquire(ctx context.Context) (release func(), status int) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), 0
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shedQueueFull.Add(1)
+		return nil, http.StatusTooManyRequests
+	}
+	a.queued.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		<-a.queue
+	}()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), 0
+	case <-timer.C:
+		a.shedWait.Add(1)
+		return nil, http.StatusServiceUnavailable
+	case <-ctx.Done():
+		if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+			// the request's budget expired while queued: the slot really
+			// never freed in time
+			a.shedWait.Add(1)
+		} else {
+			a.queueAborted.Add(1)
+		}
+		return nil, http.StatusServiceUnavailable
+	}
+}
+
+func (a *admission) admitted() func() {
+	a.inflight.Add(1)
+	return func() {
+		a.inflight.Add(-1)
+		<-a.slots
+	}
+}
+
+// AdmissionStats is the admission section of /v1/stats.
+type AdmissionStats struct {
+	MaxInflight   int   `json:"max_inflight"`
+	MaxQueue      int   `json:"max_queue"`
+	QueueWaitMS   int64 `json:"queue_wait_ms"`
+	Inflight      int64 `json:"inflight"`
+	Queued        int64 `json:"queued"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedWait      int64 `json:"shed_wait_timeout"`
+	QueueAborted  int64 `json:"queue_abandoned"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		MaxInflight:   cap(a.slots),
+		MaxQueue:      cap(a.queue),
+		QueueWaitMS:   a.wait.Milliseconds(),
+		Inflight:      a.inflight.Load(),
+		Queued:        a.queued.Load(),
+		ShedQueueFull: a.shedQueueFull.Load(),
+		ShedWait:      a.shedWait.Load(),
+		QueueAborted:  a.queueAborted.Load(),
+	}
+}

@@ -30,8 +30,9 @@ type Batcher struct {
 	maxBatch int
 	window   time.Duration
 
-	mu  sync.Mutex
-	cur *microBatch
+	mu     sync.Mutex
+	cur    *microBatch
+	closed bool
 
 	batches   atomic.Int64
 	coalesced atomic.Int64
@@ -74,6 +75,14 @@ func (b *Batcher) Recommend(req Request) ([]vecmath.Scored, error) {
 // and discarded.
 func (b *Batcher) RecommendContext(ctx context.Context, req Request) ([]vecmath.Scored, error) {
 	b.mu.Lock()
+	if b.closed {
+		// a closed batcher still answers — shutdown must not strand late
+		// arrivals — it just stops coalescing them
+		b.mu.Unlock()
+		epoch, c := b.s.pin()
+		resp := b.s.run(ctx, epoch, c, req)
+		return resp.Items, resp.Err
+	}
 	mb := b.cur
 	if mb == nil {
 		mb = &microBatch{done: make(chan struct{})}
@@ -98,6 +107,28 @@ func (b *Batcher) RecommendContext(ctx context.Context, req Request) ([]vecmath.
 	return resp.Items, resp.Err
 }
 
+// Close flushes the batcher: the pending micro-batch (if any) is cut and
+// executed immediately, so callers blocked on a long window get their
+// results now instead of hanging into shutdown. Calls arriving after
+// Close execute unbatched. Close is idempotent and safe to race with
+// Recommend and the window timer.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	mb := b.cur
+	if mb != nil {
+		b.detachLocked(mb)
+	}
+	b.mu.Unlock()
+	if mb != nil {
+		b.run(mb)
+	}
+}
+
 // cutAndRun is the window-expiry path; it is a no-op if the size trigger
 // already detached the batch.
 func (b *Batcher) cutAndRun(mb *microBatch) {
@@ -120,7 +151,7 @@ func (b *Batcher) detachLocked(mb *microBatch) {
 // plan batch, everything else runs per-request, all against one snapshot.
 func (b *Batcher) run(mb *microBatch) {
 	defer close(mb.done)
-	c := b.s.snap.Load()
+	epoch, c := b.s.pin()
 	batchPrec := b.s.effectivePrecision(c, Request{})
 	mb.resps = make([]Response, len(mb.reqs))
 	var (
@@ -136,7 +167,7 @@ func (b *Batcher) run(mb *microBatch) {
 		// its plan holds in full
 		if req.Cascade != nil || req.MaxPerCategory > 0 || req.hasFilter() ||
 			(req.Precision != model.PrecisionDefault && req.Precision != batchPrec) {
-			mb.resps[i] = b.s.run(c, req)
+			mb.resps[i] = b.s.run(context.Background(), epoch, c, req)
 			continue
 		}
 		if err := req.validate(c); err != nil {
@@ -155,15 +186,21 @@ func (b *Batcher) run(mb *microBatch) {
 		idxs = append(idxs, i)
 	}
 	if len(qs) > 0 {
-		results, err := b.s.sweep.ExecuteBatch(c, qs, pls)
+		results, err := b.s.sweep.ExecuteBatch(context.Background(), c, qs, pls)
 		for j, i := range idxs {
 			if err != nil {
 				// by construction every batched plan is an unfiltered naive
 				// plan at one precision, so this cannot trip; degrade to a
 				// per-request answer rather than failing the whole batch
-				mb.resps[i] = b.s.run(c, mb.reqs[i])
+				mb.resps[i] = b.s.run(context.Background(), epoch, c, mb.reqs[i])
 			} else {
 				mb.resps[i] = Response{Items: results[j].Items}
+				if b.s.cache != nil {
+					// batched answers feed the same epoch-stamped cache the
+					// per-request path fills, so a hot key coalesced once is
+					// a cache hit from then on
+					b.s.cache.put(epoch, cacheKey(&mb.reqs[i]), results[j].Items)
+				}
 			}
 			b.s.putBuf(qs[j])
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/infer"
+	"repro/internal/vecmath"
 )
 
 // A server with a pool must return exactly what the serial server
@@ -112,5 +113,68 @@ func TestBatcherWindowFlushesPartialBatch(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("batcher never flushed a partial batch")
+	}
+}
+
+// Close must flush a pending micro-batch immediately: a caller parked on
+// a long window gets its (correct) result now, not at window expiry and
+// not never.
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	m, data := trainedModel(t)
+	s := New(m)
+	serial := New(m)
+	// an hour-long window: only Close can release the caller in time
+	b := NewBatcher(s, 64, time.Hour)
+	want, err := serial.Recommend(Request{User: 2, Recent: data.Users[2].Baskets, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		items []vecmath.Scored
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		items, err := b.Recommend(Request{User: 2, Recent: data.Users[2].Baskets, K: 4})
+		done <- result{items, err}
+	}()
+	// wait until the request is actually queued in the current batch
+	for i := 0; i < 5000; i++ {
+		b.mu.Lock()
+		queued := b.cur != nil && len(b.cur.reqs) > 0
+		b.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Close()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("flushed request errored: %v", r.err)
+		}
+		if !reflect.DeepEqual(want, r.items) {
+			t.Fatal("flushed request returned a wrong ranking")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller still hanging after Close: pending batch was not flushed")
+	}
+	// Close is idempotent and post-Close traffic still gets answers
+	b.Close()
+	items, err := b.Recommend(Request{User: 3, Recent: data.Users[3].Baskets, K: 3})
+	if err != nil || len(items) != 3 {
+		t.Fatalf("post-close request: items=%d err=%v", len(items), err)
+	}
+}
+
+// Closing with nothing pending must not block or break later requests.
+func TestBatcherCloseEmpty(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := New(m)
+	b := NewBatcher(s, 8, time.Millisecond)
+	b.Close()
+	if _, err := b.Recommend(Request{User: 1, K: 2}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vecmath"
+)
+
+// resultCache is the versioned LRU result cache: one bounded map from
+// canonicalized request keys to finished rankings, each entry stamped
+// with the model epoch it was computed under. Update (and therefore HTTP
+// Reload) bumps the epoch with one atomic add — it never takes the cache
+// lock — and every entry stamped under an older epoch becomes
+// unreachable at once: get compares the entry's stamp against the epoch
+// the caller pinned and treats a mismatch as a miss (deleting the entry
+// lazily). Hot-swapping a model therefore invalidates the whole cache
+// atomically without blocking readers or walking entries.
+//
+// Epoch/snapshot ordering is what makes a stale hit impossible. Writers
+// pin the epoch BEFORE loading the snapshot (Server.pin) and Update
+// stores the new snapshot BEFORE bumping the epoch; so a request that
+// pinned epoch e computed its result on a snapshot at least as new as
+// e's. If a reload sneaks between a request's pin and its store, the
+// fresh result is stamped with the older epoch and over-invalidated —
+// the safe direction. A result computed on the old snapshot can never be
+// stamped with the new epoch.
+type resultCache struct {
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stale     atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheEntry is one cached ranking; items is read-only after insertion
+// (hits share the slice, so nothing may mutate it).
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	items []vecmath.Scored
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the ranking cached under key if it was stamped with the
+// caller's pinned epoch. An entry from an older epoch is removed and
+// reported as a (stale) miss.
+func (rc *resultCache) get(epoch uint64, key string) ([]vecmath.Scored, bool) {
+	rc.mu.Lock()
+	el, ok := rc.entries[key]
+	if !ok {
+		rc.mu.Unlock()
+		rc.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		rc.ll.Remove(el)
+		delete(rc.entries, key)
+		rc.mu.Unlock()
+		rc.stale.Add(1)
+		rc.misses.Add(1)
+		return nil, false
+	}
+	rc.ll.MoveToFront(el)
+	// snapshot the slice header before unlocking: put() may overwrite
+	// ent.items under the lock (two misses racing to fill one key), and
+	// a post-unlock field read would tear against it. The slice contents
+	// are safe either way — put stores fresh clones it never mutates.
+	items := ent.items
+	rc.mu.Unlock()
+	rc.hits.Add(1)
+	return items, true
+}
+
+// put stores a copy of items under key, stamped with the epoch the
+// caller pinned before computing them, evicting from the LRU tail past
+// capacity.
+func (rc *resultCache) put(epoch uint64, key string, items []vecmath.Scored) {
+	stored := slices.Clone(items)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.epoch, ent.items = epoch, stored
+		rc.ll.MoveToFront(el)
+		return
+	}
+	rc.entries[key] = rc.ll.PushFront(&cacheEntry{key: key, epoch: epoch, items: stored})
+	for rc.ll.Len() > rc.cap {
+		back := rc.ll.Back()
+		rc.ll.Remove(back)
+		delete(rc.entries, back.Value.(*cacheEntry).key)
+		rc.evictions.Add(1)
+	}
+}
+
+// CacheStats is the cache section of /v1/stats.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Epoch     uint64 `json:"epoch"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Stale     int64  `json:"stale"`
+	Evictions int64  `json:"evictions"`
+}
+
+func (rc *resultCache) stats() CacheStats {
+	rc.mu.Lock()
+	size := rc.ll.Len()
+	rc.mu.Unlock()
+	return CacheStats{
+		Capacity:  rc.cap,
+		Size:      size,
+		Epoch:     rc.epoch.Load(),
+		Hits:      rc.hits.Load(),
+		Misses:    rc.misses.Load(),
+		Stale:     rc.stale.Load(),
+		Evictions: rc.evictions.Load(),
+	}
+}
+
+// cacheKey canonicalizes a request into its cache identity: the query
+// subject (user + recent baskets, in order — basket order drives the
+// Markov term) and every plan field that can change the returned page.
+// Workers and Precision are deliberately absent: the executor's rankings
+// are byte-identical across worker counts and precisions (the property
+// the plan-equivalence suites pin), so requests differing only in those
+// knobs share one entry. Category lists are sorted copies — filters are
+// set semantics, so permuted lists share an entry too.
+func cacheKey(req *Request) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "u%d|k%d|o%d", req.User, req.K, req.Offset)
+	for _, basket := range req.Recent {
+		b.WriteString("|r")
+		for _, it := range basket {
+			fmt.Fprintf(&b, ",%d", it)
+		}
+	}
+	if req.Cascade != nil {
+		b.WriteString("|c")
+		for _, f := range req.Cascade.KeepFrac {
+			fmt.Fprintf(&b, ",%g", f)
+		}
+	}
+	if req.MaxPerCategory > 0 {
+		fmt.Fprintf(&b, "|d%d@%d", req.MaxPerCategory, req.CatDepth)
+	}
+	if req.ExcludePurchased {
+		b.WriteString("|xp")
+	}
+	writeSortedIDs(&b, "ca", req.Categories)
+	writeSortedIDs(&b, "cx", req.ExcludeCategories)
+	return b.String()
+}
+
+func writeSortedIDs(b *strings.Builder, tag string, ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
+	b.WriteString("|")
+	b.WriteString(tag)
+	for _, id := range sorted {
+		fmt.Fprintf(b, ",%d", id)
+	}
+}

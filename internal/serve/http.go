@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,8 @@ type HTTP struct {
 	start   time.Time
 	batcher *Batcher
 	maxBody int64
+	adm     *admission
+	timeout time.Duration
 
 	users       atomic.Int64
 	sessions    atomic.Int64
@@ -60,6 +63,8 @@ type HTTP struct {
 	plans       atomic.Int64
 	errors      atomic.Int64
 	reloads     atomic.Int64
+	cacheHits   atomic.Int64
+	deadlines   atomic.Int64
 }
 
 // DefaultMaxBodyBytes caps request bodies unless SetMaxBodyBytes chooses
@@ -82,6 +87,47 @@ func (h *HTTP) SetMaxBodyBytes(n int64) {
 		n = DefaultMaxBodyBytes
 	}
 	h.maxBody = n
+}
+
+// SetAdmission puts a load-shedding front before the recommend
+// endpoints: at most maxInflight requests execute concurrently, at most
+// maxQueue more wait up to queueWait for a slot, and everything beyond
+// is rejected with 429 (queue full) or 503 (wait expired), both carrying
+// Retry-After. maxInflight <= 0 disables admission control. /v1/stats
+// and /healthz are never throttled — an overloaded server must stay
+// observable. Call before the handler starts serving.
+func (h *HTTP) SetAdmission(maxInflight, maxQueue int, queueWait time.Duration) {
+	if maxInflight <= 0 {
+		h.adm = nil
+		return
+	}
+	h.adm = newAdmission(maxInflight, maxQueue, queueWait)
+}
+
+// SetTimeout bounds each recommend request's total time — admission
+// queue wait, batch window and sweep included (the deadline is armed
+// before admission). A deadline firing mid-sweep abandons the query at
+// the next shard boundary (infer.ErrDeadline) and answers 503 with
+// Retry-After, counted in the deadline stat. A request waiting on a
+// coalesced batch stops waiting at its deadline (same 503, same
+// counter), though the shared sweep itself completes for the other
+// waiters — cancelling shared work would cancel bystanders. d <= 0
+// disables (the default). Call before the handler starts serving.
+func (h *HTTP) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.timeout = d
+}
+
+// Close releases the handler's request-coalescing front, flushing any
+// pending micro-batch so blocked callers finish promptly. Call it during
+// shutdown, before or alongside http.Server.Shutdown; requests that
+// arrive afterwards still get answers (unbatched).
+func (h *HTTP) Close() {
+	if h.batcher != nil {
+		h.batcher.Close()
+	}
 }
 
 // EnableBatching puts a coalescing front before the full-scan endpoints:
@@ -271,6 +317,25 @@ func queryParams(r *http.Request, req *Request) error {
 
 func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// the per-request budget is armed before admission so the queue
+		// wait spends it too — "-timeout 2s" bounds the request, not just
+		// its sweep; admission still comes before the body parse so a
+		// shed request costs a channel poll and a JSON error, not decoder
+		// garbage
+		ctx := r.Context()
+		if h.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, h.timeout)
+			defer cancel()
+		}
+		if h.adm != nil {
+			release, status := h.adm.acquire(ctx)
+			if release == nil {
+				h.shed(w, status)
+				return
+			}
+			defer release()
+		}
 		// bound the body before the decoder touches it: a streamed
 		// gigabyte must die at the limit, not in the decoder's buffers
 		r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
@@ -284,10 +349,11 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			h.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		// pin one snapshot for both request translation and execution, so
-		// a concurrent hot swap (which may change taxonomy depth) cannot
-		// invalidate a request between the two steps
-		c := h.srv.Snapshot()
+		// pin one (epoch, snapshot) pair for request translation, cache
+		// identity and execution, so a concurrent hot swap (which may
+		// change taxonomy depth) cannot invalidate a request between the
+		// steps — or stamp its result under the wrong cache epoch
+		epoch, c := h.srv.pin()
 		req, err := wr.toRequest(mode, c)
 		if err != nil {
 			h.fail(w, http.StatusBadRequest, err)
@@ -308,17 +374,39 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			req.Precision == h.srv.effectivePrecision(c, Request{})
 		if h.batcher != nil && req.Workers == 0 && batchable && !req.hasFilter() &&
 			req.Cascade == nil && req.MaxPerCategory <= 0 {
-			items, err := h.batcher.RecommendContext(r.Context(), req)
-			resp = Response{Items: items, Err: err}
+			// probe the cache before joining a batch: a hot key must not
+			// pay the coalescing window for a result that is already sitting
+			// in memory (the batcher fills the same epoch-stamped cache)
+			if items, ok := h.srv.cached(epoch, req); ok {
+				resp = Response{Items: items, Cached: true}
+			} else {
+				items, err := h.batcher.RecommendContext(ctx, req)
+				resp = Response{Items: items, Err: err}
+			}
 		} else {
-			resp = h.srv.run(c, req)
+			resp = h.srv.run(ctx, epoch, c, req)
 		}
 		if resp.Err != nil {
-			// a context error usually means the client went away while
-			// its batch was pending — not a serving error worth alerting
-			// on. Still write 503 in case the connection is alive (e.g. a
-			// middleware deadline fired), so nothing reads as an empty 200.
-			if errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded) {
+			// a deadline expired — the armed per-request budget or a
+			// middleware deadline — whether mid-sweep (infer.ErrDeadline)
+			// or while waiting on a coalesced batch (bare
+			// DeadlineExceeded; the shared sweep finishes for the other
+			// waiters). That is load, not client error: shed with
+			// Retry-After so well-behaved clients back off, and count it
+			// so /v1/stats shows deadline pressure. The check is on the
+			// wrapped cause, NOT on ErrDeadline alone: a client that hung
+			// up mid-sweep also surfaces as ErrDeadline (wrapping
+			// context.Canceled) and must not inflate the deadline stat.
+			if errors.Is(resp.Err, context.DeadlineExceeded) {
+				h.deadlines.Add(1)
+				h.shed(w, http.StatusServiceUnavailable)
+				return
+			}
+			// a cancellation means the client went away (mid-batch-wait or
+			// mid-sweep) — not a serving error worth alerting on. Still
+			// write 503 in case the connection is alive, so nothing reads
+			// as an empty 200.
+			if errors.Is(resp.Err, context.Canceled) {
 				w.WriteHeader(http.StatusServiceUnavailable)
 				return
 			}
@@ -332,9 +420,25 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			h.fail(w, status, resp.Err)
 			return
 		}
+		if resp.Cached {
+			h.cacheHits.Add(1)
+		}
 		counter.Add(1)
 		h.writeJSON(w, toWire(resp.Items))
 	}
+}
+
+// shed answers a load-shedding rejection: 429 (wait queue full) or 503
+// (queue wait or request deadline expired), with a Retry-After hinting
+// clients to back off for a beat rather than hammering a saturated
+// server. Sheds are intentional degradation, not serving errors, so the
+// errors counter is untouched — the admission/deadline counters in
+// /v1/stats carry them.
+func (h *HTTP) shed(w http.ResponseWriter, status int) {
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": "overloaded, retry later"})
 }
 
 func toWire(items []vecmath.Scored) wireResponse {
@@ -382,6 +486,22 @@ type statsResponse struct {
 			Paged            int64 `json:"paged"`
 		} `json:"filters"`
 	} `json:"inference"`
+	// Cache is present when the server was built with WithCache; HTTPHits
+	// counts hits served by this handler (including batch-bypass probes).
+	Cache *struct {
+		CacheStats
+		HTTPHits int64 `json:"http_hits"`
+	} `json:"cache,omitempty"`
+	// Admission is present when SetAdmission armed the load shedder.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+	// DeadlineExceeded counts requests whose per-request timeout fired
+	// mid-sweep (answered 503, never a partial ranking).
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// TimeoutMS is the configured per-request budget (0 = unbounded).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Goroutines is runtime.NumGoroutine() — the loadtest gate watches it
+	// to catch handler or batcher leaks under sustained load.
+	Goroutines    int     `json:"goroutines"`
 	Reloads       int64   `json:"reloads"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -410,6 +530,19 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 		out.Inference.Batching = true
 		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()
 	}
+	if cs, ok := h.srv.CacheStats(); ok {
+		out.Cache = &struct {
+			CacheStats
+			HTTPHits int64 `json:"http_hits"`
+		}{CacheStats: cs, HTTPHits: h.cacheHits.Load()}
+	}
+	if h.adm != nil {
+		as := h.adm.stats()
+		out.Admission = &as
+	}
+	out.DeadlineExceeded = h.deadlines.Load()
+	out.TimeoutMS = h.timeout.Milliseconds()
+	out.Goroutines = runtime.NumGoroutine()
 	out.Reloads = h.reloads.Load()
 	out.UptimeSeconds = time.Since(h.start).Seconds()
 	h.writeJSON(w, out)

@@ -11,6 +11,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -51,6 +53,11 @@ type Server struct {
 	// purchase history (WithHistory); exclude-purchased filters are built
 	// from it plus the request's Recent baskets.
 	purchased [][]int32
+	// cache, when non-nil, is the versioned LRU result cache (WithCache):
+	// finished rankings keyed by canonicalized request, stamped with the
+	// model epoch, invalidated wholesale by Update's epoch bump. Hits
+	// skip the sweep entirely.
+	cache *resultCache
 
 	// filter usage counters, surfaced via FilterStats and /v1/stats.
 	filterExcluded atomic.Int64
@@ -105,6 +112,21 @@ func WithHistory(d *dataset.Dataset) Option {
 	}
 }
 
+// WithCache gives the server a versioned LRU result cache holding up to
+// n finished rankings (n <= 0 disables caching, the default). Entries
+// are keyed by the request's canonical identity — user, recent baskets,
+// strategy config, filters, page — and stamped with the model epoch;
+// Update bumps the epoch atomically, so a hot swap invalidates every
+// cached ranking at once without blocking readers. A hit returns the
+// stored ranking (shared, read-only) without touching the sweep pool.
+func WithCache(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.cache = newResultCache(n)
+		}
+	}
+}
+
 // New builds a server from a trained model (the model is snapshotted; the
 // caller may keep training it and call Update later).
 func New(m *model.TF, opts ...Option) *Server {
@@ -139,9 +161,35 @@ func (s *Server) FilterStats() (excludePurchased, category, paged int64) {
 }
 
 // Update atomically swaps in a fresh snapshot of the (re)trained model.
-// In-flight requests finish on the old snapshot.
+// In-flight requests finish on the old snapshot. The snapshot is stored
+// BEFORE the cache epoch is bumped: a request pinning the new epoch is
+// then guaranteed to load the new snapshot, so a result computed on the
+// old model can never be stamped current (see resultCache).
 func (s *Server) Update(m *model.TF) {
 	s.snap.Store(m.Compose())
+	if s.cache != nil {
+		s.cache.epoch.Add(1)
+	}
+}
+
+// pin captures the (epoch, snapshot) pair one request runs under. The
+// epoch is read before the snapshot — the ordering Update's store/bump
+// sequence pairs with; see resultCache for the two-sided argument.
+func (s *Server) pin() (uint64, *model.Composed) {
+	var epoch uint64
+	if s.cache != nil {
+		epoch = s.cache.epoch.Load()
+	}
+	return epoch, s.snap.Load()
+}
+
+// CacheStats reports the result cache's counters; ok is false when the
+// server was built without a cache.
+func (s *Server) CacheStats() (CacheStats, bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	return s.cache.stats(), true
 }
 
 // Snapshot returns the current composed snapshot (for metrics endpoints
@@ -318,18 +366,44 @@ func (s *Server) countFilters(req Request) {
 
 // Recommend executes one request against the current snapshot.
 func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
-	resp := s.run(s.snap.Load(), req)
+	return s.RecommendContext(context.Background(), req)
+}
+
+// RecommendContext is Recommend under a context: a deadline or
+// cancellation firing mid-sweep abandons the query at the next shard
+// boundary and returns infer.ErrDeadline — never a partial ranking.
+func (s *Server) RecommendContext(ctx context.Context, req Request) ([]vecmath.Scored, error) {
+	epoch, c := s.pin()
+	resp := s.run(ctx, epoch, c, req)
 	return resp.Items, resp.Err
 }
 
-// run executes one request against a pinned snapshot with a pooled query
-// buffer. It is the single dispatch point shared by Recommend, Batch and
-// the batcher's per-request fallthrough: request → plan → Execute.
-func (s *Server) run(c *model.Composed, req Request) Response {
+// cached returns the ranking cached for req under the pinned epoch, if
+// any. The HTTP layer probes this before handing a request to the
+// batcher, so hot requests skip both the batch window and the sweep.
+func (s *Server) cached(epoch uint64, req Request) ([]vecmath.Scored, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.get(epoch, cacheKey(&req))
+}
+
+// run executes one request against a pinned (epoch, snapshot) pair with
+// a pooled query buffer. It is the single dispatch point shared by
+// Recommend, Batch and the batcher's per-request fallthrough:
+// request → cache lookup → plan → Execute → cache fill.
+func (s *Server) run(ctx context.Context, epoch uint64, c *model.Composed, req Request) Response {
 	if err := req.validate(c); err != nil {
 		return Response{Err: err}
 	}
 	s.countFilters(req)
+	var key string
+	if s.cache != nil {
+		key = cacheKey(&req)
+		if items, ok := s.cache.get(epoch, key); ok {
+			return Response{Items: items, Cached: true}
+		}
+	}
 	q := s.getBuf(c.K())
 	defer s.putBuf(q)
 	if req.User == -1 {
@@ -337,20 +411,31 @@ func (s *Server) run(c *model.Composed, req Request) Response {
 	} else {
 		c.BuildQueryInto(req.User, req.Recent, q)
 	}
-	res, err := s.sweep.Execute(c, q, s.planFor(c, req))
+	res, err := s.sweep.Execute(ctx, c, q, s.planFor(c, req))
 	if err != nil {
-		// Execute errors are plan validation failures by contract, and
-		// the plan is built from the request — so a rejection (bad keep
-		// fractions, impossible category depth) is a client error
+		// a fired deadline is the caller's budget running out, not a bad
+		// request: pass it through typed so the HTTP layer sheds (503)
+		// instead of blaming the client
+		if errors.Is(err, infer.ErrDeadline) {
+			return Response{Err: err}
+		}
+		// other Execute errors are plan validation failures by contract,
+		// and the plan is built from the request — so a rejection (bad
+		// keep fractions, impossible category depth) is a client error
 		return Response{Err: &RequestError{msg: err.Error()}}
+	}
+	if s.cache != nil {
+		s.cache.put(epoch, key, res.Items)
 	}
 	return Response{Items: res.Items}
 }
 
-// Response pairs a request's result with its error.
+// Response pairs a request's result with its error. Cached reports that
+// Items came from the result cache (and is shared — read-only).
 type Response struct {
-	Items []vecmath.Scored
-	Err   error
+	Items  []vecmath.Scored
+	Err    error
+	Cached bool
 }
 
 // Batch executes requests concurrently across workers goroutines
@@ -373,14 +458,14 @@ func (s *Server) Batch(reqs []Request, workers int) []Response {
 	}
 	// pin one snapshot for the whole batch so results are mutually
 	// consistent even if Update races
-	c := s.snap.Load()
+	epoch, c := s.pin()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(reqs); i += workers {
-				out[i] = s.run(c, reqs[i])
+				out[i] = s.run(context.Background(), epoch, c, reqs[i])
 			}
 		}(w)
 	}

@@ -20,6 +20,7 @@
 package tfrec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -177,7 +178,7 @@ func (r *Recommender) RecommendSession(recent []Basket, k int) ([]Scored, error)
 	}
 	q := make([]float64, r.model.K())
 	r.composed.BuildSessionQueryInto(recent, q)
-	res, err := infer.Execute(r.composed, q, Plan{K: k})
+	res, err := infer.Execute(context.Background(), r.composed, q, Plan{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +194,7 @@ func (r *Recommender) RecommendPlan(user int, recent []Basket, pl Plan) (PlanRes
 	if err != nil {
 		return PlanResult{}, err
 	}
-	return infer.Execute(r.composed, q, pl)
+	return infer.Execute(context.Background(), r.composed, q, pl)
 }
 
 // RecommendDiversified returns a top-k list with at most maxPerCategory
