@@ -46,8 +46,8 @@ func main() {
 	tree := m.Tree
 	c := m.Compose()
 
-	fmt.Printf("model: K=%d taxonomyUpdateLevels=%d markovOrder=%d bias=%v\n",
-		m.P.K, m.P.TaxonomyLevels, m.P.MarkovOrder, m.P.UseBias)
+	fmt.Printf("model: K=%d taxonomyUpdateLevels=%d markovOrder=%d bias=%v precision=%s\n",
+		m.P.K, m.P.TaxonomyLevels, m.P.MarkovOrder, m.P.UseBias, m.Precision.Resolve())
 	fmt.Printf("taxonomy: %v nodes per level, %d items, depth %d\n",
 		tree.LevelSizes(), tree.NumItems(), tree.Depth())
 

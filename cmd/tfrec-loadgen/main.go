@@ -52,7 +52,7 @@ type scenario struct {
 	Keep             float64 `json:"keep"`             // cascade keep fraction
 	MaxPerCategory   int     `json:"max_per_category"` // diversified quota
 	CatDepth         int     `json:"cat_depth"`
-	Precision        string  `json:"precision"` // "", "f32", "f64" (query param)
+	Precision        string  `json:"precision"` // "", "f32", "f64", "int8" (query param)
 	Session          bool    `json:"session"`   // user = -1 (needs markov_order > 0)
 	ExcludePurchased bool    `json:"exclude_purchased"`
 	// Categories/ExcludeCategories name taxonomy node ids; ids are taken
@@ -75,6 +75,7 @@ func defaultScenarios() []scenario {
 	return []scenario{
 		{Name: "naive", Weight: 6},
 		{Name: "naive-f64", Weight: 1, Precision: "f64"},
+		{Name: "naive-int8", Weight: 1, Precision: "int8"},
 		{Name: "paged", Weight: 1, Offset: 5},
 		{Name: "cascade", Weight: 1, Strategy: "cascade", Keep: 0.4},
 		{Name: "diversified", Weight: 1, Strategy: "diversified", MaxPerCategory: 2},

@@ -41,7 +41,7 @@ func main() {
 	maxPerCat := flag.Int("max-per-category", 2, "category quota (with -strategy diversified)")
 	catDepth := flag.Int("cat-depth", 0, "quota category depth (0 = lowest category level)")
 	workers := flag.Int("workers", 1, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial)")
-	precision := flag.String("precision", "", "scoring precision: f32, f64, or empty to follow the model file")
+	precision := flag.String("precision", "", "scoring precision: f32, f64, int8, or empty to follow the model file")
 	excludePurchased := flag.Bool("exclude-purchased", false, "drop items the user already bought")
 	category := flag.String("category", "", "comma-separated taxonomy node ids to restrict results to")
 	excludeCategory := flag.String("exclude-category", "", "comma-separated taxonomy node ids to remove")

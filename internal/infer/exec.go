@@ -1,6 +1,8 @@
 package infer
 
 import (
+	"math"
+
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
@@ -199,11 +201,14 @@ func (p *Pool) runSweep32(done <-chan struct{}, ix *model.ScoringIndex, q32 []fl
 // mask's surviving item count (NumItems when mask is nil); the f32
 // escalation loop stops pruning once its candidate budget covers it.
 func (p *Pool) executeNaive(done <-chan struct{}, c *model.Composed, q []float64, prec model.Precision, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream) {
-	if prec.Resolve() == model.PrecisionF32 {
+	switch prec.Resolve() {
+	case model.PrecisionF32:
 		p.naiveF32(done, c, q, maxWorkers, mask, eligible, st, f32OverFetch(st.K()))
-		return
+	case model.PrecisionInt8:
+		p.naiveI8(done, c, q, maxWorkers, mask, eligible, st, i8OverFetch(st.K()))
+	default:
+		p.runSweep(done, c.Index, q, mask, maxWorkers, st)
 	}
-	p.runSweep(done, c.Index, q, mask, maxWorkers, st)
 }
 
 // naiveF32 runs the two-stage pipeline from an explicit starting
@@ -259,26 +264,49 @@ func (p *Pool) executeMulti(done <-chan struct{}, c *model.Composed, qs [][]floa
 	}
 	ix := c.Index
 	fan := p.fanout(maxWorkers, ix.NumShards())
-	if prec.Resolve() == model.PrecisionF32 {
-		sc := getMultiF32Scratch(qs, outs)
-		defer multiF32Scratches.Put(sc)
+	if prec.Resolve() == model.PrecisionInt8 {
+		sc := getMultiI8Scratch(qs, outs)
+		defer multiI8Scratches.Put(sc)
 		if fan <= 1 {
-			items := ix.NumItems()
-			var block [blockItems]float32
+			// queries whose budget covers the catalog skip the quantized
+			// sweep; the finish stage runs them through the f64 path directly
+			sc.active = activeI8Into(sc.active, sc.cands, ix.NumItems())
 			for s, n := 0, ix.NumShards(); s < n; s++ {
 				if canceled(done) {
 					return
 				}
 				lo, hi := ix.Shard(s)
-				for i := range sc.qs32 {
-					// a budget covering the catalog means this query goes
-					// straight to the f64 sweep in the finish stage; don't
-					// pay the f32 sweep for it
-					if sc.cands[i].K() >= items {
-						continue
-					}
-					sweepRange32Into(ix, sc.qs32[i], lo, hi, block[:], &sc.cands[i])
+				sweepShardI8Multi(ix, sc.us, sc.qscales, sc.sumQs, sc.ptrs, sc.active, lo, hi)
+			}
+		} else {
+			t := p.getMultiTask()
+			t.ix, t.usI8, t.qscalesI8, t.sumQsI8, t.outs, t.done = ix, sc.us, sc.qscales, sc.sumQs, sc.ptrs, done
+			t.numShards = int32(ix.NumShards())
+			t.next.Store(0)
+			p.dispatch(t, fan)
+			t.ix, t.usI8, t.qscalesI8, t.sumQsI8, t.outs, t.done = nil, nil, nil, nil, nil, nil
+			p.multis.Put(t)
+		}
+		if canceled(done) {
+			// truncated candidate sets must not reach the rescore stage
+			return
+		}
+		finishMultiI8(done, c, qs, outs, sc)
+		return
+	}
+	if prec.Resolve() == model.PrecisionF32 {
+		sc := getMultiF32Scratch(qs, outs)
+		defer multiF32Scratches.Put(sc)
+		if fan <= 1 {
+			// a budget covering the catalog means that query goes straight to
+			// the f64 sweep in the finish stage; don't pay the f32 sweep for it
+			sc.active = activeF32Into(sc.active, sc.cands, ix.NumItems())
+			for s, n := 0, ix.NumShards(); s < n; s++ {
+				if canceled(done) {
+					return
 				}
+				lo, hi := ix.Shard(s)
+				sweepShard32Multi(ix, sc.qs32, sc.ptrs, sc.active, lo, hi)
 			}
 		} else {
 			t := p.getMultiTask()
@@ -348,6 +376,49 @@ func (p *Pool) executeCascade(done <-chan struct{}, c *model.Composed, q []float
 	chunks := (len(frontier) + leafChunk - 1) / leafChunk
 	fan := p.fanout(maxWorkers, chunks)
 	switch {
+	case prec.Resolve() == model.PrecisionInt8 && k > 0:
+		sc := getI8Scratch(q)
+		eps := ix.NodeErrBoundI8(q, sc.sumAbsErr)
+		for kp := i8OverFetch(k); ; kp *= 2 {
+			if canceled(done) {
+				break
+			}
+			if kp >= len(frontier) || math.IsInf(eps, 0) || math.IsNaN(eps) {
+				// budget covers the frontier — or the bound cannot certify at
+				// all (non-finite query, k past the exact int32 dot range):
+				// exact f64 frontier scoring
+				st.Reset(k)
+				p.scoreFrontier(done, c, q, nil, frontier, fan, st, nil)
+				break
+			}
+			sc.cand.Reset(kp)
+			// the quantized frontier pass stays serial: a beam-surviving
+			// frontier is far below catalog size, and the sweep polls per
+			// leaf chunk like scoreFrontier's serial mode
+			stopped := false
+			for lo := 0; lo < len(frontier); lo += leafChunk {
+				if canceled(done) {
+					stopped = true
+					break
+				}
+				hi := lo + leafChunk
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, leaf := range frontier[lo:hi] {
+					sc.cand.Push(c.Tree.NodeItem(int(leaf)), ix.ScoreNodeI8(int(leaf), sc.u, sc.qscale, sc.sumQ))
+				}
+			}
+			if stopped {
+				break
+			}
+			st.Reset(k)
+			if rescoreEntries(done, ix, q, &sc.cand, st, eps) {
+				break
+			}
+			i8Escalations.Add(1)
+		}
+		i8Scratches.Put(sc)
 	case prec.Resolve() == model.PrecisionF32 && k > 0:
 		sc := getF32Scratch(q)
 		eps := ix.NodeErrBound32(q)
@@ -463,6 +534,15 @@ func (p *Pool) executeDiversified(done <-chan struct{}, c *model.Composed, q []f
 	}
 	width := len(c.Tree.Level(catDepth))
 	fan := p.fanout(maxWorkers, ix.NumShards())
+
+	// The diversified sweep keeps per-category quota heaps, whose
+	// escalation unit is the whole per-category budget; at int8 error
+	// magnitude nearly every tight category would escalate, so the int8
+	// knob rides the f32 tier here. Still byte-identical — every precision
+	// of every strategy is — just without the quantized first pass.
+	if prec.Resolve() == model.PrecisionInt8 {
+		prec = model.PrecisionF32
+	}
 
 	if prec.Resolve() != model.PrecisionF32 {
 		// re-arm the collector: the f32 mode's escalation fallback arrives

@@ -99,6 +99,76 @@ func sweepRange32Into(ix *model.ScoringIndex, q32 []float32, rangeLo, rangeHi in
 	}
 }
 
+// activeF32Into fills dst with the indices of queries whose candidate
+// budget does not already cover the catalog — the queries the shared f32
+// sweep actually runs for; the rest go straight to the f64 finish path.
+func activeF32Into(dst []int, cands []vecmath.TopKStream32, items int) []int {
+	dst = dst[:0]
+	for i := range cands {
+		if cands[i].K() < items {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// sweepShard32Multi sweeps one shard for the active queries in groups of
+// qBlock through the blocked multi-query f32 kernel: each group reads the
+// shard's compact rows once.
+func sweepShard32Multi(ix *model.ScoringIndex, qs32 [][]float32, sts []*vecmath.TopKStream32, active []int, lo, hi int) {
+	for g := 0; g < len(active); g += qBlock {
+		ge := g + qBlock
+		if ge > len(active) {
+			ge = len(active)
+		}
+		var gq [qBlock][]float32
+		var gst [qBlock]*vecmath.TopKStream32
+		n := ge - g
+		for j := 0; j < n; j++ {
+			qi := active[g+j]
+			gq[j], gst[j] = qs32[qi], sts[qi]
+		}
+		sweepRange32MultiInto(ix, gq[:n], lo, hi, gst[:n])
+	}
+}
+
+// sweepRange32MultiInto sweeps [rangeLo, rangeHi) once for a group of at
+// most qBlock queries: every 4-row block of the compact slab is scored
+// against the whole group (ItemScoresRange32MultiInto, whose inner loops
+// repeat MatVecBias32's accumulation statement for statement) before the
+// sweep advances. Each query's pushes arrive in the same (block-ascending,
+// item-ascending) order as its single-query sweep, so each candidate heap
+// retains the identical set.
+func sweepRange32MultiInto(ix *model.ScoringIndex, qs32 [][]float32, rangeLo, rangeHi int, sts []*vecmath.TopKStream32) {
+	var bufs [qBlock][blockItems]float32
+	var dsts [qBlock][]float32
+	var th [qBlock]float32
+	var full [qBlock]bool
+	for qi := range qs32 {
+		th[qi], full[qi] = sts[qi].Threshold()
+	}
+	for lo := rangeLo; lo < rangeHi; lo += blockItems {
+		hi := lo + blockItems
+		if hi > rangeHi {
+			hi = rangeHi
+		}
+		for qi := range qs32 {
+			dsts[qi] = bufs[qi][:hi-lo]
+		}
+		ix.ItemScoresRange32MultiInto(qs32, lo, hi, dsts[:len(qs32)])
+		for qi := range qs32 {
+			st := sts[qi]
+			for i, s := range dsts[qi] {
+				if full[qi] && s < th[qi] {
+					continue
+				}
+				st.Push(lo+i, s)
+				th[qi], full[qi] = st.Threshold()
+			}
+		}
+	}
+}
+
 // rescoreChunk is how many candidates the rescore stages score between
 // cancellation polls. Escalated candidate sets can approach catalog
 // size, so stage two polls like the sweeps do — without it a deadline
@@ -255,10 +325,11 @@ func rescoreDiversified(done <-chan struct{}, ix *model.ScoringIndex, q []float6
 // steady-state batched serving — the default pipeline under load —
 // allocates nothing, matching the f64 batch path.
 type multiF32Scratch struct {
-	cands []vecmath.TopKStream32
-	ptrs  []*vecmath.TopKStream32
-	qbuf  []float32
-	qs32  [][]float32
+	cands  []vecmath.TopKStream32
+	ptrs   []*vecmath.TopKStream32
+	qbuf   []float32
+	qs32   [][]float32
+	active []int
 }
 
 var multiF32Scratches = sync.Pool{New: func() any { return new(multiF32Scratch) }}

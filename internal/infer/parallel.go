@@ -71,6 +71,13 @@ type scratch struct {
 	st32    vecmath.TopKStream32
 	multi32 []vecmath.TopKStream32
 	cats32  []vecmath.TopKStream32
+	// the blocked batched sweeps address their per-worker heaps through
+	// pointer slices (the wire format of the shard-sweep helpers) and an
+	// active-query index list; both live here so steady-state batches
+	// allocate nothing
+	idx      []int
+	multiPtr []*vecmath.TopKStream
+	multi32P []*vecmath.TopKStream32
 }
 
 // NewPool starts a pool of the given total parallelism; workers <= 0 uses
@@ -154,11 +161,17 @@ func (p *Pool) dispatch(t task, fan int) {
 // the sweep to eligible items (filtered plans).
 type sweepTask struct {
 	taskBase
-	ix        *model.ScoringIndex
-	q         []float64
-	k         int
-	q32       []float32
-	out32     *vecmath.TopKStream32
+	ix    *model.ScoringIndex
+	q     []float64
+	k     int
+	q32   []float32
+	out32 *vecmath.TopKStream32
+	// int8 mode (qi8 non-nil): the claimed shards are swept through the
+	// quantized slab with the pre-quantized query codes into per-worker
+	// float64 candidate heaps of budget k, merged into out.
+	qi8       []int8
+	qscale    float64
+	sumQ      float64
 	mask      *vecmath.Bitset
 	done      <-chan struct{}
 	numShards int32
@@ -168,6 +181,32 @@ type sweepTask struct {
 }
 
 func (t *sweepTask) run(sc *scratch) {
+	if t.qi8 != nil {
+		st := &sc.st
+		st.Reset(t.k)
+		var block [blockItems]float64
+		for {
+			if canceled(t.done) {
+				break
+			}
+			s := int(t.next.Add(1)) - 1
+			if s >= int(t.numShards) {
+				break
+			}
+			lo, hi := t.ix.Shard(s)
+			if t.mask == nil {
+				sweepRangeI8Into(t.ix, t.qi8, t.qscale, t.sumQ, lo, hi, block[:], st)
+			} else {
+				sweepRangeI8MaskedInto(t.ix, t.qi8, t.qscale, t.sumQ, lo, hi, block[:], t.mask, st)
+			}
+		}
+		if st.Len() > 0 {
+			t.mu.Lock()
+			t.out.Merge(st)
+			t.mu.Unlock()
+		}
+		return
+	}
 	if t.out32 != nil {
 		st := &sc.st32
 		st.Reset(t.k)
@@ -571,10 +610,16 @@ func (p *Pool) DiversifiedF32(c *model.Composed, q []float64, k, maxPerCategory,
 
 type multiTask struct {
 	taskBase
-	ix        *model.ScoringIndex
-	qs        [][]float64
-	qs32      [][]float32
-	outs32    []*vecmath.TopKStream32
+	ix     *model.ScoringIndex
+	qs     [][]float64
+	qs32   [][]float32
+	outs32 []*vecmath.TopKStream32
+	// int8 mode (usI8 non-nil): the quantized queries and their code
+	// parameters; outs then points at the batch's float64 candidate heaps
+	// rather than final collectors.
+	usI8      [][]int8
+	qscalesI8 []float64
+	sumQsI8   []float64
 	done      <-chan struct{}
 	numShards int32
 	next      atomic.Int32
@@ -591,6 +636,10 @@ func (p *Pool) getMultiTask() *multiTask {
 }
 
 func (t *multiTask) run(sc *scratch) {
+	if t.usI8 != nil {
+		t.runI8(sc)
+		return
+	}
 	if t.outs32 != nil {
 		t.run32(sc)
 		return
@@ -628,20 +677,33 @@ func (t *multiTask) run(sc *scratch) {
 	t.mu.Unlock()
 }
 
-// run32 is the f32-mode multiTask body: the same query-major sweep over
-// the cache-resident compact shards into per-worker per-query candidate
-// heaps, merged into the shared per-query candidate sets.
+// run32 is the f32-mode multiTask body: a blocked sweep over the
+// cache-resident compact shards — each shard's rows read once per qBlock
+// query group — into per-worker per-query candidate heaps, merged into
+// the shared per-query candidate sets.
 func (t *multiTask) run32(sc *scratch) {
 	b := len(t.qs32)
 	if cap(sc.multi32) < b {
 		sc.multi32 = make([]vecmath.TopKStream32, b)
 	}
-	parts := sc.multi32[:b]
+	if cap(sc.multi32P) < b {
+		sc.multi32P = make([]*vecmath.TopKStream32, b)
+	}
+	if cap(sc.idx) < b {
+		sc.idx = make([]int, 0, b)
+	}
+	parts, ptrs, active := sc.multi32[:b], sc.multi32P[:b], sc.idx[:0]
+	items := t.ix.NumItems()
 	for i := range parts {
 		parts[i].Reset(t.outs32[i].K())
+		ptrs[i] = &parts[i]
+		// queries whose budget covers the catalog skip the f32 sweep; the
+		// finish stage runs them through the f64 path directly
+		if t.outs32[i].K() < items {
+			active = append(active, i)
+		}
 	}
-	items := t.ix.NumItems()
-	var block [blockItems]float32
+	sc.idx = active
 	for {
 		if canceled(t.done) {
 			break
@@ -651,19 +713,57 @@ func (t *multiTask) run32(sc *scratch) {
 			break
 		}
 		lo, hi := t.ix.Shard(s)
-		for i, q32 := range t.qs32 {
-			// queries whose budget covers the catalog skip the f32 sweep;
-			// the finish stage runs them through the f64 path directly
-			if t.outs32[i].K() >= items {
-				continue
-			}
-			sweepRange32Into(t.ix, q32, lo, hi, block[:], &parts[i])
-		}
+		sweepShard32Multi(t.ix, t.qs32, ptrs, active, lo, hi)
 	}
 	t.mu.Lock()
 	for i := range parts {
 		if parts[i].Len() > 0 {
 			t.outs32[i].Merge(&parts[i])
+		}
+	}
+	t.mu.Unlock()
+}
+
+// runI8 is the int8-mode multiTask body: the blocked sweep over the
+// quantized shards into per-worker float64 candidate heaps, merged into
+// the batch's shared candidate sets (t.outs, which point at candidate
+// heaps in int8 mode — the rescore stage runs after the dispatch joins).
+func (t *multiTask) runI8(sc *scratch) {
+	b := len(t.usI8)
+	if cap(sc.multi) < b {
+		sc.multi = make([]vecmath.TopKStream, b)
+	}
+	if cap(sc.multiPtr) < b {
+		sc.multiPtr = make([]*vecmath.TopKStream, b)
+	}
+	if cap(sc.idx) < b {
+		sc.idx = make([]int, 0, b)
+	}
+	parts, ptrs, active := sc.multi[:b], sc.multiPtr[:b], sc.idx[:0]
+	items := t.ix.NumItems()
+	for i := range parts {
+		parts[i].Reset(t.outs[i].K())
+		ptrs[i] = &parts[i]
+		if t.outs[i].K() < items {
+			active = append(active, i)
+		}
+	}
+	sc.idx = active
+	for {
+		if canceled(t.done) {
+			break
+		}
+		s := int(t.next.Add(1)) - 1
+		if s >= int(t.numShards) {
+			break
+		}
+		lo, hi := t.ix.Shard(s)
+		sweepShardI8Multi(t.ix, t.usI8, t.qscalesI8, t.sumQsI8, ptrs, active, lo, hi)
+	}
+	t.mu.Lock()
+	for i := range parts {
+		if parts[i].Len() > 0 {
+			t.outs[i].Merge(&parts[i])
 		}
 	}
 	t.mu.Unlock()

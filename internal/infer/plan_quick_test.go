@@ -117,11 +117,11 @@ func samePage(want, got []vecmath.Scored) bool {
 	return true
 }
 
-// executeAll runs one plan across {serial, Pool} × {f64, f32} and reports
-// whether every combination produced the identical page.
+// executeAll runs one plan across {serial, Pool} × {f64, f32, int8} and
+// reports whether every combination produced the identical page.
 func executeAll(t *testing.T, pool *Pool, c *model.Composed, q []float64, pl Plan, want []vecmath.Scored) bool {
 	t.Helper()
-	for _, prec := range []model.Precision{model.PrecisionF64, model.PrecisionF32} {
+	for _, prec := range []model.Precision{model.PrecisionF64, model.PrecisionF32, model.PrecisionInt8} {
 		for _, p := range []*Pool{nil, pool} {
 			pl.Precision = prec
 			res, err := p.Execute(context.Background(), c, q, pl)

@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
 
 	"repro/internal/taxonomy"
@@ -10,15 +11,23 @@ import (
 )
 
 // fuzzSeedModel builds a tiny trained-shaped model and returns its
-// current (v2) file bytes.
+// current (v3) file bytes.
 func fuzzSeedModel(tb testing.TB) []byte {
+	return fuzzSeedModelAt(tb, PrecisionF32, func(*TF) {})
+}
+
+// fuzzSeedModelAt builds the seed model with an explicit recorded
+// precision and a mutation hook applied before saving — the extra seeds
+// (int8 precision byte, hostile non-finite payload values) ride it.
+func fuzzSeedModelAt(tb testing.TB, prec Precision, mutate func(*TF)) []byte {
 	tb.Helper()
 	tree := taxonomy.MustGenerate(taxonomy.GenConfig{CategoryLevels: []int{2, 4}, Items: 12, Skew: 0}, vecmath.NewRNG(3))
 	m, err := New(tree, 3, Params{K: 4, TaxonomyLevels: 3, MarkovOrder: 1, Alpha: 1, InitStd: 0.1, UseBias: true}, vecmath.NewRNG(4))
 	if err != nil {
 		tb.Fatal(err)
 	}
-	m.Precision = PrecisionF32
+	m.Precision = prec
+	mutate(m)
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
 		tb.Fatal(err)
@@ -32,25 +41,40 @@ func fuzzSeedModel(tb testing.TB) []byte {
 //
 // Run longer with: go test -run '^$' -fuzz '^FuzzLoad$' ./internal/model
 func FuzzLoad(f *testing.F) {
-	v2 := fuzzSeedModel(f)
-	f.Add(v2) // current format
-	// v1 file: same gob payload under a version-1 header (the Precision
-	// field gob-defaults on decode)
-	v1 := append([]byte(nil), v2...)
+	v3 := fuzzSeedModel(f)
+	f.Add(v3) // current format
+	// v3 with the int8 precision byte recorded — the newest accepted
+	// precision value
+	f.Add(fuzzSeedModelAt(f, PrecisionInt8, func(*TF) {}))
+	// hostile payloads: a NaN factor and an Inf bias must be rejected at
+	// load (they would quantize to non-finite scale/offset pairs), never
+	// surface at score time
+	f.Add(fuzzSeedModelAt(f, PrecisionInt8, func(m *TF) {
+		m.Node.Row(1)[0] = math.NaN()
+	}))
+	f.Add(fuzzSeedModelAt(f, PrecisionF32, func(m *TF) {
+		m.Bias.Row(0)[0] = math.Inf(1)
+	}))
+	// v1/v2 files: same gob payload under older version headers (the
+	// Precision field gob-defaults on a v1 decode)
+	v1 := append([]byte(nil), v3...)
 	binary.BigEndian.PutUint32(v1[len(fileMagic):], 1)
 	f.Add(v1)
+	v2 := append([]byte(nil), v3...)
+	binary.BigEndian.PutUint32(v2[len(fileMagic):], 2)
+	f.Add(v2)
 	// legacy headerless gob payload
-	f.Add(append([]byte(nil), v2[headerLen:]...))
+	f.Add(append([]byte(nil), v3[headerLen:]...))
 	// truncations: inside the header, just after it, and mid-payload
-	f.Add(append([]byte(nil), v2[:headerLen-2]...))
-	f.Add(append([]byte(nil), v2[:headerLen+3]...))
-	f.Add(append([]byte(nil), v2[:len(v2)/2]...))
+	f.Add(append([]byte(nil), v3[:headerLen-2]...))
+	f.Add(append([]byte(nil), v3[:headerLen+3]...))
+	f.Add(append([]byte(nil), v3[:len(v3)/2]...))
 	// future version
-	future := append([]byte(nil), v2...)
+	future := append([]byte(nil), v3...)
 	binary.BigEndian.PutUint32(future[len(fileMagic):], 99)
 	f.Add(future)
 	// right magic, garbage payload; and plain garbage
-	f.Add(append(append([]byte(nil), v2[:headerLen]...), []byte("not a gob stream")...))
+	f.Add(append(append([]byte(nil), v3[:headerLen]...), []byte("not a gob stream")...))
 	f.Add([]byte("TFRECMD?almost the magic"))
 	f.Add([]byte{})
 
@@ -70,7 +94,7 @@ func FuzzLoad(f *testing.F) {
 		if m.K() <= 0 || m.NumUsers() < 0 {
 			t.Fatalf("accepted model has impossible shape: K=%d users=%d", m.K(), m.NumUsers())
 		}
-		if m.Precision > PrecisionF64 {
+		if m.Precision > PrecisionInt8 {
 			t.Fatalf("accepted model carries unknown precision %d", m.Precision)
 		}
 		if err := m.Tree.Validate(); err != nil {

@@ -53,8 +53,28 @@ type ScoringIndex struct {
 	node32     *vecmath.Matrix32 // numNodes x k
 	nodeBias32 []float32         // numNodes
 
-	// Magnitude bounds of the float64 slabs, taken before conversion;
-	// ErrBound32 derives the certified |f32 − f64| score bound from them.
+	// Quantized int8 mirrors of the two slabs — the tier below f32 at a
+	// quarter of its bytes per row — with per-row affine code parameters
+	// and the slab-wide aggregates ErrBoundI8 charges. Like the f32
+	// mirrors they are built lazily on first int8 use; the f64 slabs stay
+	// authoritative for the exact rescore. Item rows are exact copies of
+	// their leaf node rows and per-row quantization is a deterministic
+	// function of the row's values, so a leaf quantizes identically
+	// through either slab — the same relation the f32 mirrors keep.
+	i8Once       sync.Once
+	itemI8       *vecmath.MatrixI8 // numItems x k
+	itemScaleI8  []float64         // numItems
+	itemOffsetI8 []float64         // numItems
+	nodeI8       *vecmath.MatrixI8 // numNodes x k
+	nodeScaleI8  []float64         // numNodes
+	nodeOffsetI8 []float64         // numNodes
+
+	maxItemRowErrI8, maxItemScaleI8, maxAbsItemOffsetI8 float64
+	maxNodeRowErrI8, maxNodeScaleI8, maxAbsNodeOffsetI8 float64
+
+	// Magnitude bounds of the float64 slabs, shared by both reduced-
+	// precision tiers' certified error bounds (ensureBounds).
+	boundsOnce                       sync.Once
 	maxAbsItemFactor, maxAbsItemBias float64
 	maxAbsNodeFactor, maxAbsNodeBias float64
 
@@ -172,6 +192,14 @@ func (ix *ScoringIndex) ensure32() {
 		ix.item32.SetFrom(ix.itemFactors)
 		ix.itemBias32 = make([]float32, ix.numItems)
 		vecmath.Downconvert32(ix.itemBias32, ix.itemBias)
+		ix.ensureBounds()
+	})
+}
+
+// ensureBounds records the f64 slab magnitude bounds on first use by
+// either reduced-precision tier; both certified error bounds need them.
+func (ix *ScoringIndex) ensureBounds() {
+	ix.boundsOnce.Do(func() {
 		ix.maxAbsItemFactor = vecmath.MaxAbs(ix.itemFactors)
 		ix.maxAbsItemBias = vecmath.MaxAbs(ix.itemBias)
 		ix.maxAbsNodeFactor = vecmath.MaxAbs(ix.nodeFactors)

@@ -112,37 +112,42 @@ func TestLoadVersion1AndPrecisionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Precision = PrecisionF32
-	var buf bytes.Buffer
-	if err := m.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	raw := buf.Bytes()
-	if v := binary.BigEndian.Uint32(raw[len(fileMagic):headerLen]); v != 2 {
-		t.Fatalf("written header version %d, want 2", v)
-	}
-	got, err := Load(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Precision != PrecisionF32 {
-		t.Fatalf("round-trip precision %v, want f32", got.Precision)
-	}
-	// rewrite the header as version 1: the payload's extra gob field is
-	// ignored by construction, so this is exactly a v1 file to Load
-	v1 := append([]byte(nil), raw...)
-	binary.BigEndian.PutUint32(v1[len(fileMagic):], 1)
-	old, err := Load(bytes.NewReader(v1))
-	if err != nil {
-		t.Fatalf("v1 file failed to load: %v", err)
-	}
-	if old.NumItems() != m.NumItems() {
-		t.Fatalf("v1 load lost structure: %d items", old.NumItems())
+	for _, prec := range []Precision{PrecisionF32, PrecisionInt8} {
+		m.Precision = prec
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		if v := binary.BigEndian.Uint32(raw[len(fileMagic):headerLen]); v != fileVersion {
+			t.Fatalf("written header version %d, want %d", v, fileVersion)
+		}
+		got, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Precision != prec {
+			t.Fatalf("round-trip precision %v, want %v", got.Precision, prec)
+		}
+		// rewrite the header as older versions: the payload's extra gob
+		// fields are ignored by construction, so these are exactly the
+		// files older writers produced
+		for _, v := range []uint32{1, 2} {
+			old := append([]byte(nil), raw...)
+			binary.BigEndian.PutUint32(old[len(fileMagic):], v)
+			mOld, err := Load(bytes.NewReader(old))
+			if err != nil {
+				t.Fatalf("v%d file failed to load: %v", v, err)
+			}
+			if mOld.NumItems() != m.NumItems() {
+				t.Fatalf("v%d load lost structure: %d items", v, mOld.NumItems())
+			}
+		}
 	}
 }
 
 func TestPrecisionParseAndResolve(t *testing.T) {
-	for s, want := range map[string]Precision{"": PrecisionDefault, "f32": PrecisionF32, "f64": PrecisionF64} {
+	for s, want := range map[string]Precision{"": PrecisionDefault, "f32": PrecisionF32, "f64": PrecisionF64, "int8": PrecisionInt8} {
 		got, err := ParsePrecision(s)
 		if err != nil || got != want {
 			t.Fatalf("ParsePrecision(%q) = %v, %v", s, got, err)
@@ -156,5 +161,8 @@ func TestPrecisionParseAndResolve(t *testing.T) {
 	}
 	if PrecisionF64.Resolve() != PrecisionF64 {
 		t.Fatal("explicit f64 must survive Resolve")
+	}
+	if PrecisionInt8.Resolve() != PrecisionInt8 {
+		t.Fatal("explicit int8 must survive Resolve")
 	}
 }

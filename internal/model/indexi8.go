@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/vecmath"
+)
+
+// The int8 quantized face of the scoring index. ensure8 materializes the
+// quantized item and node slabs beside the f64/f32 ones on first int8
+// use, and the accessors below mirror the f32 surface: per-row scoring,
+// range sweeps, a blocked multi-query range sweep, and the certified
+// error bound the two-stage pipeline's separation certificate charges.
+
+// ensure8 quantizes both slabs and records the aggregates ErrBoundI8
+// needs. Safe for concurrent first use; f64/f32-pinned deployments never
+// pay the quantization pass or the extra ~12.5% slab memory.
+func (ix *ScoringIndex) ensure8() {
+	ix.i8Once.Do(func() {
+		ix.ensureBounds()
+		numNodes := len(ix.nodeBias)
+		ix.nodeI8 = vecmath.NewMatrixI8(numNodes, ix.k)
+		ix.nodeScaleI8 = make([]float64, numNodes)
+		ix.nodeOffsetI8 = make([]float64, numNodes)
+		ix.maxNodeRowErrI8, ix.maxNodeScaleI8, ix.maxAbsNodeOffsetI8 =
+			ix.nodeI8.QuantizeFrom(ix.nodeFactors, ix.nodeScaleI8, ix.nodeOffsetI8)
+		ix.itemI8 = vecmath.NewMatrixI8(ix.numItems, ix.k)
+		ix.itemScaleI8 = make([]float64, ix.numItems)
+		ix.itemOffsetI8 = make([]float64, ix.numItems)
+		ix.maxItemRowErrI8, ix.maxItemScaleI8, ix.maxAbsItemOffsetI8 =
+			ix.itemI8.QuantizeFrom(ix.itemFactors, ix.itemScaleI8, ix.itemOffsetI8)
+	})
+}
+
+// ScoreItemI8 returns item's quantized-tier score against the quantized
+// query (u, qscale, sumQ) — see vecmath.QuantizeQuery. The result is
+// bitwise identical whether computed here or by any blocked int8 sweep.
+func (ix *ScoringIndex) ScoreItemI8(item int, u []int8, qscale, sumQ float64) float64 {
+	ix.ensure8()
+	return vecmath.DotBiasI8(u, ix.itemI8.Row(item), ix.itemScaleI8[item], ix.itemOffsetI8[item], ix.itemBias[item], qscale, sumQ)
+}
+
+// ScoreNodeI8 is ScoreItemI8 for any taxonomy node over the node slab. A
+// leaf node scores bitwise identically to its item (the rows and their
+// quantization parameters are equal).
+func (ix *ScoringIndex) ScoreNodeI8(node int, u []int8, qscale, sumQ float64) float64 {
+	ix.ensure8()
+	return vecmath.DotBiasI8(u, ix.nodeI8.Row(node), ix.nodeScaleI8[node], ix.nodeOffsetI8[node], ix.nodeBias[node], qscale, sumQ)
+}
+
+// ItemScoresRangeI8Into scores the contiguous item range [lo, hi) through
+// the quantized slab into dst[:hi-lo] — the quarter-bandwidth sibling of
+// ItemScoresRangeInto.
+func (ix *ScoringIndex) ItemScoresRangeI8Into(u []int8, qscale, sumQ float64, lo, hi int, dst []float64) {
+	ix.ensure8()
+	k := ix.k
+	vecmath.MatVecBiasI8(ix.itemI8.Data()[lo*k:hi*k], k, ix.itemScaleI8[lo:hi], ix.itemOffsetI8[lo:hi], ix.itemBias[lo:hi], u, qscale, sumQ, dst[:hi-lo])
+}
+
+// ItemScoresRangeI8MultiInto scores the range for a whole query group in
+// one blocked pass: each 4-row block is scored against every query before
+// the sweep advances, amortizing the slab reads across the group.
+// dsts[qi][:hi-lo] receives query qi's scores.
+func (ix *ScoringIndex) ItemScoresRangeI8MultiInto(us [][]int8, qscales, sumQs []float64, lo, hi int, dsts [][]float64) {
+	ix.ensure8()
+	k := ix.k
+	vecmath.MatVecBiasI8Multi(ix.itemI8.Data()[lo*k:hi*k], k, ix.itemScaleI8[lo:hi], ix.itemOffsetI8[lo:hi], ix.itemBias[lo:hi], us, qscales, sumQs, dsts)
+}
+
+// ItemScoresRange32MultiInto is the f32 blocked multi-query range sweep —
+// the same slab-read amortization for the f32 tier's batched pipeline.
+func (ix *ScoringIndex) ItemScoresRange32MultiInto(qs32 [][]float32, lo, hi int, dsts [][]float32) {
+	ix.ensure32()
+	k := ix.k
+	vecmath.MatVecBias32Multi(ix.item32.Data()[lo*k:hi*k], k, ix.itemBias32[lo:hi], qs32, dsts)
+}
+
+// ItemErrBoundI8 returns ε such that for every item,
+// |ScoreItemI8(item, u, qscale, sumQ) − ScoreItem(item, q)| ≤ ε, where
+// (u, qscale, sumQ, sumAbsQErr) came from vecmath.QuantizeQuery(u, q).
+// A +Inf result means the tier cannot certify this index/query pair
+// (non-finite quantization, or a factor dimensionality past the exact
+// int32 dot range) and the caller must fall back to an exact sweep.
+func (ix *ScoringIndex) ItemErrBoundI8(q []float64, sumAbsQErr float64) float64 {
+	ix.ensure8()
+	return ix.errBoundI8(q, sumAbsQErr, ix.maxItemRowErrI8, ix.maxItemScaleI8, ix.maxAbsItemOffsetI8, ix.maxAbsItemFactor, ix.maxAbsItemBias)
+}
+
+// NodeErrBoundI8 is ItemErrBoundI8 for ScoreNodeI8 over the node slab.
+func (ix *ScoringIndex) NodeErrBoundI8(q []float64, sumAbsQErr float64) float64 {
+	ix.ensure8()
+	return ix.errBoundI8(q, sumAbsQErr, ix.maxNodeRowErrI8, ix.maxNodeScaleI8, ix.maxAbsNodeOffsetI8, ix.maxAbsNodeFactor, ix.maxAbsNodeBias)
+}
+
+// errBoundI8 bounds |int8-tier score − exact f64 score|. Writing the
+// exact score as Σ q_j·x_j + bias and each row value as its
+// reconstruction plus measured error, x_j = (scale·c_j + offset) + e_j,
+// the difference decomposes into
+//
+//	Σ q_j·e_j                   ≤ Σ|q|·maxRowErr      (row quantization)
+//	scale·Σ f_j·c_j             ≤ 127·maxScale·Σ|f|   (query quantization,
+//	                                f_j = q_j − qscale·u_j, |c_j| ≤ 127)
+//
+// plus the float64 rounding of the short combine and of the sumQ
+// accumulation — at most a small multiple of n·2⁻⁵³ relative to
+// Σ|q|·(maxF + maxOffset) + maxB. We charge (n+8)·2⁻⁵⁰, an ≥8x slack
+// that also absorbs the reconstruction-measurement rounding, plus a tiny
+// absolute term for subnormals. The integer dot itself is exact, so no
+// term grows with the accumulation — unless k exceeds the int32-exact
+// range, in which case the bound is +Inf and nothing certifies.
+func (ix *ScoringIndex) errBoundI8(q []float64, sumAbsQErr, maxRowErr, maxScale, maxAbsOffset, maxF, maxB float64) float64 {
+	if ix.k > vecmath.MaxDotLenI8 {
+		return math.Inf(1)
+	}
+	var sumAbs float64
+	for _, v := range q {
+		sumAbs += math.Abs(v)
+	}
+	const u = 1.0 / (1 << 50)
+	slack := (float64(len(q)) + 8) * u * (sumAbs*(maxF+maxAbsOffset) + maxB)
+	return sumAbs*maxRowErr + 127*maxScale*sumAbsQErr + slack + 1e-30
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
@@ -36,7 +37,12 @@ var fileMagic = [8]byte{'T', 'F', 'R', 'E', 'C', 'M', 'D', 'L'}
 //	    validated for the two-stage f32 pipeline records that choice and
 //	    round-trips it; v1 and legacy headerless files decode with
 //	    PrecisionDefault
-const fileVersion uint32 = 2
+//	3 — Precision may record the quantized int8 tier, and every factor
+//	    and bias value in the payload must be finite: a NaN/Inf row would
+//	    quantize to a NaN/Inf scale/offset pair and poison scoring, so
+//	    hostile values are rejected at load time rather than surfacing at
+//	    score time (the finite check applies to older payloads too)
+const fileVersion uint32 = 3
 
 // headerLen is the magic plus a big-endian uint32 version.
 const headerLen = len(fileMagic) + 4
@@ -159,11 +165,25 @@ func decodePersisted(r io.Reader) (*TF, error) {
 			return nil, fmt.Errorf("%s matrix size %d does not match structure %d", name, got.have, got.want)
 		}
 	}
+	// Every scoring tier assumes finite factors: the int8 quantizer in
+	// particular derives per-row scale/offset from the row's value range,
+	// which a single NaN/Inf entry turns non-finite. Reject hostile
+	// payloads here, where the file is the suspect, instead of letting
+	// the poison surface in a scoring loop.
+	for name, vals := range map[string][]float64{
+		"user": p.User, "node": p.Node, "next": p.Next, "bias": p.Bias,
+	} {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("non-finite value in %s matrix", name)
+			}
+		}
+	}
 	m, err := New(tree, p.NumUsers, p.Params, vecmath.NewRNG(0))
 	if err != nil {
 		return nil, err
 	}
-	if p.Precision > PrecisionF64 {
+	if p.Precision > PrecisionInt8 {
 		return nil, fmt.Errorf("unknown precision %d in file", p.Precision)
 	}
 	m.Precision = p.Precision

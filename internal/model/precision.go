@@ -23,6 +23,11 @@ const (
 	PrecisionF32
 	// PrecisionF64 is the pure float64 sweep.
 	PrecisionF64
+	// PrecisionInt8 is the two-stage pipeline over the quantized int8
+	// slabs — a quarter of the f32 sweep bandwidth, with a larger
+	// over-fetch and the same exact-rescore certificate, so rankings stay
+	// byte-identical to the f64 path.
+	PrecisionInt8
 )
 
 // Resolve maps PrecisionDefault to the build default, PrecisionF32.
@@ -40,12 +45,15 @@ func (p Precision) String() string {
 		return "f32"
 	case PrecisionF64:
 		return "f64"
+	case PrecisionInt8:
+		return "int8"
 	default:
 		return "default"
 	}
 }
 
-// ParsePrecision parses the wire spelling: "f32", "f64", or "" (default).
+// ParsePrecision parses the wire spelling: "f32", "f64", "int8", or ""
+// (default).
 func ParsePrecision(s string) (Precision, error) {
 	switch s {
 	case "":
@@ -54,7 +62,9 @@ func ParsePrecision(s string) (Precision, error) {
 		return PrecisionF32, nil
 	case "f64":
 		return PrecisionF64, nil
+	case "int8":
+		return PrecisionInt8, nil
 	default:
-		return PrecisionDefault, fmt.Errorf("model: unknown precision %q (want f32 or f64)", s)
+		return PrecisionDefault, fmt.Errorf("model: unknown precision %q (want f32, f64 or int8)", s)
 	}
 }

@@ -119,11 +119,15 @@ func TestHTTPPrecisionKnob(t *testing.T) {
 
 	resp32, out32 := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user?precision=f32", `{"user":3,"k":8}`)
 	resp64, out64 := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user?precision=f64", `{"user":3,"k":8}`)
-	if resp32.StatusCode != http.StatusOK || resp64.StatusCode != http.StatusOK {
-		t.Fatalf("statuses %d/%d", resp32.StatusCode, resp64.StatusCode)
+	respI8, outI8 := postJSON(t, ts.Client(), ts.URL+"/v1/recommend/user?precision=int8", `{"user":3,"k":8}`)
+	if resp32.StatusCode != http.StatusOK || resp64.StatusCode != http.StatusOK || respI8.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d/%d", resp32.StatusCode, resp64.StatusCode, respI8.StatusCode)
 	}
 	if !reflect.DeepEqual(out32, out64) {
 		t.Fatalf("precision changed the ranking:\nf32 %+v\nf64 %+v", out32, out64)
+	}
+	if !reflect.DeepEqual(outI8, out64) {
+		t.Fatalf("int8 precision changed the ranking:\nint8 %+v\nf64 %+v", outI8, out64)
 	}
 
 	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
@@ -138,7 +142,7 @@ func TestHTTPPrecisionKnob(t *testing.T) {
 	if stats.Inference.Precision != "f32" {
 		t.Fatalf("stats precision %q, want f32 default", stats.Inference.Precision)
 	}
-	if stats.Inference.F32Escalations < 0 {
+	if stats.Inference.F32Escalations < 0 || stats.Inference.I8Escalations < 0 {
 		t.Fatal("negative escalation counter")
 	}
 }

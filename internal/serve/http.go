@@ -275,12 +275,12 @@ func queryParams(r *http.Request, req *Request) error {
 		}
 		req.Workers = n
 	}
-	// ?precision=f32|f64 overrides the scoring pipeline (rankings are
+	// ?precision=f32|f64|int8 overrides the scoring pipeline (rankings are
 	// identical; the knob is for benchmarking and escalation triage)
 	if ps := qv.Get("precision"); ps != "" {
 		p, err := model.ParsePrecision(ps)
 		if err != nil {
-			return fmt.Errorf("bad precision parameter %q (want f32 or f64)", ps)
+			return fmt.Errorf("bad precision parameter %q (want f32, f64 or int8)", ps)
 		}
 		req.Precision = p
 	}
@@ -469,14 +469,16 @@ type statsResponse struct {
 		Errors      int64 `json:"errors"`
 	} `json:"served"`
 	// Inference describes the parallel sweep, precision and batching
-	// configuration. F32Escalations counts process-wide two-stage margin
-	// escalations — a steady climb means scores are tighter than float32
-	// resolution and f64 may serve cheaper. Filters counts how many
-	// served requests used each request-time filtering capability.
+	// configuration. F32Escalations and I8Escalations count process-wide
+	// two-stage margin escalations per tier — a steady climb means scores
+	// are tighter than that tier's resolution and a higher-precision sweep
+	// may serve cheaper. Filters counts how many served requests used each
+	// request-time filtering capability.
 	Inference struct {
 		PoolWorkers    int    `json:"pool_workers"`
 		Precision      string `json:"precision"`
 		F32Escalations int64  `json:"f32_escalations"`
+		I8Escalations  int64  `json:"i8_escalations"`
 		Batching       bool   `json:"batching"`
 		Batches        int64  `json:"batches"`
 		BatchedReqs    int64  `json:"batched_requests"`
@@ -525,6 +527,7 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Inference.PoolWorkers = h.srv.Pool().Workers()
 	out.Inference.Precision = h.srv.Precision().String()
 	out.Inference.F32Escalations = infer.F32Escalations()
+	out.Inference.I8Escalations = infer.I8Escalations()
 	out.Inference.Filters.ExcludePurchased, out.Inference.Filters.Category, out.Inference.Filters.Paged = h.srv.FilterStats()
 	if h.batcher != nil {
 		out.Inference.Batching = true

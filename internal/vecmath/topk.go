@@ -107,6 +107,12 @@ func (t *TopKStream) Merge(other *TopKStream) {
 	}
 }
 
+// Entries returns the retained set in unspecified (heap) order, aliasing
+// the collector's storage — the float64 counterpart of
+// TopKStream32.Entries, consumed by the int8 pipeline's exact rescore
+// (candidate order is irrelevant there).
+func (t *TopKStream) Entries() []Scored { return t.h }
+
 // Threshold returns the score an entry must strictly beat (or tie with a
 // lower ID) to enter a full collector, and whether the collector is full.
 // Producers can use it to skip work for entries that cannot qualify. A

@@ -105,6 +105,69 @@ func MatVecBias32(factors []float32, k int, bias, q, dst []float32) {
 	}
 }
 
+// MatVecBias32Multi is the cache-blocked multi-query form of
+// MatVecBias32: each 4-row block of the slab is scored against every
+// query of the group before the sweep advances, so a group of B queries
+// reads the slab bytes once instead of B times — the bandwidth win of the
+// batched serving sweep. dsts[qi][r] receives query qi's score of row r.
+// The per-(row, query) inner loop is MatVecBias32's statement for
+// statement (the same four-way pairwise-tree order), so every score is
+// bitwise identical to the single-query kernels'. It panics on any shape
+// mismatch, including a query group larger than the dst group.
+func MatVecBias32Multi(factors []float32, k int, bias []float32, qs [][]float32, dsts [][]float32) {
+	rows := len(bias)
+	if len(factors) != rows*k {
+		panic(fmt.Sprintf("vecmath: MatVecBias32Multi slab %d != rows %d * k %d", len(factors), rows, k))
+	}
+	if len(qs) > len(dsts) {
+		panic(fmt.Sprintf("vecmath: MatVecBias32Multi %d queries but %d dst buffers", len(qs), len(dsts)))
+	}
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		for qi, q := range qs {
+			if len(q) != k {
+				panic(fmt.Sprintf("vecmath: MatVecBias32Multi query %d length %d != k %d", qi, len(q), k))
+			}
+			r0 := factors[r*k:][:len(q)]
+			r1 := factors[(r+1)*k:][:len(q)]
+			r2 := factors[(r+2)*k:][:len(q)]
+			r3 := factors[(r+3)*k:][:len(q)]
+			s0, s1, s2, s3 := bias[r], bias[r+1], bias[r+2], bias[r+3]
+			i := 0
+			for ; i+4 <= len(q); i += 4 {
+				qa, qb, qc, qd := q[i], q[i+1], q[i+2], q[i+3]
+				s0 += (qa*r0[i] + qb*r0[i+1]) + (qc*r0[i+2] + qd*r0[i+3])
+				s1 += (qa*r1[i] + qb*r1[i+1]) + (qc*r1[i+2] + qd*r1[i+3])
+				s2 += (qa*r2[i] + qb*r2[i+1]) + (qc*r2[i+2] + qd*r2[i+3])
+				s3 += (qa*r3[i] + qb*r3[i+1]) + (qc*r3[i+2] + qd*r3[i+3])
+			}
+			if i+2 <= len(q) {
+				qa, qb := q[i], q[i+1]
+				s0 += qa*r0[i] + qb*r0[i+1]
+				s1 += qa*r1[i] + qb*r1[i+1]
+				s2 += qa*r2[i] + qb*r2[i+1]
+				s3 += qa*r3[i] + qb*r3[i+1]
+				i += 2
+			}
+			if i < len(q) {
+				qa := q[i]
+				s0 += qa * r0[i]
+				s1 += qa * r1[i]
+				s2 += qa * r2[i]
+				s3 += qa * r3[i]
+			}
+			dst := dsts[qi]
+			dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
+		}
+	}
+	for ; r < rows; r++ {
+		row := factors[r*k : (r+1)*k]
+		for qi, q := range qs {
+			dsts[qi][r] = DotBias32(q, row, bias[r])
+		}
+	}
+}
+
 // Downconvert32 fills dst with src rounded to float32 (round to nearest
 // even, the hardware conversion). It panics if the lengths differ.
 func Downconvert32(dst []float32, src []float64) {
@@ -150,8 +213,12 @@ func (m *Matrix32) Row(i int) []float32 {
 func (m *Matrix32) Data() []float32 { return m.data }
 
 // SetFrom rounds a compact row-major float64 slice into the matrix. It
-// panics if the length is not Rows*Cols.
+// panics if the length is not Rows*Cols — checked here explicitly so the
+// message names the matrix shape, not Downconvert32's view of it.
 func (m *Matrix32) SetFrom(src []float64) {
+	if len(src) != m.rows*m.cols {
+		panic(fmt.Sprintf("vecmath: Matrix32.SetFrom length %d, want %d (%dx%d)", len(src), m.rows*m.cols, m.rows, m.cols))
+	}
 	Downconvert32(m.data, src)
 }
 

@@ -1,0 +1,491 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// int8 quantized counterparts of the scoring kernels — the tier below the
+// float32 slabs. Each factor row is quantized independently with a
+// per-row affine code: codes c ∈ [−127, 127] reconstruct as
+// scale·c + offset, where offset is the row's value midpoint and scale
+// spans its value range in 254 steps. The query is quantized once per
+// request with a symmetric code (offset 0). A row score then decomposes
+// as
+//
+//	score ≈ (qscale·scale_r)·⟨u, c_r⟩ + offset_r·Σq + bias_r
+//
+// where ⟨u, c_r⟩ is a pure int8×int8 dot accumulated in int32 — EXACT
+// integer arithmetic, so the dot is identical in any accumulation order
+// and a blocked multi-row, multi-query sweep is trivially bitwise equal
+// to the row-at-a-time kernel; only the short float64 combine above
+// rounds, and both kernels share it statement by statement. The
+// quantization error is measured (not estimated) during encoding and
+// surfaced per slab, so the serving pipeline can certify an exact-rescore
+// boundary exactly as the f32 tier does; see model.ScoringIndex's
+// ErrBoundI8.
+//
+// Everything here assumes finite inputs; model.Load rejects non-finite
+// factor payloads so hostile NaN/Inf rows die at load time, not in a
+// scoring loop.
+
+// i8Levels is the span of the affine code: hi−lo maps across 254 steps so
+// codes stay within [−127, 127] (the symmetric int8 range; −128 is
+// unused, keeping negation safe).
+const i8Levels = 254
+
+// QuantizeRow encodes one factor row with the per-row affine code and
+// returns the code parameters plus the row's measured maximum
+// reconstruction error max_j |src[j] − (scale·dst[j] + offset)|. A
+// constant row gets scale 0 and reconstructs exactly through its offset.
+// It panics if the lengths differ.
+func QuantizeRow(dst []int8, src []float64) (scale, offset, maxErr float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: QuantizeRow length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi := src[0], src[0]
+	for _, v := range src[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// midpoint as lo + half-range (not (lo+hi)/2) so huge-magnitude rows
+	// cannot overflow the intermediate sum
+	offset = lo + (hi-lo)/2
+	scale = (hi - lo) / i8Levels
+	if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		// constant row (exact through offset), or a degenerate row whose
+		// range does not quantize; codes are zero either way and the
+		// measured error reports the truth
+		for i := range dst {
+			dst[i] = 0
+		}
+		for _, v := range src {
+			e := math.Abs(v - offset)
+			if e > maxErr || math.IsNaN(e) {
+				maxErr = e
+			}
+		}
+		if math.IsNaN(maxErr) {
+			maxErr = math.Inf(1)
+		}
+		scale = 0
+		return scale, offset, maxErr
+	}
+	for i, v := range src {
+		c := math.Round((v - offset) / scale)
+		switch {
+		case c >= 127:
+			c = 127
+		case c <= -127:
+			c = -127
+		case math.IsNaN(c):
+			c = 0
+		}
+		dst[i] = int8(c)
+		// measure against the same reconstruction expression the bound
+		// advertises: fl(scale·code + offset)
+		e := math.Abs(v - (scale*float64(dst[i]) + offset))
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return scale, offset, maxErr
+}
+
+// QuantizeQuery encodes the query with a symmetric code (codes reconstruct
+// as qscale·u[j], no offset) and returns the code step, the exact float64
+// sum Σ q[j] the combine needs for the offset term, and the measured total
+// absolute encoding error Σ_j |q[j] − qscale·u[j]| the certificate charges
+// against the item scales. A zero (or empty) query encodes as all-zero
+// codes with qscale 0, exactly. It panics if the lengths differ.
+func QuantizeQuery(dst []int8, q []float64) (qscale, sumQ, sumAbsErr float64) {
+	if len(dst) != len(q) {
+		panic(fmt.Sprintf("vecmath: QuantizeQuery length mismatch %d vs %d", len(dst), len(q)))
+	}
+	maxAbs := MaxAbs(q)
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0, 0, 0
+	}
+	qscale = maxAbs / 127
+	for i, v := range q {
+		c := math.Round(v / qscale)
+		switch {
+		case c >= 127:
+			c = 127
+		case c <= -127:
+			c = -127
+		case math.IsNaN(c):
+			c = 0
+		}
+		dst[i] = int8(c)
+		sumQ += v
+		sumAbsErr += math.Abs(v - qscale*float64(dst[i]))
+	}
+	if math.IsNaN(sumAbsErr) || math.IsInf(sumAbsErr, 0) {
+		sumAbsErr = math.Inf(1)
+	}
+	return qscale, sumQ, sumAbsErr
+}
+
+// DotI8 returns ⟨a, b⟩ accumulated in int32 — exact for any length up to
+// MaxDotLenI8, so unlike the float kernels the accumulation order is
+// irrelevant and every sweep shape produces the identical integer. It
+// panics if the lengths differ.
+func DotI8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: DotI8 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s int32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += int32(a[i])*int32(b[i]) + int32(a[i+1])*int32(b[i+1]) +
+			int32(a[i+2])*int32(b[i+2]) + int32(a[i+3])*int32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// MaxDotLenI8 is the longest vector DotI8 is exact for: every partial sum
+// is bounded by len·127², which must stay inside int32. Factor
+// dimensionalities are orders of magnitude smaller; the scoring index
+// refuses to certify int8 results past this bound rather than risk silent
+// wraparound.
+const MaxDotLenI8 = (1<<31 - 1) / (127 * 127)
+
+// DotBiasI8 is the fused row kernel of the int8 tier: the exact integer
+// dot followed by the short float64 combine
+//
+//	(qscale·scale)·dot + offset·Σq + bias
+//
+// evaluated in single-rounded steps. MatVecBiasI8 and MatVecBiasI8Multi
+// replicate the combine statement for statement, so a score is bitwise
+// identical whether computed row-at-a-time or in any blocked sweep. It
+// panics if the lengths differ.
+func DotBiasI8(u, row []int8, scale, offset, bias, qscale, sumQ float64) float64 {
+	d := DotI8(u, row)
+	// explicit intermediates force one rounding per step (no fused
+	// multiply-add ambiguity), pinning the combine to a single bit pattern
+	// across every kernel that replicates these statements
+	m := qscale * scale
+	a := m * float64(d)
+	c := offset * sumQ
+	s := a + c
+	return s + bias
+}
+
+// MatVecBiasI8 sweeps a contiguous row-major int8 slab: dst[r] gets the
+// combined score of row r against the quantized query u. Rows are
+// processed four at a time (the integer dots pipeline independently and
+// the loads of u are shared); the combine is the exact statement sequence
+// of DotBiasI8, so blocked and row-wise scores are bitwise identical. It
+// panics when the slab size is not len(dst)*k or a parameter array's
+// length differs from dst.
+func MatVecBiasI8(factors []int8, k int, scale, offset, bias []float64, u []int8, qscale, sumQ float64, dst []float64) {
+	rows := len(dst)
+	if len(factors) != rows*k {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8 slab %d != rows %d * k %d", len(factors), rows, k))
+	}
+	if len(scale) != rows || len(offset) != rows || len(bias) != rows {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8 param lengths %d/%d/%d != rows %d", len(scale), len(offset), len(bias), rows))
+	}
+	if len(u) != k {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8 query length %d != k %d", len(u), k))
+	}
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		r0 := factors[r*k:][:len(u)]
+		r1 := factors[(r+1)*k:][:len(u)]
+		r2 := factors[(r+2)*k:][:len(u)]
+		r3 := factors[(r+3)*k:][:len(u)]
+		var d0, d1, d2, d3 int32
+		i := 0
+		for ; i+2 <= len(u); i += 2 {
+			ua, ub := int32(u[i]), int32(u[i+1])
+			d0 += ua*int32(r0[i]) + ub*int32(r0[i+1])
+			d1 += ua*int32(r1[i]) + ub*int32(r1[i+1])
+			d2 += ua*int32(r2[i]) + ub*int32(r2[i+1])
+			d3 += ua*int32(r3[i]) + ub*int32(r3[i+1])
+		}
+		if i < len(u) {
+			ua := int32(u[i])
+			d0 += ua * int32(r0[i])
+			d1 += ua * int32(r1[i])
+			d2 += ua * int32(r2[i])
+			d3 += ua * int32(r3[i])
+		}
+		dst[r] = combineI8(d0, scale[r], offset[r], bias[r], qscale, sumQ)
+		dst[r+1] = combineI8(d1, scale[r+1], offset[r+1], bias[r+1], qscale, sumQ)
+		dst[r+2] = combineI8(d2, scale[r+2], offset[r+2], bias[r+2], qscale, sumQ)
+		dst[r+3] = combineI8(d3, scale[r+3], offset[r+3], bias[r+3], qscale, sumQ)
+	}
+	for ; r < rows; r++ {
+		dst[r] = DotBiasI8(u, factors[r*k:(r+1)*k], scale[r], offset[r], bias[r], qscale, sumQ)
+	}
+}
+
+// combineI8 is the shared float64 tail of every int8 kernel — the same
+// single-rounded statement sequence as DotBiasI8's.
+func combineI8(d int32, scale, offset, bias, qscale, sumQ float64) float64 {
+	return combineI8F(float64(d), scale, offset, bias, qscale, sumQ)
+}
+
+// combineI8F is combineI8 for a dot that was accumulated in float64. The
+// conversion float64(int32) is exact, so routing both kernels through the
+// same statement sequence keeps every score bitwise identical regardless
+// of which representation carried the (always exact) integer dot.
+func combineI8F(d, scale, offset, bias, qscale, sumQ float64) float64 {
+	// explicit intermediates force one rounding per step — see DotBiasI8
+	m := qscale * scale
+	a := m * d
+	c := offset * sumQ
+	s := a + c
+	return s + bias
+}
+
+// widenK and widenGroup bound the stack buffers of the widened multi-query
+// fast path: factor dimensionalities up to widenK and query groups up to
+// widenGroup go through matVecBiasI8MultiWidened; anything larger falls
+// back to the per-query integer loop, which produces the identical scores.
+const (
+	widenK     = 256
+	widenGroup = 8
+)
+
+// MatVecBiasI8Multi is the cache-blocked multi-query sweep: each 4-row
+// block of the slab is scored against every query of the group before the
+// sweep advances, so a group of B queries reads the slab bytes once
+// instead of B times. dsts[qi][r] receives query qi's score of row r. The
+// integer dots are exact and the combine replicates DotBiasI8, so every
+// score is bitwise identical to the single-query kernels'. It panics on
+// any shape mismatch, including a query group larger than the dst group.
+func MatVecBiasI8Multi(factors []int8, k int, scale, offset, bias []float64, us [][]int8, qscales, sumQs []float64, dsts [][]float64) {
+	rows := len(bias)
+	if len(factors) != rows*k {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi slab %d != rows %d * k %d", len(factors), rows, k))
+	}
+	if len(scale) != rows || len(offset) != rows {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi param lengths %d/%d != rows %d", len(scale), len(offset), rows))
+	}
+	if len(us) != len(qscales) || len(us) != len(sumQs) || len(us) > len(dsts) {
+		panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi group lengths %d/%d/%d/%d mismatch", len(us), len(qscales), len(sumQs), len(dsts)))
+	}
+	for qi, u := range us {
+		if len(u) != k {
+			panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi query %d length %d != k %d", qi, len(u), k))
+		}
+	}
+	if k <= widenK && len(us) <= widenGroup {
+		matVecBiasI8MultiWidened(factors, k, scale, offset, bias, us, qscales, sumQs, dsts)
+		return
+	}
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		for qi, u := range us {
+			r0 := factors[r*k:][:len(u)]
+			r1 := factors[(r+1)*k:][:len(u)]
+			r2 := factors[(r+2)*k:][:len(u)]
+			r3 := factors[(r+3)*k:][:len(u)]
+			var d0, d1, d2, d3 int32
+			i := 0
+			for ; i+2 <= len(u); i += 2 {
+				ua, ub := int32(u[i]), int32(u[i+1])
+				d0 += ua*int32(r0[i]) + ub*int32(r0[i+1])
+				d1 += ua*int32(r1[i]) + ub*int32(r1[i+1])
+				d2 += ua*int32(r2[i]) + ub*int32(r2[i+1])
+				d3 += ua*int32(r3[i]) + ub*int32(r3[i+1])
+			}
+			if i < len(u) {
+				ua := int32(u[i])
+				d0 += ua * int32(r0[i])
+				d1 += ua * int32(r1[i])
+				d2 += ua * int32(r2[i])
+				d3 += ua * int32(r3[i])
+			}
+			dst := dsts[qi]
+			dst[r] = combineI8(d0, scale[r], offset[r], bias[r], qscales[qi], sumQs[qi])
+			dst[r+1] = combineI8(d1, scale[r+1], offset[r+1], bias[r+1], qscales[qi], sumQs[qi])
+			dst[r+2] = combineI8(d2, scale[r+2], offset[r+2], bias[r+2], qscales[qi], sumQs[qi])
+			dst[r+3] = combineI8(d3, scale[r+3], offset[r+3], bias[r+3], qscales[qi], sumQs[qi])
+		}
+	}
+	for ; r < rows; r++ {
+		row := factors[r*k : (r+1)*k]
+		for qi, u := range us {
+			dsts[qi][r] = DotBiasI8(u, row, scale[r], offset[r], bias[r], qscales[qi], sumQs[qi])
+		}
+	}
+}
+
+// matVecBiasI8MultiWidened is the fast path of MatVecBiasI8Multi. The
+// int8 codes of each 4-row block are widened to float64 once and reused
+// by every query of the group, so the widen-and-load work a per-query
+// sweep pays on every slab pass is amortized across the group — this,
+// beyond the slab-byte reuse, is where the blocked kernel's speedup
+// comes from. The arithmetic stays exact: every product is an integer
+// ≤ 127² and every partial sum an integer below MaxDotLenI8·127² < 2⁵³,
+// so float64 addition never rounds, the accumulated dot equals the int32
+// dot bit for bit, and the combineI8F tail reproduces DotBiasI8's
+// statement sequence exactly.
+func matVecBiasI8MultiWidened(factors []int8, k int, scale, offset, bias []float64, us [][]int8, qscales, sumQs []float64, dsts [][]float64) {
+	rows := len(bias)
+	var uw [widenGroup][widenK]float64
+	for qi, u := range us {
+		for j, v := range u {
+			uw[qi][j] = float64(v)
+		}
+	}
+	var w0, w1, w2, w3 [widenK]float64
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		r0 := factors[r*k:][:k]
+		r1 := factors[(r+1)*k:][:k]
+		r2 := factors[(r+2)*k:][:k]
+		r3 := factors[(r+3)*k:][:k]
+		for j := 0; j < k; j++ {
+			w0[j] = float64(r0[j])
+			w1[j] = float64(r1[j])
+			w2[j] = float64(r2[j])
+			w3[j] = float64(r3[j])
+		}
+		// query pairs: the four row loads per lane are shared by both
+		// queries, halving the load traffic per multiply. Reassociating
+		// the sums is free — every partial sum is an exact integer below
+		// 2⁵³, so any accumulation order produces the same bits.
+		qi := 0
+		for ; qi+2 <= len(us); qi += 2 {
+			u0, u1 := uw[qi][:k], uw[qi+1][:k]
+			var a00, a01, a02, a03, a10, a11, a12, a13 float64
+			for i := 0; i < k; i++ {
+				f0, f1, f2, f3 := w0[i], w1[i], w2[i], w3[i]
+				x0, x1 := u0[i], u1[i]
+				a00 += x0 * f0
+				a01 += x0 * f1
+				a02 += x0 * f2
+				a03 += x0 * f3
+				a10 += x1 * f0
+				a11 += x1 * f1
+				a12 += x1 * f2
+				a13 += x1 * f3
+			}
+			d0, d1 := dsts[qi], dsts[qi+1]
+			qs0, sq0 := qscales[qi], sumQs[qi]
+			qs1, sq1 := qscales[qi+1], sumQs[qi+1]
+			d0[r] = combineI8F(a00, scale[r], offset[r], bias[r], qs0, sq0)
+			d0[r+1] = combineI8F(a01, scale[r+1], offset[r+1], bias[r+1], qs0, sq0)
+			d0[r+2] = combineI8F(a02, scale[r+2], offset[r+2], bias[r+2], qs0, sq0)
+			d0[r+3] = combineI8F(a03, scale[r+3], offset[r+3], bias[r+3], qs0, sq0)
+			d1[r] = combineI8F(a10, scale[r], offset[r], bias[r], qs1, sq1)
+			d1[r+1] = combineI8F(a11, scale[r+1], offset[r+1], bias[r+1], qs1, sq1)
+			d1[r+2] = combineI8F(a12, scale[r+2], offset[r+2], bias[r+2], qs1, sq1)
+			d1[r+3] = combineI8F(a13, scale[r+3], offset[r+3], bias[r+3], qs1, sq1)
+		}
+		if qi < len(us) {
+			u := uw[qi][:k]
+			var a0, a1, a2, a3, b0, b1, b2, b3 float64
+			i := 0
+			for ; i+2 <= k; i += 2 {
+				x, y := u[i], u[i+1]
+				a0 += x * w0[i]
+				b0 += y * w0[i+1]
+				a1 += x * w1[i]
+				b1 += y * w1[i+1]
+				a2 += x * w2[i]
+				b2 += y * w2[i+1]
+				a3 += x * w3[i]
+				b3 += y * w3[i+1]
+			}
+			if i < k {
+				x := u[i]
+				a0 += x * w0[i]
+				a1 += x * w1[i]
+				a2 += x * w2[i]
+				a3 += x * w3[i]
+			}
+			dst := dsts[qi]
+			qs, sq := qscales[qi], sumQs[qi]
+			dst[r] = combineI8F(a0+b0, scale[r], offset[r], bias[r], qs, sq)
+			dst[r+1] = combineI8F(a1+b1, scale[r+1], offset[r+1], bias[r+1], qs, sq)
+			dst[r+2] = combineI8F(a2+b2, scale[r+2], offset[r+2], bias[r+2], qs, sq)
+			dst[r+3] = combineI8F(a3+b3, scale[r+3], offset[r+3], bias[r+3], qs, sq)
+		}
+	}
+	for ; r < rows; r++ {
+		row := factors[r*k : (r+1)*k]
+		for qi, u := range us {
+			dsts[qi][r] = DotBiasI8(u, row, scale[r], offset[r], bias[r], qscales[qi], sumQs[qi])
+		}
+	}
+}
+
+// MatrixI8 is a dense compact row-major int8 matrix paired with nothing:
+// the per-row code parameters live beside it in the scoring index. Like
+// Matrix32 it carries no padding — slabs are immutable after construction
+// and consumed by streaming sweeps.
+type MatrixI8 struct {
+	rows, cols int
+	data       []int8
+}
+
+// NewMatrixI8 allocates a rows x cols int8 matrix of zeros.
+func NewMatrixI8(rows, cols int) *MatrixI8 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: NewMatrixI8 negative dimension %dx%d", rows, cols))
+	}
+	return &MatrixI8{rows: rows, cols: cols, data: make([]int8, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *MatrixI8) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *MatrixI8) Cols() int { return m.cols }
+
+// Row returns row i as a capacity-clipped slice view.
+func (m *MatrixI8) Row(i int) []int8 {
+	start := i * m.cols
+	return m.data[start : start+m.cols : start+m.cols]
+}
+
+// Data returns the flat row-major backing slice.
+func (m *MatrixI8) Data() []int8 { return m.data }
+
+// QuantizeFrom encodes a compact row-major float64 slab into the matrix
+// row by row, writing each row's code parameters into scale and offset.
+// It returns the slab-wide aggregates the certified error bound needs:
+// the largest measured per-row reconstruction error, the largest scale,
+// and the largest |offset|. It panics if src is not Rows*Cols or the
+// parameter slices are not Rows long.
+func (m *MatrixI8) QuantizeFrom(src []float64, scale, offset []float64) (maxErr, maxScale, maxAbsOffset float64) {
+	if len(src) != m.rows*m.cols {
+		panic(fmt.Sprintf("vecmath: MatrixI8.QuantizeFrom length %d, want %d (%dx%d)", len(src), m.rows*m.cols, m.rows, m.cols))
+	}
+	if len(scale) != m.rows || len(offset) != m.rows {
+		panic(fmt.Sprintf("vecmath: MatrixI8.QuantizeFrom param lengths %d/%d, want %d rows", len(scale), len(offset), m.rows))
+	}
+	for r := 0; r < m.rows; r++ {
+		s, o, e := QuantizeRow(m.Row(r), src[r*m.cols:(r+1)*m.cols])
+		scale[r], offset[r] = s, o
+		if e > maxErr {
+			maxErr = e
+		}
+		if s > maxScale {
+			maxScale = s
+		}
+		if ao := math.Abs(o); ao > maxAbsOffset {
+			maxAbsOffset = ao
+		}
+	}
+	return maxErr, maxScale, maxAbsOffset
+}
