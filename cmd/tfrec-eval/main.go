@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/infer"
 	"repro/internal/model"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	catDepth := flag.Int("cat-depth", 1, "taxonomy depth for category metrics")
 	workers := flag.Int("workers", 0, "evaluation goroutines (0 = GOMAXPROCS)")
 	precision := flag.String("precision", "", "top-k scoring precision: f32 (two-stage compact-slab pipeline), f64, int8 (two-stage quantized pipeline), or empty to follow the model file (default f32)")
+	pruned := flag.Bool("pruned", false, "score top-k via the branch-and-bound taxonomy descent (identical metrics; throughput knob)")
 	flag.Parse()
 
 	prec, err := model.ParsePrecision(*precision)
@@ -92,7 +94,8 @@ func main() {
 	if prec == model.PrecisionDefault {
 		prec = c.Precision.Resolve()
 	}
-	tk, err := eval.EvaluateTopKPrecision(c, history, split.Test, *topk, *workers, prec)
+	tk, err := eval.EvaluateTopKPlan(c, history, split.Test, *workers,
+		infer.Plan{K: *topk, Precision: prec.Resolve(), MaxWorkers: 1, Pruned: *pruned})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// slackBuckets are the histogram edges for bound slack, log-spaced: a
+// sample lands in the first bucket whose upper edge exceeds its slack
+// (one extra bucket catches everything >= the last edge). Slack is
+// measured in score units, so the buckets read directly against typical
+// top-k score gaps.
+var slackBuckets = []float64{1e-9, 1e-6, 1e-3, 1e-1, 1, 10}
+
+// depthTightness aggregates, for one taxonomy depth, how tight the
+// Compose()-time subtree score envelopes are: for each node and each
+// probe query, slack = SubtreeBound(node, q) + ItemPruneBound(q) − the
+// max exact score inside the node's subtree — the exact quantity the
+// pruned engine compares against its running threshold (the epsilon
+// absorbs dot-product accumulation-order roundoff). Near-zero slack
+// means the envelope touches the best item; large slack means the
+// branch-and-bound descent must open the node even when its best item is
+// far below the current threshold. A negative slack would mean a broken
+// envelope (the padded bound failed to dominate a score it promises to
+// dominate) — the invariant the pruned engine's exactness rests on.
+type depthTightness struct {
+	Depth   int
+	Nodes   int // nodes with a non-empty subtree at this depth
+	Samples int // node × query measurements
+	Min     float64
+	Max     float64
+	sum     float64
+	Hist    []int // len(slackBuckets)+1 counts
+}
+
+// Mean is the average slack over all samples at this depth.
+func (dt *depthTightness) Mean() float64 {
+	if dt.Samples == 0 {
+		return 0
+	}
+	return dt.sum / float64(dt.Samples)
+}
+
+func (dt *depthTightness) add(slack float64) {
+	if dt.Samples == 0 || slack < dt.Min {
+		dt.Min = slack
+	}
+	if dt.Samples == 0 || slack > dt.Max {
+		dt.Max = slack
+	}
+	dt.sum += slack
+	dt.Samples++
+	b := 0
+	for b < len(slackBuckets) && slack >= slackBuckets[b] {
+		b++
+	}
+	dt.Hist[b]++
+}
+
+// boundTightness probes the subtree envelopes with seeded standard-normal
+// queries and returns one tightness aggregate per taxonomy depth (root =
+// depth 0, leaf nodes = the deepest). Each probe scores the whole catalog
+// exactly once, then walks every node's DFS span for the subtree max, so
+// cost is O(queries × (numItems·K + numItems·depth)). Nodes with empty
+// subtrees (childless interior nodes) carry no items and are skipped,
+// mirroring the pruned descent, which never evaluates their bounds.
+func boundTightness(c *model.Composed, queries int, seed uint64) []depthTightness {
+	ix := c.Index
+	tree := c.Tree
+	rng := vecmath.NewRNG(seed)
+	q := make([]float64, c.K())
+	scores := make([]float64, c.NumItems())
+	dfs := ix.DFSItems()
+	out := make([]depthTightness, tree.Depth()+1)
+	for d := range out {
+		out[d].Depth = d
+		out[d].Hist = make([]int, len(slackBuckets)+1)
+		for _, node := range tree.Level(d) {
+			if lo, hi := ix.DFSSpan(int(node)); lo != hi {
+				out[d].Nodes++
+			}
+		}
+	}
+	for qi := 0; qi < queries; qi++ {
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		ix.ItemScoresInto(q, scores)
+		eps := ix.ItemPruneBound(q)
+		for d := range out {
+			for _, node := range tree.Level(d) {
+				lo, hi := ix.DFSSpan(int(node))
+				if lo == hi {
+					continue
+				}
+				best := math.Inf(-1)
+				for _, item := range dfs[lo:hi] {
+					if s := scores[item]; s > best {
+						best = s
+					}
+				}
+				out[d].add(ix.SubtreeBound(int(node), q) + eps - best)
+			}
+		}
+	}
+	return out
+}
+
+// printBoundTightness renders the per-depth aggregates as a table plus a
+// compact histogram line per depth.
+func printBoundTightness(w io.Writer, queries int, depths []depthTightness) {
+	fmt.Fprintf(w, "\nsubtree bound tightness over %d random queries (slack = padded bound − subtree max score):\n", queries)
+	for i := range depths {
+		dt := &depths[i]
+		if dt.Samples == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  depth %d (%7d nodes): min %.3g  mean %.3g  max %.3g\n",
+			dt.Depth, dt.Nodes, dt.Min, dt.Mean(), dt.Max)
+		fmt.Fprintf(w, "    slack histogram:")
+		prev := 0.0
+		for b, count := range dt.Hist {
+			if count == 0 {
+				if b < len(slackBuckets) {
+					prev = slackBuckets[b]
+				}
+				continue
+			}
+			if b < len(slackBuckets) {
+				fmt.Fprintf(w, "  [%.3g..%.3g) %d", prev, slackBuckets[b], count)
+				prev = slackBuckets[b]
+			} else {
+				fmt.Fprintf(w, "  [>=%.3g] %d", prev, count)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func boundsWorld(t *testing.T) *model.Composed {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{4, 16},
+		Items:          200,
+		Skew:           0.3,
+	}, vecmath.NewRNG(11))
+	m, err := model.New(tree, 3, model.Params{
+		K: 6, TaxonomyLevels: 3, Alpha: 1, InitStd: 0.3, UseBias: true,
+	}, vecmath.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Compose()
+}
+
+// The audit must uphold the envelope invariant (slack >= 0 everywhere),
+// account for every node × query sample, and be seed-deterministic.
+func TestBoundTightness(t *testing.T) {
+	c := boundsWorld(t)
+	const queries = 5
+	depths := boundTightness(c, queries, 99)
+	if len(depths) != c.Tree.Depth()+1 {
+		t.Fatalf("%d depth rows, want %d", len(depths), c.Tree.Depth()+1)
+	}
+	for i := range depths {
+		dt := &depths[i]
+		if dt.Samples != dt.Nodes*queries {
+			t.Fatalf("depth %d: %d samples from %d nodes × %d queries", dt.Depth, dt.Samples, dt.Nodes, queries)
+		}
+		total := 0
+		for _, n := range dt.Hist {
+			total += n
+		}
+		if total != dt.Samples {
+			t.Fatalf("depth %d: histogram holds %d of %d samples", dt.Depth, total, dt.Samples)
+		}
+		if dt.Samples > 0 && dt.Min < 0 {
+			t.Fatalf("depth %d: negative slack %g — envelope does not dominate", dt.Depth, dt.Min)
+		}
+		if dt.Samples > 0 && (dt.Min > dt.Mean() || dt.Mean() > dt.Max) {
+			t.Fatalf("depth %d: min/mean/max out of order: %g %g %g", dt.Depth, dt.Min, dt.Mean(), dt.Max)
+		}
+	}
+	// the root is one node spanning the whole catalog
+	if depths[0].Nodes != 1 || depths[0].Samples != queries {
+		t.Fatalf("root row wrong: %+v", depths[0])
+	}
+	// a leaf node's envelope IS its single item's factor, so leaf slack
+	// collapses to float roundoff
+	leaf := depths[len(depths)-1]
+	if leaf.Max > 1e-6 {
+		t.Fatalf("leaf slack %g should be roundoff-sized", leaf.Max)
+	}
+	again := boundTightness(c, queries, 99)
+	for i := range depths {
+		if depths[i].Min != again[i].Min || depths[i].Max != again[i].Max || depths[i].sum != again[i].sum {
+			t.Fatalf("depth %d: same seed diverged", i)
+		}
+	}
+}
+
+// Interior slack must dominate leaf slack on average: a depth-d envelope
+// maxes each coordinate over its whole subtree, so it is never tighter
+// than its children's.
+func TestBoundTightnessGrowsUpward(t *testing.T) {
+	c := boundsWorld(t)
+	depths := boundTightness(c, 3, 7)
+	leafMean := depths[len(depths)-1].Mean()
+	rootMean := depths[0].Mean()
+	if rootMean < leafMean {
+		t.Fatalf("root mean slack %g below leaf mean %g", rootMean, leafMean)
+	}
+}
+
+func TestPrintBoundTightness(t *testing.T) {
+	c := boundsWorld(t)
+	var buf bytes.Buffer
+	printBoundTightness(&buf, 2, boundTightness(c, 2, 5))
+	out := buf.String()
+	for _, want := range []string{"subtree bound tightness over 2 random queries", "depth 0", "slack histogram:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,15 +1,26 @@
 // Command tfrec-inspect examines a trained model: per-level factor
 // statistics (how much signal each taxonomy level carries), the hierarchy
-// clustering ratio of Figure 7(e), and an optional 2-D embedding export
-// for plotting.
+// clustering ratio of Figure 7(e), an optional 2-D embedding export for
+// plotting, and (-bounds) a tightness audit of the branch-and-bound
+// subtree envelopes.
 //
 // Usage:
 //
 //	tfrec-inspect -model model.gob
 //	tfrec-inspect -model model.gob -embed coords.tsv -method tsne
+//	tfrec-inspect -model model.gob -bounds 20
 //
 // The embedding TSV has columns: node, depth, parent, x, y — one row per
 // taxonomy node of the upper three levels, ready for any plotting tool.
+//
+// -bounds N probes the Compose()-time subtree score envelopes with N
+// seeded random queries and prints, per taxonomy depth, a histogram of
+// slack = SubtreeBound(node, q) − max exact score in the subtree. Tight
+// envelopes (slack concentrated near zero) are what let the pruned
+// engine (-pruned on tfrec-serve/recommend/eval) skip subtrees; a model
+// whose slack is large at every depth will see the descent fall back to
+// the dense sweep. Negative slack would mean a broken envelope and is
+// reported as a hard error.
 package main
 
 import (
@@ -31,7 +42,8 @@ func main() {
 	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
 	embedPath := flag.String("embed", "", "write a 2-D embedding TSV of the upper-level factors")
 	method := flag.String("method", "auto", "embedding method: tsne|pca|auto")
-	seed := flag.Uint64("seed", 7, "random seed for PCA/t-SNE")
+	seed := flag.Uint64("seed", 7, "random seed for PCA/t-SNE and -bounds probes")
+	bounds := flag.Int("bounds", 0, "audit branch-and-bound envelope tightness over this many random queries (0 = skip)")
 	flag.Parse()
 
 	mf, err := os.Open(*modelPath)
@@ -65,6 +77,16 @@ func main() {
 			}
 		}
 		fmt.Printf("  depth %d (%7d nodes): mean %.4f  max %.4f\n", d, len(level), sum/float64(len(level)), max)
+	}
+
+	if *bounds > 0 {
+		depths := boundTightness(c, *bounds, *seed)
+		printBoundTightness(os.Stdout, *bounds, depths)
+		for i := range depths {
+			if depths[i].Samples > 0 && depths[i].Min < 0 {
+				log.Fatalf("depth %d: negative slack %g — a subtree envelope failed to dominate its own scores", depths[i].Depth, depths[i].Min)
+			}
+		}
 	}
 
 	maxDepth := 3

@@ -12,8 +12,9 @@
 // a separate class, distinguished from real errors and timeouts.
 //
 // The request mix comes from a scenario file (-scenario, JSON) weighting
-// strategies, precisions, filters and pagination; without one a built-in
-// mix of naive/cascade/diversified/filtered traffic runs. Model shape
+// strategies, precisions, pruned retrieval, filters and pagination;
+// without one a built-in mix of naive/pruned/cascade/diversified/filtered
+// traffic runs. Model shape
 // (user count, item count, Markov order) is discovered from /v1/stats.
 //
 // Usage:
@@ -53,6 +54,7 @@ type scenario struct {
 	MaxPerCategory   int     `json:"max_per_category"` // diversified quota
 	CatDepth         int     `json:"cat_depth"`
 	Precision        string  `json:"precision"` // "", "f32", "f64", "int8" (query param)
+	Pruned           bool    `json:"pruned"`    // branch-and-bound taxonomy descent (query param)
 	Session          bool    `json:"session"`   // user = -1 (needs markov_order > 0)
 	ExcludePurchased bool    `json:"exclude_purchased"`
 	// Categories/ExcludeCategories name taxonomy node ids; ids are taken
@@ -76,6 +78,7 @@ func defaultScenarios() []scenario {
 		{Name: "naive", Weight: 6},
 		{Name: "naive-f64", Weight: 1, Precision: "f64"},
 		{Name: "naive-int8", Weight: 1, Precision: "int8"},
+		{Name: "naive-pruned", Weight: 1, Pruned: true},
 		{Name: "paged", Weight: 1, Offset: 5},
 		{Name: "cascade", Weight: 1, Strategy: "cascade", Keep: 0.4},
 		{Name: "diversified", Weight: 1, Strategy: "diversified", MaxPerCategory: 2},
@@ -164,8 +167,13 @@ func buildRequest(rng *rand.Rand, sc scenario, info modelInfo, defaultK int) (st
 	}
 	raw, _ := json.Marshal(body)
 	path := "/v1/recommend"
+	sep := "?"
 	if sc.Precision != "" {
-		path += "?precision=" + sc.Precision
+		path += sep + "precision=" + sc.Precision
+		sep = "&"
+	}
+	if sc.Pruned {
+		path += sep + "pruned=true"
 	}
 	return path, raw
 }

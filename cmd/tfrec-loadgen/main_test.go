@@ -68,6 +68,15 @@ func TestBuildRequestShapes(t *testing.T) {
 	if body.User != -1 || len(body.Recent) != 2 || body.K != 10 {
 		t.Fatalf("session body wrong: %+v", body)
 	}
+	// pruned rides as a query parameter, composing with precision
+	path, _ = buildRequest(rng, scenario{Pruned: true}, info, 5)
+	if path != "/v1/recommend?pruned=true" {
+		t.Fatalf("pruned not on path: %s", path)
+	}
+	path, _ = buildRequest(rng, scenario{Precision: "int8", Pruned: true}, info, 5)
+	if !strings.Contains(path, "precision=int8") || !strings.Contains(path, "&pruned=true") {
+		t.Fatalf("pruned+precision path wrong: %s", path)
+	}
 	_, raw = buildRequest(rng, scenario{Categories: []int32{25}}, info, 5)
 	if err := json.Unmarshal(raw, &body); err != nil {
 		t.Fatal(err)

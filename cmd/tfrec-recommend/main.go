@@ -46,6 +46,7 @@ func main() {
 	category := flag.String("category", "", "comma-separated taxonomy node ids to restrict results to")
 	excludeCategory := flag.String("exclude-category", "", "comma-separated taxonomy node ids to remove")
 	structured := flag.Bool("structured", false, "print the per-category structured ranking")
+	pruned := flag.Bool("pruned", false, "use taxonomy-guided branch-and-bound retrieval for the naive sweep (byte-identical ranking; reports how much of the catalog the bounds skipped)")
 	flag.Parse()
 
 	prec, err := model.ParsePrecision(*precision)
@@ -140,7 +141,13 @@ func main() {
 		pl.Cascade = &cfg
 	case infer.StrategyDiversified:
 		pl.Diversify = &infer.Diversify{MaxPerCategory: *maxPerCat, CatDepth: *catDepth}
+	default:
+		pl.Pruned = *pruned
 	}
+	if *pruned && strat != infer.StrategyNaive {
+		log.Printf("-pruned applies to the naive sweep only; ignored for -strategy %v", strat)
+	}
+	pruneBefore := infer.PruneCounters()
 
 	var pool *infer.Pool
 	if *workers != 1 {
@@ -157,6 +164,12 @@ func main() {
 	if res.Stats != nil {
 		fmt.Printf("cascaded inference: scored %d/%d nodes (%d leaves)\n",
 			res.Stats.NodesScored, m.Tree.NumNodes(), res.Stats.LeavesScored)
+	}
+	if pl.Pruned {
+		ps := infer.PruneCounters()
+		fmt.Printf("pruned retrieval: skipped %d items in %d subtrees (%d bound evals, %d fallbacks)\n",
+			ps.ItemsPruned-pruneBefore.ItemsPruned, ps.SubtreesPruned-pruneBefore.SubtreesPruned,
+			ps.BoundEvals-pruneBefore.BoundEvals, ps.Fallbacks-pruneBefore.Fallbacks)
 	}
 	printItems(res.Items, *offset)
 }

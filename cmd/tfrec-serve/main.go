@@ -57,6 +57,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently executing recommend requests (0 = unlimited); excess waits briefly, then sheds 429/503 with Retry-After")
 	queueWait := flag.Duration("queue-wait", 10*time.Millisecond, "admission control: how long a request may wait for an execution slot before shedding 503 (queue depth is 2x -max-inflight)")
 	timeout := flag.Duration("timeout", 0, "per-request budget covering queue wait, batch window and sweep (0 = unbounded); a deadline firing mid-sweep sheds 503, never a partial ranking")
+	pruned := flag.Bool("pruned", false, "default naive sweeps to taxonomy-guided branch-and-bound retrieval (rankings stay byte-identical; pruned requests bypass batch coalescing)")
 	flag.Parse()
 
 	prec, err := model.ParsePrecision(*precision)
@@ -67,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec), serve.WithCache(*cacheSize)}
+	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec), serve.WithCache(*cacheSize), serve.WithPruned(*pruned)}
 	if *dataDir != "" {
 		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
 		if err != nil {
@@ -107,8 +108,8 @@ func main() {
 		}()
 		log.Printf("pprof on %s/debug/pprof/", *debugAddr)
 	}
-	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, batching max=%d window=%s, cache=%d, max-inflight=%d, timeout=%s",
-		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *batchMax, *batchWindow, *cacheSize, *maxInflight, *timeout)
+	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, pruned=%v, batching max=%d window=%s, cache=%d, max-inflight=%d, timeout=%s",
+		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *pruned, *batchMax, *batchWindow, *cacheSize, *maxInflight, *timeout)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

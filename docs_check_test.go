@@ -1,0 +1,169 @@
+package tfrec
+
+// The documentation suite: README.md and DESIGN.md are load-bearing —
+// they are the map other people navigate the serving stack by — so CI
+// treats them like code (the `docs` job). Two things are enforced:
+//
+//  1. every Go code fence must parse as Go (a whole file, a set of
+//     declarations, or a statement snippet), so examples cannot rot
+//     into pseudo-code;
+//  2. every intra-repo link and backtick file reference must point at a
+//     file that exists, so renames and deletions cannot strand readers.
+//
+// References to runtime artifacts the repo intentionally does not carry
+// (generated data, model files) are excluded by extension.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents under contract.
+var docFiles = []string{"README.md", "DESIGN.md"}
+
+// goFences extracts the body of every ```go fence. Fences open and
+// close on lines whose trimmed content starts with ``` — the documents
+// keep fence markers at line starts, which docsFenceDiscipline pins.
+func goFences(t *testing.T, text string) []string {
+	t.Helper()
+	var out []string
+	var cur []string
+	inGo, inFence := false, false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if inFence {
+				if inGo {
+					out = append(out, strings.Join(cur, "\n"))
+					cur = cur[:0]
+				}
+				inFence, inGo = false, false
+			} else {
+				inFence = true
+				inGo = trimmed == "```go"
+			}
+			continue
+		}
+		if inGo {
+			cur = append(cur, line)
+		}
+	}
+	if inFence {
+		t.Error("unclosed code fence")
+	}
+	return out
+}
+
+// parseAsGo accepts a fence if it parses as a full file, as a set of
+// top-level declarations, or as statements inside a function body —
+// the three shapes prose examples take.
+func parseAsGo(src string) error {
+	try := func(wrapped string) error {
+		_, err := parser.ParseFile(token.NewFileSet(), "fence.go", wrapped, parser.SkipObjectResolution)
+		return err
+	}
+	if try(src) == nil {
+		return nil
+	}
+	if try("package p\n"+src) == nil {
+		return nil
+	}
+	return try("package p\nfunc _() {\n" + src + "\n}")
+}
+
+func TestDocsGoFencesCompile(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fence := range goFences(t, string(raw)) {
+			if err := parseAsGo(fence); err != nil {
+				t.Errorf("%s: go fence #%d does not parse: %v\n%s", doc, i+1, err, fence)
+			}
+		}
+	}
+}
+
+// docRefPattern matches backtick-quoted repo file references and the
+// targets of markdown links. Runtime artifacts (generated data, model
+// files, scratch names) are excluded by extension below.
+var (
+	backtickRef = regexp.MustCompile("`([A-Za-z0-9_./-]+\\.(?:go|md|json|yml|conf))`")
+	mdLink      = regexp.MustCompile(`\]\(([^)#][^)]*)\)`)
+)
+
+// resolveRef reports whether a referenced path exists in the repo. Docs
+// refer to internal packages Go-style without the internal/ prefix
+// (`infer/exec.go`), so that root is tried too; bare filenames that sit
+// in a package directory resolve via glob.
+func resolveRef(ref string) bool {
+	if _, err := os.Stat(ref); err == nil {
+		return true
+	}
+	if _, err := os.Stat(filepath.Join("internal", ref)); err == nil {
+		return true
+	}
+	if !strings.Contains(ref, "/") {
+		for _, pat := range []string{"internal/*/" + ref, "cmd/*/" + ref} {
+			if m, _ := filepath.Glob(pat); len(m) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestDocsIntraRepoRefs(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		seen := map[string]bool{}
+		for _, m := range backtickRef.FindAllStringSubmatch(text, -1) {
+			ref := m[1]
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			if !resolveRef(ref) {
+				t.Errorf("%s: reference `%s` points at nothing in the repo", doc, ref)
+			}
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target != "" && !resolveRef(target) {
+				t.Errorf("%s: link target %q points at nothing in the repo", doc, target)
+			}
+		}
+	}
+}
+
+// docsFenceDiscipline: the fence extractor above assumes fence markers
+// start their (trimmed) line. An inline triple-backtick span mid-prose
+// would desynchronize it, so require any line containing ``` to start
+// with it.
+func TestDocsFenceDiscipline(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, line := range strings.Split(string(raw), "\n") {
+			if i := strings.Index(line, "```"); i >= 0 && !strings.HasPrefix(strings.TrimSpace(line), "```") {
+				t.Errorf("%s:%d: inline ``` would desynchronize fence scanning: %q", doc, n+1, line)
+			}
+		}
+	}
+}

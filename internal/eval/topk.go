@@ -55,6 +55,18 @@ func EvaluateTopKWorkers(c *model.Composed, history, test *dataset.Dataset, k, w
 // the f32 pipeline's rankings are byte-identical — so the knob only
 // moves evaluation throughput.
 func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k, workers int, prec model.Precision) (TopKResult, error) {
+	return EvaluateTopKPlan(c, history, test, workers, infer.Plan{K: k, Precision: prec.Resolve(), MaxWorkers: 1})
+}
+
+// EvaluateTopKPlan is the fully general entry point: the caller supplies
+// the per-user plan (precision, pruned retrieval, filters) and the
+// evaluator shards users over workers goroutines, running one copy of the
+// plan per user. Plan.K must be positive; MaxWorkers should stay 1 —
+// users are already sharded over goroutines here, so the per-query sweep
+// stays serial. Every ranking-equivalent plan (any precision, pruned or
+// dense) yields identical metrics; the choice only moves throughput.
+func EvaluateTopKPlan(c *model.Composed, history, test *dataset.Dataset, workers int, pl infer.Plan) (TopKResult, error) {
+	k := pl.K
 	if k <= 0 {
 		return TopKResult{}, fmt.Errorf("eval: k must be positive, got %d", k)
 	}
@@ -67,9 +79,6 @@ func EvaluateTopKPrecision(c *model.Composed, history, test *dataset.Dataset, k,
 	if workers < 1 {
 		workers = 1
 	}
-	// one single-threaded plan per worker; users are already sharded over
-	// goroutines here, so the per-query sweep stays serial
-	pl := infer.Plan{K: k, Precision: prec.Resolve(), MaxWorkers: 1}
 	partials := make([]TopKResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"repro/internal/infer"
+	"repro/internal/model"
 	"testing"
 )
 
@@ -64,6 +66,31 @@ func TestEvaluateTopKWorkersMatchesSerial(t *testing.T) {
 			diffAbs(got.HitRate, want.HitRate) > tol || diffAbs(got.NDCG, want.NDCG) > tol {
 			t.Fatalf("workers=%d: metrics diverged: %+v vs %+v", workers, got, want)
 		}
+	}
+}
+
+// Pruned retrieval is ranking-identical to the dense sweep, so every
+// metric must match EXACTLY (same per-user pages, same reduction order).
+func TestEvaluateTopKPlanPrunedMatchesDense(t *testing.T) {
+	c, hist, test := buildTrainedWorld(t)
+	for _, prec := range []model.Precision{model.PrecisionF64, model.PrecisionF32, model.PrecisionInt8} {
+		dense := infer.Plan{K: 10, Precision: prec, MaxWorkers: 1}
+		pruned := dense
+		pruned.Pruned = true
+		want, err := EvaluateTopKPlan(c, hist, test, 3, dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateTopKPlan(c, hist, test, 3, pruned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prec %v: pruned metrics diverged: %+v vs %+v", prec, got, want)
+		}
+	}
+	if _, err := EvaluateTopKPlan(c, hist, test, 1, infer.Plan{}); err == nil {
+		t.Fatal("expected error for k=0 plan")
 	}
 }
 

@@ -200,13 +200,27 @@ func (p *Pool) runSweep32(done <-chan struct{}, ix *model.ScoringIndex, q32 []fl
 // eligible items, at either precision and any fan-out. eligible is the
 // mask's surviving item count (NumItems when mask is nil); the f32
 // escalation loop stops pruning once its candidate budget covers it.
-func (p *Pool) executeNaive(done <-chan struct{}, c *model.Composed, q []float64, prec model.Precision, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream) {
+// pruned routes each precision tier through its branch-and-bound variant
+// (prune.go) — same ranking, sublinear work when the bounds bite.
+func (p *Pool) executeNaive(done <-chan struct{}, c *model.Composed, q []float64, prec model.Precision, maxWorkers int, mask *vecmath.Bitset, eligible int, st *vecmath.TopKStream, pruned bool) {
 	switch prec.Resolve() {
 	case model.PrecisionF32:
+		if pruned {
+			p.prunedF32(done, c, q, maxWorkers, mask, eligible, st, f32OverFetch(st.K()))
+			return
+		}
 		p.naiveF32(done, c, q, maxWorkers, mask, eligible, st, f32OverFetch(st.K()))
 	case model.PrecisionInt8:
+		if pruned {
+			p.prunedI8(done, c, q, maxWorkers, mask, eligible, st, i8OverFetch(st.K()))
+			return
+		}
 		p.naiveI8(done, c, q, maxWorkers, mask, eligible, st, i8OverFetch(st.K()))
 	default:
+		if pruned {
+			p.prunedF64(done, c, q, maxWorkers, mask, eligible, st)
+			return
+		}
 		p.runSweep(done, c.Index, q, mask, maxWorkers, st)
 	}
 }

@@ -229,7 +229,7 @@ func separated(st *vecmath.TopKStream, cand *vecmath.TopKStream32, eps float64) 
 // Deprecated: build a Plan with model.PrecisionF32 and call
 // Execute/ExecuteInto.
 func NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream) {
-	(*Pool)(nil).executeNaive(nil, c, q, model.PrecisionF32, 1, nil, c.Index.NumItems(), st)
+	(*Pool)(nil).executeNaive(nil, c, q, model.PrecisionF32, 1, nil, c.Index.NumItems(), st, false)
 }
 
 // NaiveF32 scores every item through the two-stage pipeline and returns

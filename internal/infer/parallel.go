@@ -40,6 +40,7 @@ type Pool struct {
 	leaves    sync.Pool // *leafTask
 	divs      sync.Pool // *divTask
 	multis    sync.Pool // *multiTask
+	prunes    sync.Pool // *pruneTask
 	closeOnce sync.Once
 }
 
@@ -273,7 +274,7 @@ func (p *Pool) getSweepTask() *sweepTask {
 //
 // Deprecated: build a Plan and call Execute/ExecuteInto.
 func (p *Pool) NaiveInto(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	p.executeNaive(nil, c, q, model.PrecisionF64, maxWorkers, nil, c.Index.NumItems(), st)
+	p.executeNaive(nil, c, q, model.PrecisionF64, maxWorkers, nil, c.Index.NumItems(), st, false)
 }
 
 // Naive returns the top-k items by parallel full sweep — the drop-in
@@ -298,7 +299,7 @@ func (p *Pool) Naive(c *model.Composed, q []float64, k, maxWorkers int) []vecmat
 // Deprecated: build a Plan with model.PrecisionF32 and call
 // Execute/ExecuteInto.
 func (p *Pool) NaiveF32Into(c *model.Composed, q []float64, st *vecmath.TopKStream, maxWorkers int) {
-	p.executeNaive(nil, c, q, model.PrecisionF32, maxWorkers, nil, c.Index.NumItems(), st)
+	p.executeNaive(nil, c, q, model.PrecisionF32, maxWorkers, nil, c.Index.NumItems(), st, false)
 }
 
 // NaiveF32 returns the exact top-k via the sharded two-stage pipeline.

@@ -136,6 +136,13 @@ type Plan struct {
 	Diversify *Diversify
 	// Filter restricts the eligible items; nil passes the whole catalog.
 	Filter *Filter
+	// Pruned runs the naive sweep as a taxonomy-guided branch-and-bound
+	// descent (prune.go): subtrees whose certified score bound cannot
+	// reach the current k-th heap score are skipped. Rankings stay
+	// byte-identical to the dense path at every precision; only the work
+	// changes. Valid only with StrategyNaive — the other strategies have
+	// no full-catalog sweep to prune.
+	Pruned bool
 }
 
 // Validate checks the plan against a snapshot. It is deliberately
@@ -153,6 +160,9 @@ func (pl Plan) Validate(c *model.Composed) error {
 	}
 	if pl.MaxWorkers < 0 {
 		return fmt.Errorf("infer: plan MaxWorkers must be non-negative, got %d", pl.MaxWorkers)
+	}
+	if pl.Pruned && pl.Strategy != StrategyNaive {
+		return fmt.Errorf("infer: pruned retrieval applies only to naive plans, got strategy %v", pl.Strategy)
 	}
 	switch pl.Strategy {
 	case StrategyNaive:
@@ -281,7 +291,7 @@ func (p *Pool) execInto(ctx context.Context, c *model.Composed, q []float64, pl 
 			return Result{}, err
 		}
 	default:
-		p.executeNaive(done, c, q, pl.Precision, pl.MaxWorkers, mask, eligible, st)
+		p.executeNaive(done, c, q, pl.Precision, pl.MaxWorkers, mask, eligible, st, pl.Pruned)
 	}
 	// one check decides: engines bail cooperatively but quietly, so a
 	// ranking is returned iff the context still holds here — a cancelled
@@ -326,8 +336,8 @@ func (p *Pool) ExecuteBatch(ctx context.Context, c *model.Composed, qs [][]float
 	}
 	prec := pls[0].Precision.Resolve()
 	for i := range pls {
-		if pls[i].Strategy != StrategyNaive || !pls[i].Filter.Empty() {
-			return nil, fmt.Errorf("infer: batch plan %d is not an unfiltered naive plan", i)
+		if pls[i].Strategy != StrategyNaive || !pls[i].Filter.Empty() || pls[i].Pruned {
+			return nil, fmt.Errorf("infer: batch plan %d is not an unfiltered unpruned naive plan", i)
 		}
 		if pls[i].Precision.Resolve() != prec {
 			return nil, fmt.Errorf("infer: batch plan %d resolves to precision %v, batch runs %v", i, pls[i].Precision.Resolve(), prec)

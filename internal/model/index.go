@@ -95,12 +95,36 @@ type ScoringIndex struct {
 	// itemLo/itemHi bound the item ids of node's leaf descendants:
 	// every leaf under node has an item id in [itemLo, itemHi), and
 	// subtreeLeaves counts them. When subtreeLeaves == itemHi − itemLo the
-	// subtree's leaves exactly fill the range — true for every node of a
-	// level-ordered tree like taxonomy.Generate's — and a taxonomy filter
-	// over the node becomes two word-aligned mask operations instead of a
-	// catalog scan.
+	// subtree's leaves exactly fill the range and a taxonomy filter over
+	// the node becomes two word-aligned mask operations instead of a
+	// catalog scan. Interior nodes of generated taxonomies usually do NOT
+	// fill their range — item ids interleave across sibling subtrees — which
+	// is what the depth-first layout below exists to repair.
 	itemLo, itemHi []int32
 	subtreeLeaves  []int32
+
+	// dfsItems lists every item id in depth-first taxonomy order and
+	// dfsLo/dfsHi give each node's span into it, so EVERY subtree — however
+	// interleaved its raw item ids — is one contiguous run of dfsItems.
+	// Child spans partition their parent's span in child order by
+	// construction, the invariant the branch-and-bound engine needs to
+	// visit each item exactly once while descending.
+	dfsItems     []int32 // numItems
+	dfsLo, dfsHi []int32 // numNodes
+
+	// Per-subtree score envelopes for branch-and-bound retrieval, built
+	// eagerly at Compose() time like the item ranges. subLo/subHi hold, per
+	// node and factor dimension, the exact coordinate-wise minimum/maximum
+	// over the item rows of the node's subtree (a leaf's envelope is its own
+	// row; an interior node's is the fold of its children's — comparisons
+	// only, so no rounding enters the envelope itself). subMaxBias holds the
+	// maximum folded bias over the subtree's items. SubtreeBound turns an
+	// envelope into a query-specific upper bound on every item score under
+	// the node; nodes with empty subtrees keep the identity envelope
+	// (+Inf/−Inf) and must not be bounded — the pruned engine never visits
+	// them because their DFS span is empty.
+	subLo, subHi []float64 // numNodes x k
+	subMaxBias   []float64 // numNodes
 }
 
 // buildIndex flattens the composed factor matrices for a taxonomy. Bias is
@@ -169,6 +193,72 @@ func buildIndex(tree *taxonomy.Tree, eff *vecmath.Matrix, effBias *vecmath.Matri
 				ix.itemHi[p] = ix.itemHi[node]
 			}
 			ix.subtreeLeaves[p] += ix.subtreeLeaves[node]
+		}
+	}
+	// depth-first item layout, assigned top-down: the root spans the whole
+	// catalog and each node hands its children consecutive sub-spans sized
+	// by their leaf counts — the order a recursive DFS would visit them in,
+	// without the recursion. A leaf's width-1 span then pins its item into
+	// dfsItems, making every subtree a contiguous run even when raw item
+	// ids interleave across siblings.
+	ix.dfsItems = make([]int32, numItems)
+	ix.dfsLo = make([]int32, numNodes)
+	ix.dfsHi = make([]int32, numNodes)
+	root := tree.Root()
+	ix.dfsHi[root] = ix.subtreeLeaves[root]
+	for d := 0; d < tree.Depth(); d++ {
+		for _, node := range tree.Level(d) {
+			pos := ix.dfsLo[node]
+			for _, ch := range tree.Children(int(node)) {
+				ix.dfsLo[ch] = pos
+				pos += ix.subtreeLeaves[ch]
+				ix.dfsHi[ch] = pos
+			}
+		}
+	}
+	for item := 0; item < numItems; item++ {
+		ix.dfsItems[ix.dfsLo[tree.ItemNode(item)]] = int32(item)
+	}
+	// per-subtree score envelopes, accumulated leaves-up exactly like the
+	// item ranges above: seed each leaf node with its own item row and bias,
+	// then fold children into parents with coordinate-wise min/max. Only
+	// comparisons are involved, so each envelope is the exact coordinate-wise
+	// min/max over the subtree's item rows.
+	ix.subLo = make([]float64, numNodes*k)
+	ix.subHi = make([]float64, numNodes*k)
+	ix.subMaxBias = make([]float64, numNodes)
+	for i := range ix.subLo {
+		ix.subLo[i] = math.Inf(1)
+		ix.subHi[i] = math.Inf(-1)
+	}
+	for node := range ix.subMaxBias {
+		ix.subMaxBias[node] = math.Inf(-1)
+	}
+	for item := 0; item < numItems; item++ {
+		node := tree.ItemNode(item)
+		copy(ix.subLo[node*k:(node+1)*k], ix.itemFactors[item*k:(item+1)*k])
+		copy(ix.subHi[node*k:(node+1)*k], ix.itemFactors[item*k:(item+1)*k])
+		ix.subMaxBias[node] = ix.itemBias[item]
+	}
+	for d := tree.Depth(); d >= 1; d-- {
+		for _, lvlNode := range tree.Level(d) {
+			node := int(lvlNode)
+			p := tree.Parent(node)
+			cLo := ix.subLo[node*k : (node+1)*k]
+			cHi := ix.subHi[node*k : (node+1)*k]
+			pLo := ix.subLo[p*k : (p+1)*k]
+			pHi := ix.subHi[p*k : (p+1)*k]
+			for j := 0; j < k; j++ {
+				if cLo[j] < pLo[j] {
+					pLo[j] = cLo[j]
+				}
+				if cHi[j] > pHi[j] {
+					pHi[j] = cHi[j]
+				}
+			}
+			if ix.subMaxBias[node] > ix.subMaxBias[p] {
+				ix.subMaxBias[p] = ix.subMaxBias[node]
+			}
 		}
 	}
 	ix.shardItems = defaultShardItems(k)
@@ -363,12 +453,73 @@ func errBound32(q []float64, maxF, maxB float64) float64 {
 
 // ItemRange returns the item-id bounds [lo, hi) of node's leaf
 // descendants and whether those leaves exactly fill the range. Contiguous
-// subtrees (every node of a level-ordered generated taxonomy) let a
-// category filter resolve to a single range operation on the item-major
-// layout; non-contiguous ones fall back to an ancestor-column scan.
+// subtrees let a category filter resolve to a single range operation on
+// the item-major layout; non-contiguous ones fall back to an
+// ancestor-column scan (or, in the pruned engine, to a DFSSpan gather).
 func (ix *ScoringIndex) ItemRange(node int) (lo, hi int, contiguous bool) {
 	lo, hi = int(ix.itemLo[node]), int(ix.itemHi[node])
 	return lo, hi, int(ix.subtreeLeaves[node]) == hi-lo
+}
+
+// DFSSpan returns node's span [lo, hi) into the depth-first item order
+// (see DFSItems). Unlike ItemRange, the span is contiguous for EVERY node:
+// hi−lo always equals the subtree's leaf count, and the spans of a node's
+// children partition its own span in child order. An empty span (lo == hi)
+// marks a node with no leaf descendants.
+func (ix *ScoringIndex) DFSSpan(node int) (lo, hi int) {
+	return int(ix.dfsLo[node]), int(ix.dfsHi[node])
+}
+
+// DFSItems returns the catalog's item ids in depth-first taxonomy order as
+// a shared read-only slice: dfsItems[DFSSpan(node)] is exactly the item
+// set of node's subtree, for every node. The branch-and-bound engine
+// gather-scores through it when a subtree's raw item ids interleave with
+// its siblings'.
+func (ix *ScoringIndex) DFSItems() []int32 { return ix.dfsItems }
+
+// SubtreeBound returns an upper bound on ScoreItem(item, q) over every
+// item in node's subtree: the maximum folded bias under the node plus, per
+// factor dimension, the larger of q_j times the envelope's min and max.
+// Since score = bias + Σ_j q_j·v_j and v_j ∈ [subLo_j, subHi_j] for every
+// subtree item row, each term is bounded by max(q_j·subLo_j, q_j·subHi_j)
+// in real arithmetic; the floating-point evaluation here and the item
+// scores both round, which ItemPruneBound's ε absorbs. Callers must only
+// pass nodes with at least one leaf descendant (empty subtrees keep the
+// ±Inf identity envelope).
+func (ix *ScoringIndex) SubtreeBound(node int, q []float64) float64 {
+	lo := ix.subLo[node*ix.k : (node+1)*ix.k : (node+1)*ix.k]
+	hi := ix.subHi[node*ix.k : (node+1)*ix.k : (node+1)*ix.k]
+	b := ix.subMaxBias[node]
+	for j, qj := range q {
+		a, c := qj*lo[j], qj*hi[j]
+		if a > c {
+			b += a
+		} else {
+			b += c
+		}
+	}
+	return b
+}
+
+// ItemPruneBound returns ε such that for every item and every node whose
+// subtree contains it, ScoreItem(item, q) ≤ SubtreeBound(node, q) + ε. The
+// bound dominates in real arithmetic (see SubtreeBound); ε covers the
+// float64 rounding of both the n-term score and the n-term bound
+// evaluation: each is within the standard γ_{n+1} accumulation error of
+// its real value, so their computed difference is within ~2(n+2)·2⁻⁵³ of
+// the real (non-negative) gap. We charge 2⁻⁵⁰ per step — 4x slack — plus a
+// tiny absolute term for subnormals. The branch-and-bound engine prunes a
+// subtree only when its bound plus the serving tier's total ε is strictly
+// below the current k-th heap score, so no pruned item could have entered
+// the heap.
+func (ix *ScoringIndex) ItemPruneBound(q []float64) float64 {
+	ix.ensureBounds()
+	var sumAbs float64
+	for _, v := range q {
+		sumAbs += math.Abs(v)
+	}
+	const u = 1.0 / (1 << 50)
+	return (float64(len(q))+4)*u*(sumAbs*ix.maxAbsItemFactor+ix.maxAbsItemBias) + 1e-300
 }
 
 // MarkSubtree sets (value = true) or clears the mask bit of every item in

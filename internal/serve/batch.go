@@ -161,11 +161,13 @@ func (b *Batcher) run(mb *microBatch) {
 	)
 	for i, req := range mb.reqs {
 		// the multi-query sweep is shared work at one precision and one
-		// visitation pattern, so a request pinning a different precision
-		// or carrying an item filter (as well as the cascaded and
-		// diversified shapes) sub-groups onto the per-request path, where
+		// visitation pattern, so a request pinning a different precision,
+		// carrying an item filter, or asking for the pruned descent (whose
+		// visitation depends on the query) — as well as the cascaded and
+		// diversified shapes — sub-groups onto the per-request path, where
 		// its plan holds in full
 		if req.Cascade != nil || req.MaxPerCategory > 0 || req.hasFilter() ||
+			req.Pruned || b.s.pruned ||
 			(req.Precision != model.PrecisionDefault && req.Precision != batchPrec) {
 			mb.resps[i] = b.s.run(context.Background(), epoch, c, req)
 			continue

@@ -41,7 +41,9 @@ import (
 // exclude_categories, offset) or query parameters (?exclude_purchased=,
 // ?category=3,17, ?exclude_category=, ?offset=; parameters win). Filters
 // apply before the ranking heap, so k items come back even when most of
-// the catalog is filtered out.
+// the catalog is filtered out. A "pruned" field or ?pruned= parameter
+// turns on taxonomy-guided branch-and-bound retrieval for naive sweeps;
+// rankings are byte-identical either way (see infer.Plan.Pruned).
 //
 // Reload hot-swaps a retrained snapshot: in-flight requests finish on the
 // snapshot they loaded, new requests see the new one (Server.Update is an
@@ -200,6 +202,8 @@ type wireRequest struct {
 	Categories        []int32 `json:"categories"`
 	ExcludeCategories []int32 `json:"exclude_categories"`
 	Offset            int     `json:"offset"`
+	// pruned turns on branch-and-bound retrieval for naive sweeps
+	Pruned bool `json:"pruned"`
 }
 
 type wireItem struct {
@@ -222,6 +226,7 @@ func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, 
 		ExcludePurchased:  wr.ExcludePurchased,
 		Categories:        wr.Categories,
 		ExcludeCategories: wr.ExcludeCategories,
+		Pruned:            wr.Pruned,
 	}
 	for _, b := range wr.Recent {
 		req.Recent = append(req.Recent, dataset.Basket(b))
@@ -312,6 +317,15 @@ func queryParams(r *http.Request, req *Request) error {
 		}
 		req.Offset = n
 	}
+	// ?pruned=true turns on branch-and-bound retrieval (rankings are
+	// byte-identical; the knob trades batch coalescing for sublinear sweeps)
+	if ps := qv.Get("pruned"); ps != "" {
+		v, err := strconv.ParseBool(ps)
+		if err != nil {
+			return fmt.Errorf("bad pruned parameter %q", ps)
+		}
+		req.Pruned = v
+	}
 	return nil
 }
 
@@ -373,7 +387,8 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 		batchable := req.Precision == model.PrecisionDefault ||
 			req.Precision == h.srv.effectivePrecision(c, Request{})
 		if h.batcher != nil && req.Workers == 0 && batchable && !req.hasFilter() &&
-			req.Cascade == nil && req.MaxPerCategory <= 0 {
+			req.Cascade == nil && req.MaxPerCategory <= 0 &&
+			!req.Pruned && !h.srv.pruned {
 			// probe the cache before joining a batch: a hot key must not
 			// pay the coalescing window for a result that is already sitting
 			// in memory (the batcher fills the same epoch-stamped cache)
@@ -487,6 +502,18 @@ type statsResponse struct {
 			Category         int64 `json:"category"`
 			Paged            int64 `json:"paged"`
 		} `json:"filters"`
+		// Pruning mirrors infer.PruneCounters: how much dense-sweep work
+		// the branch-and-bound descents saved (items_pruned versus the
+		// catalog size), what they spent (bound_evals), and how often a
+		// pruned plan degraded to the dense sweep (fallbacks). All zero
+		// until a request (or the server default) asks for pruning.
+		Pruning struct {
+			SubtreesPruned int64 `json:"subtrees_pruned"`
+			ItemsPruned    int64 `json:"items_pruned"`
+			BoundEvals     int64 `json:"bound_evals"`
+			Fallbacks      int64 `json:"fallbacks"`
+			Default        bool  `json:"default"`
+		} `json:"pruning"`
 	} `json:"inference"`
 	// Cache is present when the server was built with WithCache; HTTPHits
 	// counts hits served by this handler (including batch-bypass probes).
@@ -529,6 +556,12 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Inference.F32Escalations = infer.F32Escalations()
 	out.Inference.I8Escalations = infer.I8Escalations()
 	out.Inference.Filters.ExcludePurchased, out.Inference.Filters.Category, out.Inference.Filters.Paged = h.srv.FilterStats()
+	ps := infer.PruneCounters()
+	out.Inference.Pruning.SubtreesPruned = ps.SubtreesPruned
+	out.Inference.Pruning.ItemsPruned = ps.ItemsPruned
+	out.Inference.Pruning.BoundEvals = ps.BoundEvals
+	out.Inference.Pruning.Fallbacks = ps.Fallbacks
+	out.Inference.Pruning.Default = h.srv.pruned
 	if h.batcher != nil {
 		out.Inference.Batching = true
 		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()
