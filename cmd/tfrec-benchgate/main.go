@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // baseline is the committed reference: per-bench median ns/op from a
@@ -284,7 +285,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	meas := medians(samples)
 
 	if *update {
-		base.Note = "Median ns/op from `go test -run '^$' -bench '^(BenchmarkTopK|BenchmarkSharded|BenchmarkServe|BenchmarkExecuteDeadline|BenchmarkQuantize)' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware; the speedups entries additionally gate parallel scaling itself on machines with enough cores."
+		base.Note = "Median ns/op from `go test -run '^$' -bench '^(BenchmarkTopK|BenchmarkSharded|BenchmarkServe|BenchmarkExecuteDeadline|BenchmarkQuantize|BenchmarkLoad)' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware; the speedups entries additionally gate parallel scaling itself on machines with enough cores. The BenchmarkLoad pair is speedup-gated only (no absolute ns/op entry): its world is sized by TFREC_LOADBENCH_ITEMS, so raw times are not comparable across runs."
 		if base.Canary == "" {
 			base.Canary = "BenchmarkTopKIndexStreaming"
 		}
@@ -338,6 +339,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				// where the shared-bandwidth advantage widens the gap
 				{Slow: "BenchmarkTopKI8BatchLoop/batch=8", Fast: "BenchmarkTopKI8BatchSweep/batch=8", Min: 1.3, MinProcs: 2},
 				{Slow: "BenchmarkTopKF32Saturated", Fast: "BenchmarkTopKI8Saturated", Min: 1.3, MinProcs: 4},
+				// the v4 flat format's whole point: memory-mapped startup
+				// must beat the gob decode+Compose path >=20x on the CI
+				// bench job's million-item world (measured ~77x; the gob
+				// path scales with the catalog, the mmap path only with
+				// file checksumming)
+				{Slow: "BenchmarkLoadGob", Fast: "BenchmarkLoadMmap", Min: 20.0, MinProcs: 1},
 			} {
 				if _, okSlow := meas[s.Slow]; !okSlow {
 					continue
@@ -346,6 +353,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 					continue
 				}
 				base.Speedups = append(base.Speedups, s)
+			}
+		}
+		// the load pair's world is sized by TFREC_LOADBENCH_ITEMS, so its
+		// raw times mean nothing across runs — it is speedup-gated only
+		// and must never get an absolute ns/op entry
+		for name := range meas {
+			if strings.HasPrefix(name, "BenchmarkLoad") {
+				delete(meas, name)
 			}
 		}
 		base.NsPerOp = meas

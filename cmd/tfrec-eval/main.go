@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tfrec-eval: ")
 
-	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	modelPath := flag.String("model", "model.tfrec", "model file from tfrec-train")
 	dataDir := flag.String("data", "data", "directory with purchases.tsv")
 	mu := flag.Float64("mu", 0.5, "train fraction of the mu-split")
 	splitSeed := flag.Uint64("split-seed", 1, "split seed (must match training)")

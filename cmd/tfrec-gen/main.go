@@ -6,7 +6,11 @@
 //	tfrec-gen -out data/ -users 2000 -items 2400 -levels 6,24,96 -seed 42
 //
 // It writes <out>/taxonomy.txt and <out>/purchases.tsv plus a summary of
-// the Figure-5 dataset statistics to stdout.
+// the Figure-5 dataset statistics to stdout. With -model it additionally
+// writes a randomly initialized (untrained) model over the generated
+// taxonomy in the legacy gob layout — a seed for tfrec-convert and for
+// load-path benchmarks that need a model file of a given catalog size
+// without paying for training.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/synth"
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
@@ -37,6 +42,8 @@ func main() {
 	coldFrac := flag.Float64("cold-frac", 0.08, "fraction of items released late (cold start)")
 	skew := flag.Float64("skew", 0.5, "taxonomy fan-out skew (Zipf exponent)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	modelPath := flag.String("model", "", "also write a random-init model over the generated taxonomy in the legacy gob layout (empty = skip)")
+	modelK := flag.Int("model-k", 8, "factor dimensionality of the -model file")
 	flag.Parse()
 
 	levelSizes, err := parseLevels(*levels)
@@ -71,6 +78,21 @@ func main() {
 	}
 	if err := writeFile(filepath.Join(*out, "purchases.tsv"), logData.WriteTSV); err != nil {
 		log.Fatalf("write purchases: %v", err)
+	}
+
+	if *modelPath != "" {
+		m, err := model.New(tree, *users, model.Params{
+			K: *modelK, TaxonomyLevels: tree.Depth(), MarkovOrder: 1,
+			Alpha: 1, InitStd: 0.1, UseBias: true,
+		}, vecmath.NewRNG(*seed+2))
+		if err != nil {
+			log.Fatalf("model: %v", err)
+		}
+		if err := writeFile(*modelPath, m.SaveGob); err != nil {
+			log.Fatalf("write model: %v", err)
+		}
+		fmt.Printf("wrote %s (random-init, %d users x %d items, K=%d, legacy gob layout)\n",
+			*modelPath, *users, tree.NumItems(), *modelK)
 	}
 
 	split := logData.Split(dataset.DefaultSplitConfig())

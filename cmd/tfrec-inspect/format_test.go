@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/taxonomy"
+	"repro/internal/vecmath"
+)
+
+func formatWorld(t *testing.T) *model.TF {
+	t.Helper()
+	tree := taxonomy.MustGenerate(taxonomy.GenConfig{
+		CategoryLevels: []int{3, 9},
+		Items:          60,
+		Skew:           0.3,
+	}, vecmath.NewRNG(21))
+	m, err := model.New(tree, 4, model.Params{
+		K: 5, TaxonomyLevels: 3, Alpha: 1, InitStd: 0.3, UseBias: true,
+	}, vecmath.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A v4 flat file's report must show the format version, every section
+// with its 64-byte alignment, and the residency of the mapped snapshot.
+func TestFormatReportV4(t *testing.T) {
+	m := formatWorld(t)
+	path := filepath.Join(t.TempDir(), "m.tfrec")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := model.InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	formatReport(&buf, info)
+	out := buf.String()
+	for _, want := range []string{
+		"format v4 (TFRECMDL flat, memory-mappable)",
+		"sections (" /* count varies with the section set */, ")",
+		"meta", "index.itemFactors", "index.nodeI8", "tree.itemNode",
+		"64B-aligned",
+		"payload",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISALIGNED") {
+		t.Fatalf("Save produced a misaligned section:\n%s", out)
+	}
+
+	sn, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	buf.Reset()
+	residencyReport(&buf, sn)
+	out = buf.String()
+	if sn.Mapped {
+		if !strings.Contains(out, "memory-mapped") {
+			t.Fatalf("mapped snapshot not reported as mapped:\n%s", out)
+		}
+	} else if !strings.Contains(out, "heap-backed") {
+		t.Fatalf("unmapped snapshot not reported as heap-backed:\n%s", out)
+	}
+}
+
+// Legacy gob files must still be reported honestly: their format version
+// (no section table exists to print) and a heap-backed snapshot.
+func TestFormatReportGobFallback(t *testing.T) {
+	m := formatWorld(t)
+	path := filepath.Join(t.TempDir(), "m.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveGob(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := model.InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	formatReport(&buf, info)
+	if !strings.Contains(buf.String(), "(gob)") {
+		t.Fatalf("gob file not reported as gob:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "sections") {
+		t.Fatalf("gob file reported with a section table:\n%s", buf.String())
+	}
+
+	sn, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	buf.Reset()
+	residencyReport(&buf, sn)
+	if !strings.Contains(buf.String(), "heap-backed") {
+		t.Fatalf("gob snapshot must be heap-backed:\n%s", buf.String())
+	}
+	if sn.Mapped {
+		t.Fatal("gob snapshot claims to be memory-mapped")
+	}
+}

@@ -1,4 +1,7 @@
-// Command tfrec-inspect examines a trained model: per-level factor
+// Command tfrec-inspect examines a trained model: the on-disk format
+// (version, and for v4 flat files the per-section sizes, alignment and
+// checksums plus whether the serving snapshot is memory-mapped or
+// heap-backed and how many mapped pages are resident), per-level factor
 // statistics (how much signal each taxonomy level carries), the hierarchy
 // clustering ratio of Figure 7(e), an optional 2-D embedding export for
 // plotting, and (-bounds) a tightness audit of the branch-and-bound
@@ -6,9 +9,9 @@
 //
 // Usage:
 //
-//	tfrec-inspect -model model.gob
-//	tfrec-inspect -model model.gob -embed coords.tsv -method tsne
-//	tfrec-inspect -model model.gob -bounds 20
+//	tfrec-inspect -model model.tfrec
+//	tfrec-inspect -model model.tfrec -embed coords.tsv -method tsne
+//	tfrec-inspect -model model.tfrec -bounds 20
 //
 // The embedding TSV has columns: node, depth, parent, x, y — one row per
 // taxonomy node of the upper three levels, ready for any plotting tool.
@@ -39,12 +42,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tfrec-inspect: ")
 
-	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	modelPath := flag.String("model", "model.tfrec", "model file from tfrec-train")
 	embedPath := flag.String("embed", "", "write a 2-D embedding TSV of the upper-level factors")
 	method := flag.String("method", "auto", "embedding method: tsne|pca|auto")
 	seed := flag.Uint64("seed", 7, "random seed for PCA/t-SNE and -bounds probes")
 	bounds := flag.Int("bounds", 0, "audit branch-and-bound envelope tightness over this many random queries (0 = skip)")
 	flag.Parse()
+
+	info, err := model.InspectFile(*modelPath)
+	if err != nil {
+		log.Fatalf("inspect %s: %v", *modelPath, err)
+	}
+	formatReport(os.Stdout, info)
+	sn, err := model.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatalf("load model: %v", err)
+	}
+	residencyReport(os.Stdout, sn)
+	sn.Close()
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -57,6 +72,7 @@ func main() {
 	}
 	tree := m.Tree
 	c := m.Compose()
+	fmt.Println()
 
 	fmt.Printf("model: K=%d taxonomyUpdateLevels=%d markovOrder=%d bias=%v precision=%s\n",
 		m.P.K, m.P.TaxonomyLevels, m.P.MarkovOrder, m.P.UseBias, m.Precision.Resolve())

@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tfrec-recommend: ")
 
-	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	modelPath := flag.String("model", "model.tfrec", "model file from tfrec-train")
 	dataDir := flag.String("data", "data", "directory with purchases.tsv (Markov context and purchase filtering)")
 	user := flag.Int("user", 0, "user id to recommend for")
 	k := flag.Int("k", 10, "number of items to recommend")

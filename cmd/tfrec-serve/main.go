@@ -7,9 +7,17 @@
 //
 // Usage:
 //
-//	tfrec-serve -model model.gob -addr :8080
+//	tfrec-serve -model model.tfrec -addr :8080
 //	curl -d '{"user":17,"k":10}' localhost:8080/v1/recommend/user
-//	kill -HUP $(pidof tfrec-serve)   # after tfrec-train rewrites model.gob
+//	kill -HUP $(pidof tfrec-serve)   # after tfrec-train rewrites model.tfrec
+//
+// A v4 (TFRECMDL flat) model file is memory-mapped and served zero-copy:
+// startup does no Compose pass and no quantization pass, so load time is
+// O(1) in catalog size and resident memory stays flat until request
+// traffic faults slabs in. v1-v3 gob files still load via the legacy
+// decode+compose path. Every load — startup and SIGHUP — logs its
+// duration, the file's format version, whether it is mapped, and the
+// snapshot epoch.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -30,20 +39,20 @@ import (
 	"repro/internal/serve"
 )
 
-func loadModel(path string) (*model.TF, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return model.Load(f)
+// loadSnapshot opens the model file for serving (memory-mapping v4
+// files) and reports how long the load took — the number the flat format
+// exists to shrink.
+func loadSnapshot(path string) (*model.Snapshot, time.Duration, error) {
+	start := time.Now()
+	sn, err := model.LoadFile(path)
+	return sn, time.Since(start), err
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tfrec-serve: ")
 
-	modelPath := flag.String("model", "model.gob", "model file from tfrec-train")
+	modelPath := flag.String("model", "model.tfrec", "model file from tfrec-train (v4 flat files are memory-mapped; gob files load via the legacy path)")
 	dataDir := flag.String("data", "", "directory with purchases.tsv backing ?exclude_purchased= filtering (empty = requests exclude only their own recent baskets)")
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
@@ -64,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := loadModel(*modelPath)
+	sn, loadDur, err := loadSnapshot(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,8 +91,14 @@ func main() {
 		opts = append(opts, serve.WithHistory(data))
 		log.Printf("purchase filtering armed from %s (%d users)", *dataDir, data.NumUsers())
 	}
-	srv := serve.New(m, opts...)
-	h := serve.NewHTTP(srv, func() (*model.TF, error) { return loadModel(*modelPath) })
+	srv := serve.NewSnapshot(sn, opts...)
+	h := serve.NewHTTP(srv, nil)
+	var lastLoad atomic.Int64 // nanoseconds of the most recent reload
+	h.SetSnapshotReload(func() (*model.Snapshot, error) {
+		sn, dur, err := loadSnapshot(*modelPath)
+		lastLoad.Store(int64(dur))
+		return sn, err
+	})
 	if *batchMax > 0 {
 		h.EnableBatching(*batchMax, *batchWindow)
 	}
@@ -108,8 +123,10 @@ func main() {
 		}()
 		log.Printf("pprof on %s/debug/pprof/", *debugAddr)
 	}
+	c := sn.Composed
+	log.Printf("loaded %s in %s: format v%d, mapped=%v, epoch %d", *modelPath, loadDur, sn.Format, sn.Mapped, srv.Epoch())
 	log.Printf("serving %d users x %d items (K=%d) on %s, %d sweep workers, precision %s, pruned=%v, batching max=%d window=%s, cache=%d, max-inflight=%d, timeout=%s",
-		m.NumUsers(), m.NumItems(), m.K(), *addr, srv.Pool().Workers(), srv.Precision(), *pruned, *batchMax, *batchWindow, *cacheSize, *maxInflight, *timeout)
+		c.User.Rows(), c.NumItems(), c.K(), *addr, srv.Pool().Workers(), srv.Precision(), *pruned, *batchMax, *batchWindow, *cacheSize, *maxInflight, *timeout)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -119,7 +136,9 @@ func main() {
 				log.Printf("reload failed, keeping current snapshot: %v", err)
 				continue
 			}
-			log.Printf("reloaded %s", *modelPath)
+			format, mapped := srv.SnapshotInfo()
+			log.Printf("reloaded %s in %s: format v%d, mapped=%v, epoch %d",
+				*modelPath, time.Duration(lastLoad.Load()), format, mapped, srv.Epoch())
 		}
 	}()
 

@@ -32,7 +32,7 @@ func main() {
 	log.SetPrefix("tfrec-train: ")
 
 	dataDir := flag.String("data", "data", "directory with taxonomy.txt and purchases.tsv")
-	out := flag.String("out", "model.gob", "output model file")
+	out := flag.String("out", "model.tfrec", "output model file (written in the v4 memory-mappable flat layout)")
 	k := flag.Int("k", 20, "factor dimensionality K")
 	levels := flag.Int("levels", 4, "taxonomyUpdateLevels U (1 = plain MF)")
 	markov := flag.Int("markov", 0, "maxPrevtransactions B (Markov order)")

@@ -129,11 +129,19 @@ func TestLoadVersion1AndPrecisionRoundTrip(t *testing.T) {
 		if got.Precision != prec {
 			t.Fatalf("round-trip precision %v, want %v", got.Precision, prec)
 		}
-		// rewrite the header as older versions: the payload's extra gob
-		// fields are ignored by construction, so these are exactly the
-		// files older writers produced
+		// rewrite a gob file's header as older versions: the payload's
+		// extra gob fields are ignored by construction, so these are
+		// exactly the files older writers produced
+		var gbuf bytes.Buffer
+		if err := m.SaveGob(&gbuf); err != nil {
+			t.Fatal(err)
+		}
+		graw := gbuf.Bytes()
+		if v := binary.BigEndian.Uint32(graw[len(fileMagic):headerLen]); v != gobFileVersion {
+			t.Fatalf("gob header version %d, want %d", v, gobFileVersion)
+		}
 		for _, v := range []uint32{1, 2} {
-			old := append([]byte(nil), raw...)
+			old := append([]byte(nil), graw...)
 			binary.BigEndian.PutUint32(old[len(fileMagic):], v)
 			mOld, err := Load(bytes.NewReader(old))
 			if err != nil {

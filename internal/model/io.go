@@ -42,7 +42,17 @@ var fileMagic = [8]byte{'T', 'F', 'R', 'E', 'C', 'M', 'D', 'L'}
 //	    quantize to a NaN/Inf scale/offset pair and poison scoring, so
 //	    hostile values are rejected at load time rather than surfacing at
 //	    score time (the finite check applies to older payloads too)
-const fileVersion uint32 = 3
+//	4 — flat memory-mappable layout (see format4.go): little-endian
+//	    64-byte-aligned sections behind a checksummed offset table, with
+//	    every serving structure (composed factors, f32/int8 tiers, DFS
+//	    layout, prune envelopes) precomputed at save time so LoadFile can
+//	    serve zero-copy from a mapping. Save writes v4; SaveGob still
+//	    writes v3 for tooling that needs the gob form, and v1–v3 files
+//	    keep loading through the gob path below
+const fileVersion uint32 = 4
+
+// gobFileVersion is the format SaveGob writes: the last gob-based layout.
+const gobFileVersion uint32 = 3
 
 // headerLen is the magic plus a big-endian uint32 version.
 const headerLen = len(fileMagic) + 4
@@ -62,12 +72,22 @@ type persisted struct {
 	Precision Precision
 }
 
-// Save writes the model (including its taxonomy) to w: the versioned
-// header followed by the gob payload.
+// Save writes the model (including its taxonomy) to w in the current v4
+// flat format: a Compose() pass plus both reduced-precision tiers run at
+// save time, so everything a serving snapshot needs is laid out as
+// checksummed aligned sections and load is O(1) in heap work. Use SaveGob
+// for the legacy gob form.
 func (m *TF) Save(w io.Writer) error {
+	return saveV4(w, sectionsForSave(m, m.Compose()))
+}
+
+// SaveGob writes the model in the v3 gob format — the pre-mmap layout the
+// v1–v3 fallback of Load still reads. The converter, benchmarks and
+// format-migration tests use it; new files should use Save.
+func (m *TF) SaveGob(w io.Writer) error {
 	var header [headerLen]byte
 	copy(header[:], fileMagic[:])
-	binary.BigEndian.PutUint32(header[len(fileMagic):], fileVersion)
+	binary.BigEndian.PutUint32(header[len(fileMagic):], gobFileVersion)
 	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("model: write header: %w", err)
 	}
@@ -99,6 +119,9 @@ func Load(r io.Reader) (*TF, error) {
 		version := binary.BigEndian.Uint32(header[len(fileMagic):])
 		if version > fileVersion {
 			return nil, fmt.Errorf("model: file format version %d is newer than this build supports (max %d)", version, fileVersion)
+		}
+		if version == 4 {
+			return loadV4Heap(r, header)
 		}
 		m, err := decodePersisted(r)
 		switch {

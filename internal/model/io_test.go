@@ -146,11 +146,11 @@ func TestLoadReportsValidationErrorsAccurately(t *testing.T) {
 	if !strings.Contains(err.Error(), "matrix size") {
 		t.Fatalf("validation detail lost: %v", err)
 	}
-	// headered form
+	// headered form (the gob layout, so the last gob format version)
 	var hbuf bytes.Buffer
 	var header [headerLen]byte
 	copy(header[:], fileMagic[:])
-	binary.BigEndian.PutUint32(header[len(fileMagic):], fileVersion)
+	binary.BigEndian.PutUint32(header[len(fileMagic):], gobFileVersion)
 	hbuf.Write(header[:])
 	hbuf.Write(legacyBytes)
 	_, err = Load(&hbuf)

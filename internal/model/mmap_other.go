@@ -1,0 +1,14 @@
+//go:build !unix
+
+package model
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("model: memory mapping unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(data []byte) error { return nil }

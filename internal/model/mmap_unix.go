@@ -1,0 +1,27 @@
+//go:build unix
+
+package model
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so every replica of
+// a model on one host serves from the same page-cache pages. The mapping
+// outlives f's read offset; munmapFile releases it.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("model: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("model: mmap: %w", err)
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,36 @@
+//go:build linux
+
+package model
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Residency reports how many pages of a mapped snapshot are currently
+// resident in memory (faulted in or shared from the page cache) out of
+// the mapping's total — the mapped-vs-heap answer tfrec-inspect prints.
+// It errors for snapshots that are not memory-mapped.
+func (s *Snapshot) Residency() (resident, total int, err error) {
+	if !s.Mapped || len(s.mapping) == 0 {
+		return 0, 0, errors.New("model: snapshot is not memory-mapped")
+	}
+	page := os.Getpagesize()
+	total = (len(s.mapping) + page - 1) / page
+	vec := make([]byte, total)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&s.mapping[0])),
+		uintptr(len(s.mapping)),
+		uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, 0, errno
+	}
+	for _, v := range vec {
+		if v&1 != 0 {
+			resident++
+		}
+	}
+	return resident, total, nil
+}

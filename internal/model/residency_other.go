@@ -1,0 +1,11 @@
+//go:build !linux
+
+package model
+
+import "errors"
+
+// Residency is only implemented on linux (mincore); elsewhere it reports
+// an error and tfrec-inspect omits the residency line.
+func (s *Snapshot) Residency() (resident, total int, err error) {
+	return 0, 0, errors.New("model: page residency unsupported on this platform")
+}

@@ -79,8 +79,9 @@ func (b *Batcher) RecommendContext(ctx context.Context, req Request) ([]vecmath.
 		// a closed batcher still answers — shutdown must not strand late
 		// arrivals — it just stops coalescing them
 		b.mu.Unlock()
-		epoch, c := b.s.pin()
-		resp := b.s.run(ctx, epoch, c, req)
+		epoch, ref := b.s.pin()
+		defer ref.release()
+		resp := b.s.run(ctx, epoch, ref.c, req)
 		return resp.Items, resp.Err
 	}
 	mb := b.cur
@@ -151,7 +152,9 @@ func (b *Batcher) detachLocked(mb *microBatch) {
 // plan batch, everything else runs per-request, all against one snapshot.
 func (b *Batcher) run(mb *microBatch) {
 	defer close(mb.done)
-	epoch, c := b.s.pin()
+	epoch, ref := b.s.pin()
+	defer ref.release()
+	c := ref.c
 	batchPrec := b.s.effectivePrecision(c, Request{})
 	mb.resps = make([]Response, len(mb.reqs))
 	var (

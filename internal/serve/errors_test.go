@@ -160,7 +160,7 @@ func TestPrecisionResolutionOrder(t *testing.T) {
 	if got := s2.Precision(); got != model.PrecisionF32 {
 		t.Fatalf("server option lost to snapshot: %v", got)
 	}
-	c := s2.snap.Load()
+	c := s2.snap.Load().c
 	if got := s2.effectivePrecision(c, Request{Precision: model.PrecisionF64}); got != model.PrecisionF64 {
 		t.Fatalf("request override lost: %v", got)
 	}

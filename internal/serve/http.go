@@ -50,13 +50,17 @@ import (
 // atomic pointer swap, so nothing blocks or drops). cmd/tfrec-serve wires
 // Reload to SIGHUP.
 type HTTP struct {
-	srv     *Server
-	reload  func() (*model.TF, error)
-	start   time.Time
-	batcher *Batcher
-	maxBody int64
-	adm     *admission
-	timeout time.Duration
+	srv *Server
+	// reload produces a fresh trainable model for Reload; reloadSnap, when
+	// set (SetSnapshotReload), takes precedence and produces a loaded
+	// snapshot instead — the zero-Compose mmap reload path.
+	reload     func() (*model.TF, error)
+	reloadSnap func() (*model.Snapshot, error)
+	start      time.Time
+	batcher    *Batcher
+	maxBody    int64
+	adm        *admission
+	timeout    time.Duration
 
 	users       atomic.Int64
 	sessions    atomic.Int64
@@ -143,9 +147,27 @@ func (h *HTTP) EnableBatching(maxBatch int, window time.Duration) {
 	h.batcher = NewBatcher(h.srv, maxBatch, window)
 }
 
+// SetSnapshotReload makes Reload fetch a loaded snapshot (typically
+// model.LoadFile on the model path — the mmap fast path) instead of a
+// trainable model. The server takes ownership of each snapshot; the
+// previous one is released once in-flight requests drain. Call before
+// the handler starts serving.
+func (h *HTTP) SetSnapshotReload(fn func() (*model.Snapshot, error)) {
+	h.reloadSnap = fn
+}
+
 // Reload fetches a retrained model via the reload hook and swaps it in
 // without disturbing in-flight requests.
 func (h *HTTP) Reload() error {
+	if h.reloadSnap != nil {
+		sn, err := h.reloadSnap()
+		if err != nil {
+			return fmt.Errorf("serve: reload: %w", err)
+		}
+		h.srv.UpdateSnapshot(sn)
+		h.reloads.Add(1)
+		return nil
+	}
 	if h.reload == nil {
 		return fmt.Errorf("serve: no reload source configured")
 	}
@@ -366,8 +388,12 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 		// pin one (epoch, snapshot) pair for request translation, cache
 		// identity and execution, so a concurrent hot swap (which may
 		// change taxonomy depth) cannot invalidate a request between the
-		// steps — or stamp its result under the wrong cache epoch
-		epoch, c := h.srv.pin()
+		// steps — or stamp its result under the wrong cache epoch. The
+		// reference also keeps a memory-mapped snapshot mapped until this
+		// request finishes with it.
+		epoch, ref := h.srv.pin()
+		defer ref.release()
+		c := ref.c
 		req, err := wr.toRequest(mode, c)
 		if err != nil {
 			h.fail(w, http.StatusBadRequest, err)
@@ -474,6 +500,12 @@ type statsResponse struct {
 		K           int  `json:"k"`
 		MarkovOrder int  `json:"markov_order"`
 		UseBias     bool `json:"use_bias"`
+		// Epoch counts hot swaps; FormatVersion is the model file format
+		// the snapshot came from (-1 = composed in-process) and Mapped
+		// whether its slabs are served from a memory mapping.
+		Epoch         uint64 `json:"epoch"`
+		FormatVersion int    `json:"format_version"`
+		Mapped        bool   `json:"mapped"`
 	} `json:"model"`
 	Served struct {
 		User        int64 `json:"user"`
@@ -536,8 +568,12 @@ type statsResponse struct {
 }
 
 func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
-	c := h.srv.Snapshot()
+	_, ref := h.srv.pin()
+	defer ref.release()
+	c := ref.c
 	var out statsResponse
+	out.Model.Epoch = h.srv.Epoch()
+	out.Model.FormatVersion, out.Model.Mapped = h.srv.SnapshotInfo()
 	out.Model.Users = c.User.Rows()
 	out.Model.Items = c.NumItems()
 	out.Model.Nodes = c.Tree.NumNodes()

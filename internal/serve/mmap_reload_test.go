@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/vecmath"
+)
+
+// saveV4File writes the model's v4 flat file and returns its path.
+func saveV4File(t *testing.T, m *model.TF, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Hot-swap memory-mapped snapshots under concurrent request and batch
+// traffic. The refcount must keep each mapping alive until the last
+// request pinned to it drains — under -race (and on any fault) a
+// premature munmap shows up immediately — and every answer must be
+// byte-identical to one of the two models' direct rankings. After a
+// swap completes, the old model's cached results must never surface.
+func TestMmapReloadUnderTraffic(t *testing.T) {
+	mA, _ := trainedModel(t)
+	mB, _ := trainedModel(t)
+	mB = secondModel(t, mB)
+
+	dir := t.TempDir()
+	pathA := saveV4File(t, mA, dir, "a.tfrec")
+	pathB := saveV4File(t, mB, dir, "b.tfrec")
+
+	reqs := []Request{
+		{User: 1, K: 5},
+		{User: 2, K: 5},
+		{User: 3, K: 5, ExcludeCategories: []int32{2}},
+		{User: 4, K: 4, MaxPerCategory: 2},
+	}
+	plainA, plainB := New(mA), New(mB)
+	wantA := make([][]vecmath.Scored, len(reqs))
+	wantB := make([][]vecmath.Scored, len(reqs))
+	distinct := false
+	for i, r := range reqs {
+		var err error
+		if wantA[i], err = plainA.Recommend(r); err != nil {
+			t.Fatal(err)
+		}
+		if wantB[i], err = plainB.Recommend(r); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantA[i], wantB[i]) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("test models are indistinguishable; the race assertions would be vacuous")
+	}
+
+	first, err := model.LoadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewSnapshot(first, WithCache(64), WithWorkers(2))
+	defer srv.Close()
+	if format, _ := srv.SnapshotInfo(); format != 4 {
+		t.Fatalf("snapshot format %d, want 4", format)
+	}
+
+	var path atomic.Pointer[string]
+	path.Store(&pathA)
+	h := NewHTTP(srv, nil)
+	h.SetSnapshotReload(func() (*model.Snapshot, error) {
+		return model.LoadFile(*path.Load())
+	})
+
+	// phase 1: concurrent hammer against a stream of mapped swaps. Every
+	// old mapping is being closed while requests that pinned it still run.
+	stop := make(chan struct{})
+	var reloads sync.WaitGroup
+	reloads.Add(1)
+	go func() {
+		defer reloads.Done()
+		flip := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := pathA
+			if flip {
+				p = pathB
+			}
+			flip = !flip
+			path.Store(&p)
+			if err := h.Reload(); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 120; iter++ {
+				i := (w + iter) % len(reqs)
+				if iter%3 == 0 {
+					i = 0 // repeat a key so the cached path is genuinely hot
+				}
+				var got []vecmath.Scored
+				var err error
+				if iter%5 == 4 {
+					// the batch path pins its own reference
+					out := srv.Batch([]Request{reqs[i]}, 1)
+					got, err = out[0].Items, out[0].Err
+				} else {
+					got, err = srv.Recommend(reqs[i])
+				}
+				if err != nil {
+					t.Errorf("probe %d: %v", i, err)
+					return
+				}
+				if !reflect.DeepEqual(got, wantA[i]) && !reflect.DeepEqual(got, wantB[i]) {
+					t.Errorf("probe %d: response matches neither model (stale or blended result)", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reloads.Wait()
+	if t.Failed() {
+		return
+	}
+	if srv.Epoch() == 0 {
+		t.Fatal("no swap ever happened; the test raced nothing")
+	}
+
+	// phase 2: causality — once a mapped swap returns, the previous
+	// model's answers (cached or recomputed) must never surface again
+	for round := 0; round < 20; round++ {
+		p, want := pathA, wantA
+		if round%2 == 0 {
+			p, want = pathB, wantB
+		}
+		path.Store(&p)
+		if err := h.Reload(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			for pass := 0; pass < 2; pass++ { // miss-then-fill, then a hit
+				got, err := srv.Recommend(reqs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Fatalf("round %d probe %d pass %d: stale result served after mapped reload", round, i, pass)
+				}
+			}
+		}
+	}
+	if cs, ok := srv.CacheStats(); !ok || cs.Hits == 0 {
+		t.Fatalf("test never exercised the cached path: %+v", cs)
+	}
+}

@@ -37,10 +37,41 @@ func badRequestf(format string, args ...any) *RequestError {
 	return &RequestError{msg: "serve: " + fmt.Sprintf(format, args...)}
 }
 
+// snapshotRef pairs a servable snapshot with the reference count guarding
+// its backing memory. A memory-mapped snapshot (model.LoadFile) is only
+// unmapped when the last request pinned to it finishes — the owner
+// reference held by the Server plus one reference per in-flight pin — so
+// a hot swap never pulls mapped slabs out from under a sweep.
+type snapshotRef struct {
+	c  *model.Composed
+	sn *model.Snapshot // nil when composed in-process from a *TF
+
+	refs      atomic.Int64 // starts at 1: the Server's owner reference
+	closeOnce sync.Once
+}
+
+func newSnapshotRef(c *model.Composed, sn *model.Snapshot) *snapshotRef {
+	r := &snapshotRef{c: c, sn: sn}
+	r.refs.Store(1)
+	return r
+}
+
+// release drops one reference; the last one out closes the backing
+// snapshot (unmapping it, for a mapped model). closeOnce keeps a stray
+// extra release from double-closing.
+func (r *snapshotRef) release() {
+	if r.refs.Add(-1) == 0 && r.sn != nil {
+		r.closeOnce.Do(func() { r.sn.Close() })
+	}
+}
+
 // Server answers recommendation queries from the latest model snapshot.
 // All methods are safe for concurrent use.
 type Server struct {
-	snap atomic.Pointer[model.Composed]
+	snap atomic.Pointer[snapshotRef]
+	// gen counts snapshot generations: 0 for the construction snapshot,
+	// +1 per Update/UpdateSnapshot. Logged by tfrec-serve on every load.
+	gen  atomic.Uint64
 	pool sync.Pool // *[]float64 query buffers, length-checked per use
 	// sweep, when non-nil, is the sharded parallel inference pool; single
 	// requests fan their catalog sweep across it and batches use it for
@@ -148,17 +179,33 @@ func WithCache(n int) Option {
 // caller may keep training it and call Update later).
 func New(m *model.TF, opts ...Option) *Server {
 	s := &Server{}
-	s.snap.Store(m.Compose())
+	s.snap.Store(newSnapshotRef(m.Compose(), nil))
 	for _, opt := range opts {
 		opt(s)
 	}
 	return s
 }
 
-// Close releases the server's inference pool, if any. Safe to call on a
-// server built without one; must not race with in-flight requests.
+// NewSnapshot builds a server directly from a loaded snapshot — the
+// zero-Compose serving path for memory-mapped v4 model files
+// (model.LoadFile). The server takes ownership: the snapshot is closed
+// when it is swapped out (UpdateSnapshot) and no request still pins it,
+// or at Close.
+func NewSnapshot(sn *model.Snapshot, opts ...Option) *Server {
+	s := &Server{}
+	s.snap.Store(newSnapshotRef(sn.Composed, sn))
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Close releases the server's inference pool, if any, and drops the owner
+// reference on the current snapshot (unmapping a mapped model once no
+// request still pins it). Call once; must not race with new requests.
 func (s *Server) Close() {
 	s.sweep.Close()
+	s.snap.Load().release()
 }
 
 // Pool exposes the server's inference pool (nil when serving serially).
@@ -167,7 +214,9 @@ func (s *Server) Pool() *infer.Pool { return s.sweep }
 // Precision returns the resolved default precision for the current
 // snapshot — what a request with no override runs at.
 func (s *Server) Precision() model.Precision {
-	return s.effectivePrecision(s.snap.Load(), Request{})
+	r := s.acquire()
+	defer r.release()
+	return s.effectivePrecision(r.c, Request{})
 }
 
 // FilterStats reports how many served requests used each filter
@@ -178,26 +227,81 @@ func (s *Server) FilterStats() (excludePurchased, category, paged int64) {
 }
 
 // Update atomically swaps in a fresh snapshot of the (re)trained model.
-// In-flight requests finish on the old snapshot. The snapshot is stored
-// BEFORE the cache epoch is bumped: a request pinning the new epoch is
-// then guaranteed to load the new snapshot, so a result computed on the
-// old model can never be stamped current (see resultCache).
+// In-flight requests finish on the old snapshot.
 func (s *Server) Update(m *model.TF) {
-	s.snap.Store(m.Compose())
+	s.swap(newSnapshotRef(m.Compose(), nil))
+}
+
+// UpdateSnapshot atomically swaps in a loaded snapshot (typically a
+// freshly memory-mapped v4 file). In-flight requests finish on the old
+// snapshot; the old snapshot's backing memory is released — unmapped,
+// for a mapped model — only after the last request pinned to it drains.
+// The server takes ownership of sn.
+func (s *Server) UpdateSnapshot(sn *model.Snapshot) {
+	s.swap(newSnapshotRef(sn.Composed, sn))
+}
+
+// swap installs a new snapshot reference. The snapshot is stored BEFORE
+// the cache epoch is bumped: a request pinning the new epoch is then
+// guaranteed to load the new snapshot, so a result computed on the old
+// model can never be stamped current (see resultCache). The old owner
+// reference is dropped last, after the swap, so acquire's re-check
+// ordering holds (see acquire).
+func (s *Server) swap(r *snapshotRef) {
+	old := s.snap.Swap(r)
+	s.gen.Add(1)
 	if s.cache != nil {
 		s.cache.epoch.Add(1)
 	}
+	old.release()
 }
 
-// pin captures the (epoch, snapshot) pair one request runs under. The
-// epoch is read before the snapshot — the ordering Update's store/bump
-// sequence pairs with; see resultCache for the two-sided argument.
-func (s *Server) pin() (uint64, *model.Composed) {
+// Epoch reports the snapshot generation counter: 0 for the snapshot the
+// server was built with, +1 per hot swap. For startup/reload logging.
+func (s *Server) Epoch() uint64 { return s.gen.Load() }
+
+// SnapshotInfo reports the live snapshot's provenance: the model file
+// format version it was loaded from (-1 when it was composed in-process
+// from a *TF, 0 for a legacy headerless gob file) and whether its slabs
+// are memory-mapped.
+func (s *Server) SnapshotInfo() (format int, mapped bool) {
+	r := s.acquire()
+	defer r.release()
+	if r.sn == nil {
+		return -1, false
+	}
+	return r.sn.Format, r.sn.Mapped
+}
+
+// acquire takes a reference on the current snapshot. The re-check makes
+// the count race-free against swap: if the pointer still equals r after
+// our increment, the owner reference had not yet been released when we
+// incremented (swap stores the new pointer before releasing the old
+// owner), so the count was ≥ 2 and the snapshot cannot close under us.
+// If the pointer moved, our increment may have hit an already-closed
+// ref — harmless, the struct is heap-managed — and we retry on the new
+// one.
+func (s *Server) acquire() *snapshotRef {
+	for {
+		r := s.snap.Load()
+		r.refs.Add(1)
+		if s.snap.Load() == r {
+			return r
+		}
+		r.release()
+	}
+}
+
+// pin captures the (epoch, snapshot) pair one request runs under,
+// holding a reference the caller must release. The epoch is read before
+// the snapshot — the ordering swap's store/bump sequence pairs with; see
+// resultCache for the two-sided argument.
+func (s *Server) pin() (uint64, *snapshotRef) {
 	var epoch uint64
 	if s.cache != nil {
 		epoch = s.cache.epoch.Load()
 	}
-	return epoch, s.snap.Load()
+	return epoch, s.acquire()
 }
 
 // CacheStats reports the result cache's counters; ok is false when the
@@ -210,9 +314,11 @@ func (s *Server) CacheStats() (CacheStats, bool) {
 }
 
 // Snapshot returns the current composed snapshot (for metrics endpoints
-// and tests).
+// and tests). It is an unguarded peek: the returned snapshot may be
+// swapped out and — if memory-mapped — closed at any time; request paths
+// use pin/release instead.
 func (s *Server) Snapshot() *model.Composed {
-	return s.snap.Load()
+	return s.snap.Load().c
 }
 
 // getBuf returns a query buffer of length k, recycling across requests.
@@ -403,8 +509,9 @@ func (s *Server) Recommend(req Request) ([]vecmath.Scored, error) {
 // cancellation firing mid-sweep abandons the query at the next shard
 // boundary and returns infer.ErrDeadline — never a partial ranking.
 func (s *Server) RecommendContext(ctx context.Context, req Request) ([]vecmath.Scored, error) {
-	epoch, c := s.pin()
-	resp := s.run(ctx, epoch, c, req)
+	epoch, ref := s.pin()
+	defer ref.release()
+	resp := s.run(ctx, epoch, ref.c, req)
 	return resp.Items, resp.Err
 }
 
@@ -488,7 +595,9 @@ func (s *Server) Batch(reqs []Request, workers int) []Response {
 	}
 	// pin one snapshot for the whole batch so results are mutually
 	// consistent even if Update races
-	epoch, c := s.pin()
+	epoch, ref := s.pin()
+	defer ref.release()
+	c := ref.c
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -210,6 +210,21 @@ func newMatrixStride(rows, cols, stride int) *Matrix {
 	return &Matrix{rows: rows, cols: cols, stride: stride, data: make([]float64, rows*stride)}
 }
 
+// MatrixFromCompact wraps an externally owned compact row-major slice as a
+// rows x cols matrix view without copying. The caller keeps ownership of
+// the backing memory (it may be a mmap'd file section); mutating the
+// matrix mutates that memory. It panics if the slice length is not
+// rows*cols.
+func MatrixFromCompact(rows, cols int, data []float64) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: MatrixFromCompact negative dimension %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("vecmath: MatrixFromCompact length %d, want %d (%dx%d)", len(data), rows*cols, rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, stride: cols, data: data}
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 

@@ -197,6 +197,19 @@ func NewMatrix32(rows, cols int) *Matrix32 {
 	return &Matrix32{rows: rows, cols: cols, data: make([]float32, rows*cols)}
 }
 
+// Matrix32FromData wraps an externally owned compact row-major slice as a
+// rows x cols matrix view without copying (the mmap'd-slab counterpart of
+// NewMatrix32). It panics if the slice length is not rows*cols.
+func Matrix32FromData(rows, cols int, data []float32) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: Matrix32FromData negative dimension %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("vecmath: Matrix32FromData length %d, want %d (%dx%d)", len(data), rows*cols, rows, cols))
+	}
+	return &Matrix32{rows: rows, cols: cols, data: data}
+}
+
 // Rows returns the number of rows.
 func (m *Matrix32) Rows() int { return m.rows }
 

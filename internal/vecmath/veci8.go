@@ -446,6 +446,19 @@ func NewMatrixI8(rows, cols int) *MatrixI8 {
 	return &MatrixI8{rows: rows, cols: cols, data: make([]int8, rows*cols)}
 }
 
+// MatrixI8FromData wraps an externally owned compact row-major slice as a
+// rows x cols matrix view without copying (the mmap'd-slab counterpart of
+// NewMatrixI8). It panics if the slice length is not rows*cols.
+func MatrixI8FromData(rows, cols int, data []int8) *MatrixI8 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: MatrixI8FromData negative dimension %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("vecmath: MatrixI8FromData length %d, want %d (%dx%d)", len(data), rows*cols, rows, cols))
+	}
+	return &MatrixI8{rows: rows, cols: cols, data: data}
+}
+
 // Rows returns the number of rows.
 func (m *MatrixI8) Rows() int { return m.rows }
 
