@@ -10,6 +10,19 @@
 // ratio means the bench got slower relative to the hardware it ran on —
 // a real regression, not a slower runner.
 //
+// Canary normalization factors out machine *speed* but not machine
+// *shape*: the vecmath kernel dispatch (AVX2, NEON or generic — see
+// `tfrec-inspect -cpu`) changes the relative cost of the int8, f32 and
+// canary sweeps, so normalized ratios measured under one kernel set are
+// meaningless against a baseline recorded under another. The baseline
+// therefore records its kernel set ("kernels"); when the gating run's
+// set differs, every per-bench ns comparison and the raw canary bound
+// are reported as skips, and only the within-run speedup floors — which
+// compare two benches of the same run — remain armed. Speedup entries
+// may themselves carry a "kernels" condition ("the AVX2 int8 dot must
+// stay ≥3x the generic reference") and are skipped on other arms, where
+// the SIMD micro-benches self-skip and produce no samples at all.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'TopK|Sharded' -count=6 . | tfrec-benchgate -baseline BENCH_baseline.json
@@ -28,6 +41,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/vecmath"
 )
 
 // baseline is the committed reference: per-bench median ns/op from a
@@ -52,6 +67,13 @@ type baseline struct {
 	// Procs records the GOMAXPROCS of the run the baseline came from — a
 	// machine-class proxy guarding the raw canary check.
 	Procs int `json:"procs,omitempty"`
+	// Kernels records the vecmath kernel dispatch the baseline was
+	// measured under (vecmath.KernelsID(), e.g. "amd64/avx2"). A gating
+	// run under a different dispatch skips every per-bench comparison:
+	// the kernel set changes the relative cost of the sweeps, which is
+	// exactly what canary normalization cannot correct for. Empty (a
+	// pre-SIMD baseline) disables the check.
+	Kernels string `json:"kernels,omitempty"`
 	// Speedups are cross-bench ratio floors, checked only when the run
 	// used at least MinProcs CPUs (read from the bench name's -N suffix).
 	// They gate parallel *scaling* — e.g. "the sharded sweep must stay
@@ -63,12 +85,14 @@ type baseline struct {
 }
 
 // speedupGate requires meas[Slow]/meas[Fast] >= Min when the run had at
-// least MinProcs processors.
+// least MinProcs processors and — when Kernels is non-empty — the run's
+// kernel dispatch matches Kernels exactly.
 type speedupGate struct {
 	Slow     string  `json:"slow"`
 	Fast     string  `json:"fast"`
 	Min      float64 `json:"min"`
 	MinProcs int     `json:"min_procs"`
+	Kernels  string  `json:"kernels,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -142,7 +166,14 @@ type gateResult struct {
 // bench must be present in the input — a silently skipped bench would
 // make the gate pass vacuously. procs is the GOMAXPROCS of the measured
 // run; speedup gates below their MinProcs are reported as skipped.
-func gate(base baseline, meas map[string]float64, procs int) ([]gateResult, bool) {
+// kernels is the run's vecmath dispatch id: when it differs from the
+// baseline's, per-bench and raw-canary comparisons are skipped (the
+// missing-bench failure included — SIMD micro-benches legitimately
+// self-skip on other arms), and kernel-conditioned speedup gates apply
+// only on their own arm.
+func gate(base baseline, meas map[string]float64, procs int, kernels string) ([]gateResult, bool) {
+	kernelMismatch := base.Kernels != "" && kernels != base.Kernels
+	kernelSkip := fmt.Sprintf("baseline kernels %s, run has %s; refresh the baseline from this dispatch arm to arm per-bench comparisons", base.Kernels, kernels)
 	norm := 1.0
 	if base.Canary != "" {
 		oldC, okOld := base.NsPerOp[base.Canary]
@@ -160,6 +191,10 @@ func gate(base baseline, meas map[string]float64, procs int) ([]gateResult, bool
 	failed := false
 	for _, name := range names {
 		oldNs := base.NsPerOp[name]
+		if kernelMismatch {
+			results = append(results, gateResult{name: name, oldNs: oldNs, skipped: kernelSkip})
+			continue
+		}
 		newNs, ok := meas[name]
 		if !ok {
 			results = append(results, gateResult{name: name, oldNs: oldNs, missing: true})
@@ -187,7 +222,9 @@ func gate(base baseline, meas map[string]float64, procs int) ([]gateResult, bool
 		oldC, okOld := base.NsPerOp[base.Canary]
 		if newC, ok := meas[base.Canary]; ok && okOld && oldC > 0 {
 			r := gateResult{name: base.Canary + " (raw)", oldNs: oldC, newNs: newC, ratio: newC / oldC}
-			if base.Procs != 0 && base.Procs != procs {
+			if kernelMismatch {
+				r.skipped = kernelSkip
+			} else if base.Procs != 0 && base.Procs != procs {
 				r.skipped = fmt.Sprintf("baseline from %d-proc machine, run had %d; refresh the baseline from this hardware to arm the raw canary bound", base.Procs, procs)
 			} else {
 				r.regressed = r.ratio > 1+limit
@@ -203,6 +240,8 @@ func gate(base baseline, meas map[string]float64, procs int) ([]gateResult, bool
 		slow, okSlow := meas[s.Slow]
 		fast, okFast := meas[s.Fast]
 		switch {
+		case s.Kernels != "" && s.Kernels != kernels:
+			r.skipped = fmt.Sprintf("needs %s kernels, run has %s", s.Kernels, kernels)
 		case procs < s.MinProcs:
 			r.skipped = fmt.Sprintf("needs >=%d procs, run had %d", s.MinProcs, procs)
 		case !okSlow || !okFast:
@@ -229,6 +268,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	update := fs.Bool("update", false, "rewrite the baseline from the input instead of gating")
 	emitText := fs.Bool("emit-text", false, "print the baseline as go-bench lines (benchstat input) and exit")
 	threshold := fs.Float64("threshold", -1, "override the baseline's regression threshold")
+	kernels := fs.String("kernels", vecmath.KernelsID(), "kernel dispatch id of the machine that produced the input (defaults to this host's)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -285,7 +325,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	meas := medians(samples)
 
 	if *update {
-		base.Note = "Median ns/op from `go test -run '^$' -bench '^(BenchmarkTopK|BenchmarkSharded|BenchmarkServe|BenchmarkExecuteDeadline|BenchmarkQuantize|BenchmarkLoad)' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware; the speedups entries additionally gate parallel scaling itself on machines with enough cores. The BenchmarkLoad pair is speedup-gated only (no absolute ns/op entry): its world is sized by TFREC_LOADBENCH_ITEMS, so raw times are not comparable across runs."
+		base.Note = "Median ns/op from `go test -run '^$' -bench '^(BenchmarkTopK|BenchmarkSharded|BenchmarkServe|BenchmarkExecuteDeadline|BenchmarkQuantize|BenchmarkLoad|BenchmarkKernel)' -count=6 .`; refresh with tfrec-benchgate -update after intentional perf changes. Per-bench comparisons are normalized by the canary bench (its own raw time is bounded by canary_raw_limit), so the file need not come from CI-identical hardware — but it must come from the same kernel dispatch arm (the kernels field; runs under a different arm skip per-bench comparisons entirely); the speedups entries additionally gate parallel scaling itself on machines with enough cores, and kernel-conditioned entries gate the SIMD kernels' own floors on their arm. The BenchmarkLoad pair is speedup-gated only (no absolute ns/op entry): its world is sized by TFREC_LOADBENCH_ITEMS, so raw times are not comparable across runs."
 		if base.Canary == "" {
 			base.Canary = "BenchmarkTopKIndexStreaming"
 		}
@@ -293,6 +333,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			base.CanaryRawLimit = 0.5
 		}
 		base.Procs = procs
+		base.Kernels = *kernels
 		if base.Speedups == nil {
 			// the acceptance floors: sustained sharded throughput >=2x
 			// serial on >=4 cores, the coalesced batch sweep beating the
@@ -339,6 +380,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				// where the shared-bandwidth advantage widens the gap
 				{Slow: "BenchmarkTopKI8BatchLoop/batch=8", Fast: "BenchmarkTopKI8BatchSweep/batch=8", Min: 1.3, MinProcs: 2},
 				{Slow: "BenchmarkTopKF32Saturated", Fast: "BenchmarkTopKI8Saturated", Min: 1.3, MinProcs: 4},
+				// branch-and-bound pruning floors: a skewed world must
+				// prune ≥2x over the dense sweep, and a uniform
+				// (prune-hostile) world must not pay more than ~5% for
+				// carrying the envelope checks
+				{Slow: "BenchmarkTopKSkewedDense", Fast: "BenchmarkTopKSkewedPruned", Min: 2.0, MinProcs: 1},
+				{Slow: "BenchmarkTopKUniformDense", Fast: "BenchmarkTopKUniformPruned", Min: 0.95, MinProcs: 1},
+				// the SIMD kernels' own floors, conditioned on the AVX2
+				// dispatch arm (on other arms the SIMD micro-benches
+				// self-skip and the pairs are reported as skipped): the
+				// assembly int8 dot must stay ≥3x the pure-Go reference
+				// (measured ~16x) and the f32 dot ≥2x (measured ~3.5x),
+				// and — the headline this work exists for — the int8
+				// wide-world pipeline must beat the f32 one single-core
+				// (≥1.0x; pre-SIMD it sat at 0.83x, measured ~2x after)
+				{Slow: "BenchmarkKernelDotI8Generic", Fast: "BenchmarkKernelDotI8SIMD", Min: 3.0, MinProcs: 1, Kernels: "amd64/avx2"},
+				{Slow: "BenchmarkKernelDotBias32Generic", Fast: "BenchmarkKernelDotBias32SIMD", Min: 2.0, MinProcs: 1, Kernels: "amd64/avx2"},
+				{Slow: "BenchmarkTopKF32Wide", Fast: "BenchmarkTopKI8Wide", Min: 1.0, MinProcs: 1, Kernels: "amd64/avx2"},
 				// the v4 flat format's whole point: memory-mapped startup
 				// must beat the gob decode+Compose path >=20x on the CI
 				// bench job's million-item world (measured ~77x; the gob
@@ -377,8 +435,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	results, failed := gate(base, meas, procs)
-	fmt.Fprintf(stdout, "bench gate: threshold %+.0f%%, canary %s, run procs %d\n", base.Threshold*100, orNone(base.Canary), procs)
+	results, failed := gate(base, meas, procs, *kernels)
+	fmt.Fprintf(stdout, "bench gate: threshold %+.0f%%, canary %s, run procs %d, kernels %s (baseline %s)\n",
+		base.Threshold*100, orNone(base.Canary), procs, *kernels, orNone(base.Kernels))
 	for _, r := range results {
 		switch {
 		case r.skipped != "":

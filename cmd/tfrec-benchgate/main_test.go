@@ -61,7 +61,7 @@ func TestGatePassesUnchangedAndFasterRuns(t *testing.T) {
 			"BenchmarkTopKIndexStreaming":    100000 * scale,
 			"BenchmarkShardedTopK/workers=4": 50000 * scale,
 		}
-		results, failed := gate(baseFixture(), meas, 8)
+		results, failed := gate(baseFixture(), meas, 8, "")
 		if failed {
 			t.Fatalf("scale %v: gate failed: %+v", scale, results)
 		}
@@ -76,7 +76,7 @@ func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
 		"BenchmarkTopKIndexStreaming":    100000,
 		"BenchmarkShardedTopK/workers=4": 65000,
 	}
-	results, failed := gate(baseFixture(), meas, 8)
+	results, failed := gate(baseFixture(), meas, 8, "")
 	if !failed {
 		t.Fatalf("30%% slowdown passed the gate: %+v", results)
 	}
@@ -93,7 +93,7 @@ func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
 
 func TestGateFailsOnMissingBench(t *testing.T) {
 	meas := map[string]float64{"BenchmarkTopKIndexStreaming": 100000}
-	_, failed := gate(baseFixture(), meas, 8)
+	_, failed := gate(baseFixture(), meas, 8, "")
 	if !failed {
 		t.Fatal("baseline bench absent from input must fail the gate")
 	}
@@ -104,7 +104,7 @@ func TestGateToleratesJitterWithinThreshold(t *testing.T) {
 		"BenchmarkTopKIndexStreaming":    101000,
 		"BenchmarkShardedTopK/workers=4": 52500, // +5% raw, well under 10%
 	}
-	if _, failed := gate(baseFixture(), meas, 8); failed {
+	if _, failed := gate(baseFixture(), meas, 8, ""); failed {
 		t.Fatal("5% jitter must pass a 10% gate")
 	}
 }
@@ -165,7 +165,7 @@ func TestGateCatchesCanarySelfRegression(t *testing.T) {
 		"BenchmarkTopKIndexStreaming":    180000, // +80% across the board
 		"BenchmarkShardedTopK/workers=4": 90000,
 	}
-	results, failed := gate(baseFixture(), meas, 8)
+	results, failed := gate(baseFixture(), meas, 8, "")
 	if !failed {
 		t.Fatalf("across-the-board slowdown passed the gate: %+v", results)
 	}
@@ -198,16 +198,16 @@ func TestGateSpeedupFloorCatchesScalingLoss(t *testing.T) {
 		"BenchmarkShardedTopKSerial":     100000,
 		"BenchmarkShardedTopK/workers=4": 95000, // ~1x: scaling destroyed
 	}
-	if _, failed := gate(speedupFixture(), meas, 8); !failed {
+	if _, failed := gate(speedupFixture(), meas, 8, ""); !failed {
 		t.Fatal("1x 'parallel' sweep passed a 2x speedup floor on 8 procs")
 	}
 	// healthy scaling passes
 	meas["BenchmarkShardedTopK/workers=4"] = 30000
-	if results, failed := gate(speedupFixture(), meas, 8); failed {
+	if results, failed := gate(speedupFixture(), meas, 8, ""); failed {
 		t.Fatalf("3.3x speedup failed a 2x floor: %+v", results)
 	}
 	// on a small machine the floor is skipped, not failed
-	results, failed := gate(speedupFixture(), meas, 1)
+	results, failed := gate(speedupFixture(), meas, 1, "")
 	if failed {
 		t.Fatalf("speedup floor fired on a 1-proc run: %+v", results)
 	}
@@ -232,7 +232,7 @@ func TestGateRawCanarySkippedAcrossMachineClasses(t *testing.T) {
 		"BenchmarkTopKIndexStreaming":    400000, // 4x slower machine
 		"BenchmarkShardedTopK/workers=4": 200000,
 	}
-	results, failed := gate(base, meas, 8)
+	results, failed := gate(base, meas, 8, "")
 	if failed {
 		t.Fatalf("cross-machine raw canary fired: %+v", results)
 	}
@@ -247,7 +247,81 @@ func TestGateRawCanarySkippedAcrossMachineClasses(t *testing.T) {
 	}
 	// same machine class: the bound arms and fires
 	base.Procs = 8
-	if _, failed := gate(base, meas, 8); !failed {
+	if _, failed := gate(base, meas, 8, ""); !failed {
 		t.Fatal("4x raw canary slowdown on like hardware passed")
+	}
+}
+
+// A baseline recorded under one kernel dispatch must never produce
+// per-bench verdicts against a run from another: every ns comparison,
+// the missing-bench failure (SIMD micro-benches legitimately self-skip
+// on other arms) and the raw canary bound all become skips.
+func TestGateSkipsAcrossKernelSets(t *testing.T) {
+	base := baseFixture()
+	base.Kernels = "amd64/avx2"
+	base.NsPerOp["BenchmarkKernelDotI8SIMD"] = 1000 // absent from a generic run
+	meas := map[string]float64{
+		"BenchmarkTopKIndexStreaming":    500000, // 5x "regression" — noise across arms
+		"BenchmarkShardedTopK/workers=4": 250000,
+	}
+	results, failed := gate(base, meas, 8, "arm64/generic")
+	if failed {
+		t.Fatalf("cross-kernel-set gate fired: %+v", results)
+	}
+	var skips int
+	for _, r := range results {
+		if r.skipped == "" {
+			t.Fatalf("cross-kernel-set comparison not skipped: %+v", r)
+		}
+		skips++
+	}
+	if skips != 4 { // 3 ns entries + raw canary
+		t.Fatalf("got %d skips, want 4: %+v", skips, results)
+	}
+	// matching kernel set with the SIMD bench present: fully armed again
+	meas["BenchmarkTopKIndexStreaming"] = 100000
+	meas["BenchmarkShardedTopK/workers=4"] = 50000
+	meas["BenchmarkKernelDotI8SIMD"] = 1000
+	if results, failed := gate(base, meas, 8, "amd64/avx2"); failed {
+		t.Fatalf("matching kernel set failed a clean run: %+v", results)
+	}
+}
+
+// Kernel-conditioned speedup floors gate only on their own dispatch arm:
+// skipped elsewhere (where the SIMD benches produce no samples at all),
+// enforced — and failing — on the arm they name.
+func TestGateKernelConditionedSpeedupFloor(t *testing.T) {
+	base := baseFixture()
+	base.Speedups = []speedupGate{
+		{Slow: "BenchmarkKernelDotI8Generic", Fast: "BenchmarkKernelDotI8SIMD", Min: 3.0, MinProcs: 1, Kernels: "amd64/avx2"},
+	}
+	meas := map[string]float64{
+		"BenchmarkTopKIndexStreaming":    100000,
+		"BenchmarkShardedTopK/workers=4": 50000,
+	}
+	// generic arm: no SIMD samples, and the floor must skip, not fail
+	results, failed := gate(base, meas, 1, "amd64/generic")
+	if failed {
+		t.Fatalf("kernel-conditioned floor fired off its arm: %+v", results)
+	}
+	var skipped bool
+	for _, r := range results {
+		if r.speedup && r.skipped != "" {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatalf("kernel-conditioned floor not reported as skipped: %+v", results)
+	}
+	// on the named arm with a degraded kernel (2x < the 3x floor): fail
+	meas["BenchmarkKernelDotI8Generic"] = 6000
+	meas["BenchmarkKernelDotI8SIMD"] = 3000
+	if _, failed := gate(base, meas, 1, "amd64/avx2"); !failed {
+		t.Fatal("2x SIMD kernel passed a 3x floor on its own arm")
+	}
+	// healthy kernel passes
+	meas["BenchmarkKernelDotI8SIMD"] = 1000
+	if results, failed := gate(base, meas, 1, "amd64/avx2"); failed {
+		t.Fatalf("6x SIMD kernel failed a 3x floor: %+v", results)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/model"
@@ -62,16 +63,25 @@ func convert(in, out string, verify bool, w io.Writer) error {
 	}
 	loadDur := time.Since(start)
 
-	outf, err := os.Create(out)
+	// Temp-file-and-rename, not os.Create: out may be a model that
+	// tfrec-serve currently mmaps (or equal to in), and truncating either
+	// in place would SIGBUS the server / destroy the source mid-read.
+	outf, err := os.CreateTemp(filepath.Dir(out), "."+filepath.Base(out)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	start = time.Now()
 	if err := m.Save(outf); err != nil {
 		outf.Close()
+		os.Remove(outf.Name())
 		return fmt.Errorf("save %s: %w", out, err)
 	}
 	if err := outf.Close(); err != nil {
+		os.Remove(outf.Name())
+		return err
+	}
+	if err := os.Rename(outf.Name(), out); err != nil {
+		os.Remove(outf.Name())
 		return err
 	}
 	saveDur := time.Since(start)

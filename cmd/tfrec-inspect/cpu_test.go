@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// TestCPUReport pins the -cpu output to the live dispatch: the report
+// must carry the same dispatch id and every (op, impl) row that
+// vecmath.Kernels() — and therefore /v1/stats — exposes.
+func TestCPUReport(t *testing.T) {
+	var sb strings.Builder
+	cpuReport(&sb)
+	out := sb.String()
+
+	if !strings.Contains(out, "kernel dispatch: "+vecmath.KernelsID()) {
+		t.Fatalf("report missing dispatch id %q:\n%s", vecmath.KernelsID(), out)
+	}
+	ks := vecmath.Kernels()
+	if !strings.Contains(out, "arch:     "+ks.Arch) {
+		t.Fatalf("report missing arch %q:\n%s", ks.Arch, out)
+	}
+	for op, impl := range ks.Ops {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == op && fields[1] == impl {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("report missing op row %s -> %s:\n%s", op, impl, out)
+		}
+	}
+	if ks.Disabled != "" && !strings.Contains(out, "simd off: "+ks.Disabled) {
+		t.Fatalf("report missing disabled reason %q:\n%s", ks.Disabled, out)
+	}
+}

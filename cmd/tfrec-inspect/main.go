@@ -12,6 +12,12 @@
 //	tfrec-inspect -model model.tfrec
 //	tfrec-inspect -model model.tfrec -embed coords.tsv -method tsne
 //	tfrec-inspect -model model.tfrec -bounds 20
+//	tfrec-inspect -cpu
+//
+// -cpu prints the host's CPU features and the scoring-kernel dispatch
+// table (which implementation — avx2, neon or generic — serves each
+// kernel op), exactly as /v1/stats reports it under inference.kernels,
+// then exits without loading a model.
 //
 // The embedding TSV has columns: node, depth, parent, x, y — one row per
 // taxonomy node of the upper three levels, ready for any plotting tool.
@@ -47,7 +53,13 @@ func main() {
 	method := flag.String("method", "auto", "embedding method: tsne|pca|auto")
 	seed := flag.Uint64("seed", 7, "random seed for PCA/t-SNE and -bounds probes")
 	bounds := flag.Int("bounds", 0, "audit branch-and-bound envelope tightness over this many random queries (0 = skip)")
+	cpu := flag.Bool("cpu", false, "print CPU features and the scoring-kernel dispatch table, then exit")
 	flag.Parse()
+
+	if *cpu {
+		cpuReport(os.Stdout)
+		return
+	}
 
 	info, err := model.InspectFile(*modelPath)
 	if err != nil {

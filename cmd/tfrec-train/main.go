@@ -80,15 +80,25 @@ func main() {
 		log.Fatalf("train: %v", err)
 	}
 
-	f, err := os.Create(*out)
+	// Write to a temp file and rename into place: tfrec-serve mmaps the
+	// model it serves, and truncating a live mapping in place (os.Create
+	// on the served path) would SIGBUS the server mid-request. The rename
+	// gives the retrain-then-SIGHUP loop a fresh inode instead.
+	f, err := os.CreateTemp(filepath.Dir(*out), "."+filepath.Base(*out)+".tmp-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := m.Save(f); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		log.Fatalf("save: %v", err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		log.Fatal(err)
+	}
+	if err := os.Rename(f.Name(), *out); err != nil {
+		os.Remove(f.Name())
 		log.Fatal(err)
 	}
 	last := len(stats.AvgLogLik) - 1

@@ -8,18 +8,23 @@ package tfrec
 //
 //	BenchmarkTopKI8BatchLoop  vs BenchmarkTopKI8BatchSweep (≥1.3x, any machine)
 //	BenchmarkTopKF32Saturated vs BenchmarkTopKI8Saturated  (≥1.3x, ≥4 cores)
+//	BenchmarkTopKF32Wide      vs BenchmarkTopKI8Wide       (≥1.0x, amd64/avx2 dispatch)
 //
-// The blocked batch win is compute amortization: the multi-query kernel
-// widens each 4-row block of int8 codes once and reuses it across the
-// whole query group, work the per-query serial sweep repeats on every
-// pass. The int8-over-f32 win is a bandwidth story and only exists where
-// bandwidth is scarce: one core sweeping an L3-resident slab is fed for
-// free (there scalar int8 actually trails f32 — integer multiplies issue
-// on one port, float on two — which BenchmarkTopKI8Wide records honestly
-// rather than hiding), but saturate every core and the concurrent f32
-// sweeps stream ~4x the bytes of the quarter-size int8 slab and starve;
-// hence the saturated pair carries the cross-tier floor and gates only
-// on ≥4-core machines, like the pool's other parallel-scaling floors.
+// The blocked batch win is compute amortization: the batch sweep scores
+// a whole query group per pass over each slab block, work the per-query
+// serial sweep repeats on every pass. The saturated pair is a bandwidth
+// story: concurrent f32 sweeps stream ~4x the bytes of the quarter-size
+// int8 slab and starve when every core contends, hence that floor gates
+// only on ≥4-core machines, like the pool's other parallel-scaling
+// floors. The wide single-core pair is the story the SIMD kernels
+// (DESIGN.md §5.13) flipped: under scalar kernels int8 trailed f32 on a
+// quiet core (integer multiplies issue on one port, float on two, and
+// an L3-resident slab feeds f32's extra bytes for free — recorded
+// honestly at ~0.83x in the pre-SIMD baselines), but AVX2 multiplies 32
+// int8 codes per instruction against 8 f32 lanes, putting the wide
+// sweep ~2x ahead. The ≥1.0x floor is conditioned on the amd64/avx2
+// kernel set so generic-dispatch machines — where the old trade-off
+// still holds — skip it rather than fail it.
 // BenchmarkQuantize measures the one-time slab quantization cost a
 // deployment pays on first int8 use.
 

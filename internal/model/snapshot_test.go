@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"unsafe"
+
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
 )
@@ -114,6 +116,37 @@ func TestLoadFileMappedMatchesComposeBitwise(t *testing.T) {
 		if glo != wlo || ghi != whi {
 			t.Fatalf("dfs span node %d: [%d,%d) vs [%d,%d)", n, glo, ghi, wlo, whi)
 		}
+	}
+}
+
+// TestMappedSlabsCacheLineAligned pins the layout property the SIMD
+// kernels bank on: the mapped item slabs of a v4 file start on 64-byte
+// boundaries (page-aligned mapping + 64-aligned section offsets), so the
+// vector loads of the AVX2/NEON sweep bodies run at full cache-line
+// granularity straight off the mapping. The asm tolerates any alignment
+// (unaligned vector loads), so this is a performance property — but one
+// the format advertises, so a regression should fail loudly here rather
+// than as a silent slowdown.
+func TestMappedSlabsCacheLineAligned(t *testing.T) {
+	_, path := snapshotWorld(t)
+	sn, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	if sn.Format != 4 {
+		t.Fatalf("snapshot format %d, want 4", sn.Format)
+	}
+	ix := sn.Composed.Index
+	if d := ix.item32.Data(); len(d) == 0 {
+		t.Fatal("empty f32 item slab")
+	} else if p := uintptr(unsafe.Pointer(&d[0])); p%64 != 0 {
+		t.Errorf("f32 item slab base %#x not 64-byte aligned", p)
+	}
+	if d := ix.itemI8.Data(); len(d) == 0 {
+		t.Fatal("empty int8 item slab")
+	} else if p := uintptr(unsafe.Pointer(&d[0])); p%64 != 0 {
+		t.Errorf("int8 item slab base %#x not 64-byte aligned", p)
 	}
 }
 

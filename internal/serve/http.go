@@ -534,6 +534,11 @@ type statsResponse struct {
 			Category         int64 `json:"category"`
 			Paged            int64 `json:"paged"`
 		} `json:"filters"`
+		// Kernels is the active vecmath dispatch table — which scoring
+		// kernel implementation (avx2, neon, generic) serves each op on
+		// this process, plus why SIMD is off when it is. Operators use it
+		// to confirm a deploy actually runs the vectorized sweeps.
+		Kernels vecmath.KernelSet `json:"kernels"`
 		// Pruning mirrors infer.PruneCounters: how much dense-sweep work
 		// the branch-and-bound descents saved (items_pruned versus the
 		// catalog size), what they spent (bound_evals), and how often a
@@ -592,6 +597,7 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Inference.F32Escalations = infer.F32Escalations()
 	out.Inference.I8Escalations = infer.I8Escalations()
 	out.Inference.Filters.ExcludePurchased, out.Inference.Filters.Category, out.Inference.Filters.Paged = h.srv.FilterStats()
+	out.Inference.Kernels = vecmath.Kernels()
 	ps := infer.PruneCounters()
 	out.Inference.Pruning.SubtreesPruned = ps.SubtreesPruned
 	out.Inference.Pruning.ItemsPruned = ps.ItemsPruned

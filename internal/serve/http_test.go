@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/vecmath"
 )
 
 func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, wireResponse) {
@@ -150,6 +151,19 @@ func TestHTTPStats(t *testing.T) {
 	}
 	if st.Served.User != 1 || st.Served.Session != 1 {
 		t.Fatalf("stats counters wrong: %+v", st.Served)
+	}
+	// the kernels section must mirror the process-wide vecmath dispatch
+	ks := vecmath.Kernels()
+	if st.Inference.Kernels.Arch != ks.Arch {
+		t.Fatalf("stats kernels arch = %q, want %q", st.Inference.Kernels.Arch, ks.Arch)
+	}
+	if len(st.Inference.Kernels.Ops) == 0 {
+		t.Fatalf("stats kernels ops missing: %+v", st.Inference.Kernels)
+	}
+	for op, impl := range ks.Ops {
+		if st.Inference.Kernels.Ops[op] != impl {
+			t.Fatalf("stats kernels op %s = %q, want %q", op, st.Inference.Kernels.Ops[op], impl)
+		}
 	}
 
 	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {

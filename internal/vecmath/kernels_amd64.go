@@ -1,0 +1,66 @@
+//go:build !purego
+
+package vecmath
+
+// amd64 dispatch arm: the AVX2 kernels in vec32_amd64.s / veci8_amd64.s,
+// eligible when CPUID reports AVX2 and the OS has enabled YMM state.
+
+const simdImpl = implAVX2
+
+var (
+	hasAVX2    bool
+	simdOffEnv bool
+	simdActive bool
+)
+
+func init() {
+	hasAVX2 = detectAVX2()
+	simdOffEnv = noSIMDEnv()
+	simdActive = hasAVX2 && !simdOffEnv
+}
+
+func simdFeatures() []string {
+	if hasAVX2 {
+		return []string{"avx2"}
+	}
+	return nil
+}
+
+func simdDisabled() string {
+	if hasAVX2 && simdOffEnv {
+		return "TFREC_NOSIMD"
+	}
+	return ""
+}
+
+// cpuid executes CPUID with the given leaf/subleaf (cpu_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (cpu_amd64.s). Only call when CPUID.1:ECX.OSXSAVE
+// is set, or the instruction faults.
+func xgetbv() (eax, edx uint32)
+
+// detectAVX2 performs the full architectural check for usable AVX2: the
+// feature bit alone is not enough — the OS must have opted in to saving
+// YMM state (OSXSAVE set and XCR0 bits 1..2 = 11), else executing a VEX
+// 256-bit instruction faults.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const cpuidAVX2 = 1 << 5
+	return ebx7&cpuidAVX2 != 0
+}

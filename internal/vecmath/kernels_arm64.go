@@ -1,0 +1,29 @@
+//go:build !purego
+
+package vecmath
+
+// arm64 dispatch arm: the NEON kernels in vec32_arm64.s / veci8_arm64.s.
+// AdvSIMD is architecturally baseline on AArch64 (linux/arm64 binaries
+// may assume it, as the Go runtime itself does), so no feature probe is
+// needed — only the TFREC_NOSIMD escape hatch can turn the asm off.
+
+const simdImpl = implNEON
+
+var (
+	simdOffEnv bool
+	simdActive bool
+)
+
+func init() {
+	simdOffEnv = noSIMDEnv()
+	simdActive = !simdOffEnv
+}
+
+func simdFeatures() []string { return []string{"neon"} }
+
+func simdDisabled() string {
+	if simdOffEnv {
+		return "TFREC_NOSIMD"
+	}
+	return ""
+}

@@ -1,0 +1,29 @@
+package vecmath
+
+import "fmt"
+
+// The hot kernel wrappers must stay inlinable: a fmt.Sprintf call inside
+// a wrapper's panic branch drags the whole formatting machinery into the
+// function body and pushes it past the inliner's budget, so the happy
+// path pays for an error message that never renders. These helpers move
+// the formatting out of line — the wrapper keeps a two-instruction
+// compare-and-branch to a call that never returns, and the inliner sees
+// a leaf cheap enough to keep.
+
+// panicLen reports a length mismatch between two kernel operands. It
+// never returns.
+func panicLen(op string, a, b int) {
+	panic(fmt.Sprintf("vecmath: %s length mismatch %d vs %d", op, a, b))
+}
+
+// panicSlab reports a factor slab whose size is not rows*k. It never
+// returns.
+func panicSlab(op string, slab, rows, k int) {
+	panic(fmt.Sprintf("vecmath: %s slab %d != rows %d * k %d", op, slab, rows, k))
+}
+
+// panicQueryLen reports a query vector whose length is not the factor
+// dimensionality k. It never returns.
+func panicQueryLen(op string, q, k int) {
+	panic(fmt.Sprintf("vecmath: %s query length %d != k %d", op, q, k))
+}

@@ -6,17 +6,26 @@ import "fmt"
 // sweeps compact float32 slabs (half the bytes of the float64 slabs, so
 // half the memory bandwidth per catalog scan) and recovers exactness by
 // rescoring a small candidate set with the float64 kernels; see
-// internal/infer. Each kernel accumulates in the exact same fixed
-// pairwise order as its float64 twin, so a float32 score is bitwise
-// identical whether computed item-at-a-time (DotBias32) or in a blocked
-// sweep (MatVecBias32) — the property the sharded candidate collection
-// relies on. Training stays entirely on the float64 kernels.
+// internal/infer. Training stays entirely on the float64 kernels.
+//
+// Every f32 kernel accumulates in one fixed, lane-friendly order — the
+// 8-lane tree documented on DotBias32 — so a score is bitwise identical
+// whether computed item-at-a-time, in a blocked sweep, in the blocked
+// multi-query sweep, by the pure-Go reference, or by the AVX2/NEON
+// assembly bodies that vectorize the 8-lane head verbatim (one rounded
+// multiply and one rounded add per element; see kernels.go for the
+// dispatch rules). Products are forced through an explicit float32
+// conversion so no compiler may fuse them into an FMA: the reference
+// kernels therefore produce the same bits on every architecture, and the
+// asm arms are checked against them by the differential suite.
 
-// Dot32 returns the inner product of a and b, accumulated in float32.
-// It panics if the lengths differ.
+// Dot32 returns the inner product of a and b, accumulated sequentially
+// in float32. It is not order-pinned to the sweep kernels — nothing
+// compares its result bitwise against theirs — and panics if the lengths
+// differ.
 func Dot32(a, b []float32) float32 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: Dot32 length mismatch %d vs %d", len(a), len(b)))
+		panicLen("Dot32", len(a), len(b))
 	}
 	var s float32
 	for i, av := range a {
@@ -25,83 +34,134 @@ func Dot32(a, b []float32) float32 {
 	return s
 }
 
-// DotBias32 returns bias + ⟨a, b⟩ accumulated in float32, in the same
-// four-way pairwise-tree order as a MatVecBias32 row: each group of four
-// products reduces as (p0+p1) + (p2+p3) before joining the accumulator,
-// then a two-way and a single tail. The wider groups buy instruction-level
-// parallelism in the blocked sweep; what matters for correctness is only
-// that both f32 kernels share the order exactly, keeping scores bitwise
-// identical however they are computed. It panics if the lengths differ.
+// DotBias32 returns bias + ⟨a, b⟩ accumulated in the fixed 8-lane tree
+// order every f32 kernel shares:
+//
+//	n8 := len(a) &^ 7
+//	l[j] += fl32(a[i+j] · b[i+j])   for i = 0, 8, …, n8−8 and j = 0..7
+//	t := ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))
+//	s := bias + t                    (skipped entirely when n8 == 0)
+//	s += fl32(a[i] · b[i])           for i = n8 .. len(a)−1
+//
+// with every multiply and add individually rounded (fl32 is an explicit
+// float32 conversion, which forbids FMA fusion). The eight independent
+// lanes are what the vector units want — AVX2 holds them in one YMM
+// register, NEON in two quadword registers — while the fixed reduction
+// tree keeps the result one specific bit pattern that the blocked sweep,
+// the per-row gather and both dispatch arms all reproduce exactly. It
+// panics if the lengths differ.
 func DotBias32(a, b []float32, bias float32) float32 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: DotBias32 length mismatch %d vs %d", len(a), len(b)))
+		panicLen("DotBias32", len(a), len(b))
 	}
+	return dotBias32(a, b, bias)
+}
+
+// dotBias32 is DotBias32 without the length check, for kernels that
+// validated shapes up front.
+func dotBias32(a, b []float32, bias float32) float32 {
 	s := bias
 	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s += (a[i]*b[i] + a[i+1]*b[i+1]) + (a[i+2]*b[i+2] + a[i+3]*b[i+3])
+	if n8 := len(a) &^ 7; n8 > 0 {
+		if simdActive {
+			s += dotLanes32SIMD(&a[0], &b[0], n8)
+		} else {
+			s += dotLanes32Ref(a, b, n8)
+		}
+		i = n8
 	}
-	if i+2 <= len(a) {
-		s += a[i]*b[i] + a[i+1]*b[i+1]
-		i += 2
-	}
-	if i < len(a) {
-		s += a[i] * b[i]
+	for ; i < len(a); i++ {
+		s += float32(a[i] * b[i])
 	}
 	return s
 }
 
+// DotBias32Ref is the pure-Go reference implementation of DotBias32,
+// exported so benchmarks can pit the dispatch arms against each other on
+// any machine. Its result is bitwise identical to DotBias32's for every
+// input. It panics if the lengths differ.
+func DotBias32Ref(a, b []float32, bias float32) float32 {
+	if len(a) != len(b) {
+		panicLen("DotBias32Ref", len(a), len(b))
+	}
+	s := bias
+	i := 0
+	if n8 := len(a) &^ 7; n8 > 0 {
+		s += dotLanes32Ref(a, b, n8)
+		i = n8
+	}
+	for ; i < len(a); i++ {
+		s += float32(a[i] * b[i])
+	}
+	return s
+}
+
+// dotLanes32Ref is the pure-Go reference for the 8-lane head: the
+// semantic definition the asm kernels must match bit for bit. n must be
+// a positive multiple of 8, n ≤ len(a) = len(b).
+func dotLanes32Ref(a, b []float32, n int) float32 {
+	var l0, l1, l2, l3, l4, l5, l6, l7 float32
+	for i := 0; i < n; i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		l0 += float32(x[0] * y[0])
+		l1 += float32(x[1] * y[1])
+		l2 += float32(x[2] * y[2])
+		l3 += float32(x[3] * y[3])
+		l4 += float32(x[4] * y[4])
+		l5 += float32(x[5] * y[5])
+		l6 += float32(x[6] * y[6])
+		l7 += float32(x[7] * y[7])
+	}
+	return ((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))
+}
+
 // MatVecBias32 computes dst[r] = bias[r] + ⟨q, factors[r*k : (r+1)*k]⟩
 // over a contiguous row-major float32 slab — the compact-slab twin of
-// MatVecBias, with the same 4-row blocking and the same per-row
-// four-way pairwise-tree accumulation order as DotBias32, so blocked and
-// row-at-a-time scores stay bitwise identical. It panics when the slab
-// size is not len(dst)*k or the bias length differs from dst.
+// MatVecBias. Rows are processed four at a time with the query loads
+// shared across the block, each row accumulating in DotBias32's fixed
+// 8-lane tree, so blocked and row-at-a-time scores stay bitwise
+// identical. It panics when the slab size is not len(dst)*k or the bias
+// length differs from dst.
 func MatVecBias32(factors []float32, k int, bias, q, dst []float32) {
 	rows := len(dst)
 	if len(factors) != rows*k {
-		panic(fmt.Sprintf("vecmath: MatVecBias32 slab %d != rows %d * k %d", len(factors), rows, k))
+		panicSlab("MatVecBias32", len(factors), rows, k)
 	}
 	if len(bias) != rows {
-		panic(fmt.Sprintf("vecmath: MatVecBias32 bias length %d != rows %d", len(bias), rows))
+		panicLen("MatVecBias32 bias", len(bias), rows)
 	}
 	if len(q) != k {
-		panic(fmt.Sprintf("vecmath: MatVecBias32 query length %d != k %d", len(q), k))
+		panicQueryLen("MatVecBias32", len(q), k)
 	}
+	n8 := k &^ 7
 	r := 0
-	for ; r+4 <= rows; r += 4 {
-		r0 := factors[r*k:][:len(q)]
-		r1 := factors[(r+1)*k:][:len(q)]
-		r2 := factors[(r+2)*k:][:len(q)]
-		r3 := factors[(r+3)*k:][:len(q)]
-		s0, s1, s2, s3 := bias[r], bias[r+1], bias[r+2], bias[r+3]
-		i := 0
-		for ; i+4 <= len(q); i += 4 {
-			qa, qb, qc, qd := q[i], q[i+1], q[i+2], q[i+3]
-			s0 += (qa*r0[i] + qb*r0[i+1]) + (qc*r0[i+2] + qd*r0[i+3])
-			s1 += (qa*r1[i] + qb*r1[i+1]) + (qc*r1[i+2] + qd*r1[i+3])
-			s2 += (qa*r2[i] + qb*r2[i+1]) + (qc*r2[i+2] + qd*r2[i+3])
-			s3 += (qa*r3[i] + qb*r3[i+1]) + (qc*r3[i+2] + qd*r3[i+3])
+	if simdActive && n8 > 0 {
+		var out [4]float32
+		for ; r+4 <= rows; r += 4 {
+			dot4Lanes32SIMD(&factors[r*k], k, &q[0], n8, &out)
+			s0 := bias[r] + out[0]
+			s1 := bias[r+1] + out[1]
+			s2 := bias[r+2] + out[2]
+			s3 := bias[r+3] + out[3]
+			if n8 < k {
+				r0 := factors[r*k:][:k]
+				r1 := factors[(r+1)*k:][:k]
+				r2 := factors[(r+2)*k:][:k]
+				r3 := factors[(r+3)*k:][:k]
+				for i := n8; i < k; i++ {
+					qa := q[i]
+					s0 += float32(qa * r0[i])
+					s1 += float32(qa * r1[i])
+					s2 += float32(qa * r2[i])
+					s3 += float32(qa * r3[i])
+				}
+			}
+			dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
 		}
-		if i+2 <= len(q) {
-			qa, qb := q[i], q[i+1]
-			s0 += qa*r0[i] + qb*r0[i+1]
-			s1 += qa*r1[i] + qb*r1[i+1]
-			s2 += qa*r2[i] + qb*r2[i+1]
-			s3 += qa*r3[i] + qb*r3[i+1]
-			i += 2
-		}
-		if i < len(q) {
-			qa := q[i]
-			s0 += qa * r0[i]
-			s1 += qa * r1[i]
-			s2 += qa * r2[i]
-			s3 += qa * r3[i]
-		}
-		dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
 	}
 	for ; r < rows; r++ {
-		dst[r] = DotBias32(q, factors[r*k:(r+1)*k], bias[r])
+		dst[r] = dotBias32(q, factors[r*k:(r+1)*k], bias[r])
 	}
 }
 
@@ -110,60 +170,65 @@ func MatVecBias32(factors []float32, k int, bias, q, dst []float32) {
 // query of the group before the sweep advances, so a group of B queries
 // reads the slab bytes once instead of B times — the bandwidth win of the
 // batched serving sweep. dsts[qi][r] receives query qi's score of row r.
-// The per-(row, query) inner loop is MatVecBias32's statement for
-// statement (the same four-way pairwise-tree order), so every score is
-// bitwise identical to the single-query kernels'. It panics on any shape
-// mismatch, including a query group larger than the dst group.
+// Every (row, query) score accumulates in DotBias32's fixed 8-lane tree,
+// so it is bitwise identical to the single-query kernels'. It panics on
+// any shape mismatch, including a query group larger than the dst group.
 func MatVecBias32Multi(factors []float32, k int, bias []float32, qs [][]float32, dsts [][]float32) {
 	rows := len(bias)
 	if len(factors) != rows*k {
-		panic(fmt.Sprintf("vecmath: MatVecBias32Multi slab %d != rows %d * k %d", len(factors), rows, k))
+		panicSlab("MatVecBias32Multi", len(factors), rows, k)
 	}
 	if len(qs) > len(dsts) {
 		panic(fmt.Sprintf("vecmath: MatVecBias32Multi %d queries but %d dst buffers", len(qs), len(dsts)))
 	}
+	for qi, q := range qs {
+		if len(q) != k {
+			panic(fmt.Sprintf("vecmath: MatVecBias32Multi query %d length %d != k %d", qi, len(q), k))
+		}
+	}
+	n8 := k &^ 7
 	r := 0
-	for ; r+4 <= rows; r += 4 {
-		for qi, q := range qs {
-			if len(q) != k {
-				panic(fmt.Sprintf("vecmath: MatVecBias32Multi query %d length %d != k %d", qi, len(q), k))
+	if simdActive && n8 > 0 {
+		var out [4]float32
+		for ; r+4 <= rows; r += 4 {
+			for qi, q := range qs {
+				dot4Lanes32SIMD(&factors[r*k], k, &q[0], n8, &out)
+				s0 := bias[r] + out[0]
+				s1 := bias[r+1] + out[1]
+				s2 := bias[r+2] + out[2]
+				s3 := bias[r+3] + out[3]
+				if n8 < k {
+					r0 := factors[r*k:][:k]
+					r1 := factors[(r+1)*k:][:k]
+					r2 := factors[(r+2)*k:][:k]
+					r3 := factors[(r+3)*k:][:k]
+					for i := n8; i < k; i++ {
+						qa := q[i]
+						s0 += float32(qa * r0[i])
+						s1 += float32(qa * r1[i])
+						s2 += float32(qa * r2[i])
+						s3 += float32(qa * r3[i])
+					}
+				}
+				dst := dsts[qi]
+				dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
 			}
-			r0 := factors[r*k:][:len(q)]
-			r1 := factors[(r+1)*k:][:len(q)]
-			r2 := factors[(r+2)*k:][:len(q)]
-			r3 := factors[(r+3)*k:][:len(q)]
-			s0, s1, s2, s3 := bias[r], bias[r+1], bias[r+2], bias[r+3]
-			i := 0
-			for ; i+4 <= len(q); i += 4 {
-				qa, qb, qc, qd := q[i], q[i+1], q[i+2], q[i+3]
-				s0 += (qa*r0[i] + qb*r0[i+1]) + (qc*r0[i+2] + qd*r0[i+3])
-				s1 += (qa*r1[i] + qb*r1[i+1]) + (qc*r1[i+2] + qd*r1[i+3])
-				s2 += (qa*r2[i] + qb*r2[i+1]) + (qc*r2[i+2] + qd*r2[i+3])
-				s3 += (qa*r3[i] + qb*r3[i+1]) + (qc*r3[i+2] + qd*r3[i+3])
+		}
+	} else {
+		for ; r+4 <= rows; r += 4 {
+			for qi, q := range qs {
+				dst := dsts[qi]
+				dst[r] = dotBias32(q, factors[r*k:][:k], bias[r])
+				dst[r+1] = dotBias32(q, factors[(r+1)*k:][:k], bias[r+1])
+				dst[r+2] = dotBias32(q, factors[(r+2)*k:][:k], bias[r+2])
+				dst[r+3] = dotBias32(q, factors[(r+3)*k:][:k], bias[r+3])
 			}
-			if i+2 <= len(q) {
-				qa, qb := q[i], q[i+1]
-				s0 += qa*r0[i] + qb*r0[i+1]
-				s1 += qa*r1[i] + qb*r1[i+1]
-				s2 += qa*r2[i] + qb*r2[i+1]
-				s3 += qa*r3[i] + qb*r3[i+1]
-				i += 2
-			}
-			if i < len(q) {
-				qa := q[i]
-				s0 += qa * r0[i]
-				s1 += qa * r1[i]
-				s2 += qa * r2[i]
-				s3 += qa * r3[i]
-			}
-			dst := dsts[qi]
-			dst[r], dst[r+1], dst[r+2], dst[r+3] = s0, s1, s2, s3
 		}
 	}
 	for ; r < rows; r++ {
 		row := factors[r*k : (r+1)*k]
 		for qi, q := range qs {
-			dsts[qi][r] = DotBias32(q, row, bias[r])
+			dsts[qi][r] = dotBias32(q, row, bias[r])
 		}
 	}
 }
@@ -172,7 +237,7 @@ func MatVecBias32Multi(factors []float32, k int, bias []float32, qs [][]float32,
 // even, the hardware conversion). It panics if the lengths differ.
 func Downconvert32(dst []float32, src []float64) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("vecmath: Downconvert32 length mismatch %d vs %d", len(dst), len(src)))
+		panicLen("Downconvert32", len(dst), len(src))
 	}
 	for i, v := range src {
 		dst[i] = float32(v)

@@ -1,0 +1,105 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// AVX2 float32 kernels: the vector head of the fixed 8-lane accumulation
+// tree documented on DotBias32. One YMM register holds the eight lane
+// accumulators; each 8-element group contributes exactly one rounded
+// multiply (VMULPS) and one rounded add (VADDPS) per element — never an
+// FMA, which would skip the intermediate rounding and change the bits.
+// The reduction replicates the reference tree step for step:
+//
+//	VHADDPS(low, high) → [l0+l1, l2+l3, l4+l5, l6+l7]
+//	VHADDPS again      → [(l0+l1)+(l2+l3), (l4+l5)+(l6+l7), …]
+//	final VADDSS       → ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
+//
+// Every HADDPS lane addition is a single IEEE float32 add, so each tree
+// node rounds exactly once, in the reference order.
+
+// func dotLanes32SIMD(a, b *float32, n int) float32
+// n must be a positive multiple of 8.
+TEXT ·dotLanes32SIMD(SB), NOSPLIT, $0-28
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), DX
+	MOVQ   n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+
+loop8:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DX), Y2
+	VMULPS  Y2, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	JNZ     loop8
+
+	VEXTRACTF128 $1, Y0, X1
+	VHADDPS      X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSHDUP    X0, X1
+	VADDSS       X1, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+24(FP)
+	RET
+
+// func dot4Lanes32SIMD(f *float32, stride int, q *float32, n int, out *[4]float32)
+// The 8-lane tree of q against the four rows at f, f+stride, f+2·stride,
+// f+3·stride (stride in float32 elements), sharing the query loads.
+// n must be a positive multiple of 8 with n ≤ stride.
+TEXT ·dot4Lanes32SIMD(SB), NOSPLIT, $0-40
+	MOVQ   f+0(FP), R8
+	MOVQ   stride+8(FP), BX
+	MOVQ   q+16(FP), SI
+	MOVQ   n+24(FP), CX
+	SHLQ   $2, BX
+	LEAQ   (R8)(BX*1), R9
+	LEAQ   (R9)(BX*1), R10
+	LEAQ   (R10)(BX*1), R11
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+loop8x4:
+	VMOVUPS (SI), Y4
+	VMOVUPS (R8), Y5
+	VMULPS  Y4, Y5, Y5
+	VADDPS  Y5, Y0, Y0
+	VMOVUPS (R9), Y5
+	VMULPS  Y4, Y5, Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS (R10), Y5
+	VMULPS  Y4, Y5, Y5
+	VADDPS  Y5, Y2, Y2
+	VMOVUPS (R11), Y5
+	VMULPS  Y4, Y5, Y5
+	VADDPS  Y5, Y3, Y3
+	ADDQ    $32, SI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	ADDQ    $32, R11
+	SUBQ    $8, CX
+	JNZ     loop8x4
+
+	// per-row first tree level: [l0+l1, l2+l3, l4+l5, l6+l7]
+	VEXTRACTF128 $1, Y0, X4
+	VHADDPS      X4, X0, X0
+	VEXTRACTF128 $1, Y1, X4
+	VHADDPS      X4, X1, X1
+	VEXTRACTF128 $1, Y2, X4
+	VHADDPS      X4, X2, X2
+	VEXTRACTF128 $1, Y3, X4
+	VHADDPS      X4, X3, X3
+
+	// second level pairs rows: [t0lo, t0hi, t1lo, t1hi] …
+	VHADDPS X1, X0, X0
+	VHADDPS X3, X2, X2
+
+	// third level: [tree0, tree1, tree2, tree3]
+	VHADDPS X2, X0, X0
+	MOVQ    out+32(FP), DI
+	VMOVUPS X0, (DI)
+	VZEROUPPER
+	RET

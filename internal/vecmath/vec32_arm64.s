@@ -1,0 +1,109 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// NEON float32 kernels: the vector head of the fixed 8-lane accumulation
+// tree documented on DotBias32. Lanes 0–3 live in one quad register and
+// lanes 4–7 in a second; each 8-element group contributes exactly one
+// rounded multiply (FMUL) and one rounded add (FADD) per element — never
+// an FMLA, which would skip the intermediate rounding and change the
+// bits. The reduction replicates the reference tree step for step:
+//
+//	FADDP(lo, hi)   → [l0+l1, l2+l3, l4+l5, l6+l7]
+//	FADDP again     → [(l0+l1)+(l2+l3), (l4+l5)+(l6+l7), …]
+//	scalar FADDP    → ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))
+//
+// Every FADDP lane addition is a single IEEE float32 add, so each tree
+// node rounds exactly once, in the reference order.
+//
+// The Go assembler has no vector FMUL/FADD/FADDP mnemonics, so those
+// instructions are WORD-encoded; every encoding below was produced and
+// cross-checked with llvm-mc (the disassembly is in the comment).
+
+// func dotLanes32SIMD(a, b *float32, n int) float32
+// n must be a positive multiple of 8.
+TEXT ·dotLanes32SIMD(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+
+loop8:
+	VLD1.P 32(R0), [V0.S4, V1.S4]
+	VLD1.P 32(R1), [V2.S4, V3.S4]
+	WORD   $0x6E22DC00 // fmul v0.4s, v0.4s, v2.4s
+	WORD   $0x4E20D484 // fadd v4.4s, v4.4s, v0.4s
+	WORD   $0x6E23DC21 // fmul v1.4s, v1.4s, v3.4s
+	WORD   $0x4E21D4A5 // fadd v5.4s, v5.4s, v1.4s
+	SUBS   $8, R2, R2
+	BNE    loop8
+
+	WORD  $0x6E25D484 // faddp v4.4s, v4.4s, v5.4s
+	WORD  $0x6E24D484 // faddp v4.4s, v4.4s, v4.4s
+	WORD  $0x7E30D880 // faddp s0, v4.2s
+	FMOVS F0, ret+24(FP)
+	RET
+
+// func dot4Lanes32SIMD(f *float32, stride int, q *float32, n int, out *[4]float32)
+// The 8-lane tree of q against the four rows at f, f+stride, f+2·stride,
+// f+3·stride (stride in float32 elements), sharing the query loads.
+// n must be a positive multiple of 8 with n ≤ stride.
+TEXT ·dot4Lanes32SIMD(SB), NOSPLIT, $0-40
+	MOVD f+0(FP), R5
+	MOVD stride+8(FP), R9
+	MOVD q+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD out+32(FP), R4
+	LSL  $2, R9, R9
+	ADD  R9, R5, R6
+	ADD  R9, R6, R7
+	ADD  R9, R7, R8
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VEOR V18.B16, V18.B16, V18.B16
+	VEOR V19.B16, V19.B16, V19.B16
+	VEOR V20.B16, V20.B16, V20.B16
+	VEOR V21.B16, V21.B16, V21.B16
+	VEOR V22.B16, V22.B16, V22.B16
+	VEOR V23.B16, V23.B16, V23.B16
+
+loop8x4:
+	VLD1.P 32(R2), [V0.S4, V1.S4]
+	VLD1.P 32(R5), [V2.S4, V3.S4]
+	WORD   $0x6E20DC42 // fmul v2.4s, v2.4s, v0.4s
+	WORD   $0x4E22D610 // fadd v16.4s, v16.4s, v2.4s
+	WORD   $0x6E21DC63 // fmul v3.4s, v3.4s, v1.4s
+	WORD   $0x4E23D631 // fadd v17.4s, v17.4s, v3.4s
+	VLD1.P 32(R6), [V2.S4, V3.S4]
+	WORD   $0x6E20DC42 // fmul v2.4s, v2.4s, v0.4s
+	WORD   $0x4E22D652 // fadd v18.4s, v18.4s, v2.4s
+	WORD   $0x6E21DC63 // fmul v3.4s, v3.4s, v1.4s
+	WORD   $0x4E23D673 // fadd v19.4s, v19.4s, v3.4s
+	VLD1.P 32(R7), [V2.S4, V3.S4]
+	WORD   $0x6E20DC42 // fmul v2.4s, v2.4s, v0.4s
+	WORD   $0x4E22D694 // fadd v20.4s, v20.4s, v2.4s
+	WORD   $0x6E21DC63 // fmul v3.4s, v3.4s, v1.4s
+	WORD   $0x4E23D6B5 // fadd v21.4s, v21.4s, v3.4s
+	VLD1.P 32(R8), [V2.S4, V3.S4]
+	WORD   $0x6E20DC42 // fmul v2.4s, v2.4s, v0.4s
+	WORD   $0x4E22D6D6 // fadd v22.4s, v22.4s, v2.4s
+	WORD   $0x6E21DC63 // fmul v3.4s, v3.4s, v1.4s
+	WORD   $0x4E23D6F7 // fadd v23.4s, v23.4s, v3.4s
+	SUBS   $8, R3, R3
+	BNE    loop8x4
+
+	// per-row first tree level: [l0+l1, l2+l3, l4+l5, l6+l7]
+	WORD $0x6E31D610 // faddp v16.4s, v16.4s, v17.4s
+	WORD $0x6E33D652 // faddp v18.4s, v18.4s, v19.4s
+	WORD $0x6E35D694 // faddp v20.4s, v20.4s, v21.4s
+	WORD $0x6E37D6D6 // faddp v22.4s, v22.4s, v23.4s
+
+	// second level pairs rows: [t0lo, t0hi, t1lo, t1hi] …
+	WORD $0x6E32D610 // faddp v16.4s, v16.4s, v18.4s
+	WORD $0x6E36D694 // faddp v20.4s, v20.4s, v22.4s
+
+	// third level: [tree0, tree1, tree2, tree3]
+	WORD $0x6E34D610 // faddp v16.4s, v16.4s, v20.4s
+	VST1 [V16.S4], (R4)
+	RET

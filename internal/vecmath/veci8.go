@@ -139,12 +139,38 @@ func QuantizeQuery(dst []int8, q []float64) (qscale, sumQ, sumAbsErr float64) {
 
 // DotI8 returns ⟨a, b⟩ accumulated in int32 — exact for any length up to
 // MaxDotLenI8, so unlike the float kernels the accumulation order is
-// irrelevant and every sweep shape produces the identical integer. It
-// panics if the lengths differ.
+// irrelevant and every sweep shape — including the AVX2/NEON assembly
+// arm, whose int32 lanes wrap mod 2³² exactly like the reference's
+// accumulator — produces the identical integer. It panics if the lengths
+// differ.
 func DotI8(a, b []int8) int32 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: DotI8 length mismatch %d vs %d", len(a), len(b)))
+		panicLen("DotI8", len(a), len(b))
 	}
+	if simdActive {
+		if n8 := len(a) &^ 7; n8 > 0 {
+			s := dotI8SIMD(&a[0], &b[0], n8)
+			for i := n8; i < len(a); i++ {
+				s += int32(a[i]) * int32(b[i])
+			}
+			return s
+		}
+	}
+	return dotI8Ref(a, b)
+}
+
+// DotI8Ref is the pure-Go reference implementation of DotI8, exported so
+// benchmarks can pit the dispatch arms against each other on any machine.
+// Its result is bitwise identical to DotI8's for every input. It panics
+// if the lengths differ.
+func DotI8Ref(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panicLen("DotI8Ref", len(a), len(b))
+	}
+	return dotI8Ref(a, b)
+}
+
+func dotI8Ref(a, b []int8) int32 {
 	var s int32
 	i := 0
 	for ; i+4 <= len(a); i += 4 {
@@ -195,15 +221,44 @@ func DotBiasI8(u, row []int8, scale, offset, bias, qscale, sumQ float64) float64
 func MatVecBiasI8(factors []int8, k int, scale, offset, bias []float64, u []int8, qscale, sumQ float64, dst []float64) {
 	rows := len(dst)
 	if len(factors) != rows*k {
-		panic(fmt.Sprintf("vecmath: MatVecBiasI8 slab %d != rows %d * k %d", len(factors), rows, k))
+		panicSlab("MatVecBiasI8", len(factors), rows, k)
 	}
 	if len(scale) != rows || len(offset) != rows || len(bias) != rows {
 		panic(fmt.Sprintf("vecmath: MatVecBiasI8 param lengths %d/%d/%d != rows %d", len(scale), len(offset), len(bias), rows))
 	}
 	if len(u) != k {
-		panic(fmt.Sprintf("vecmath: MatVecBiasI8 query length %d != k %d", len(u), k))
+		panicQueryLen("MatVecBiasI8", len(u), k)
 	}
+	n8 := k &^ 7
 	r := 0
+	if simdActive && n8 > 0 {
+		var out [4]int32
+		for ; r+4 <= rows; r += 4 {
+			dot4I8SIMD(&factors[r*k], k, &u[0], n8, &out)
+			d0, d1, d2, d3 := out[0], out[1], out[2], out[3]
+			if n8 < k {
+				r0 := factors[r*k:][:k]
+				r1 := factors[(r+1)*k:][:k]
+				r2 := factors[(r+2)*k:][:k]
+				r3 := factors[(r+3)*k:][:k]
+				for i := n8; i < k; i++ {
+					ua := int32(u[i])
+					d0 += ua * int32(r0[i])
+					d1 += ua * int32(r1[i])
+					d2 += ua * int32(r2[i])
+					d3 += ua * int32(r3[i])
+				}
+			}
+			dst[r] = combineI8(d0, scale[r], offset[r], bias[r], qscale, sumQ)
+			dst[r+1] = combineI8(d1, scale[r+1], offset[r+1], bias[r+1], qscale, sumQ)
+			dst[r+2] = combineI8(d2, scale[r+2], offset[r+2], bias[r+2], qscale, sumQ)
+			dst[r+3] = combineI8(d3, scale[r+3], offset[r+3], bias[r+3], qscale, sumQ)
+		}
+		for ; r < rows; r++ {
+			dst[r] = DotBiasI8(u, factors[r*k:(r+1)*k], scale[r], offset[r], bias[r], qscale, sumQ)
+		}
+		return
+	}
 	for ; r+4 <= rows; r += 4 {
 		r0 := factors[r*k:][:len(u)]
 		r1 := factors[(r+1)*k:][:len(u)]
@@ -258,6 +313,9 @@ func combineI8F(d, scale, offset, bias, qscale, sumQ float64) float64 {
 // fast path: factor dimensionalities up to widenK and query groups up to
 // widenGroup go through matVecBiasI8MultiWidened; anything larger falls
 // back to the per-query integer loop, which produces the identical scores.
+// The widened path serves only the generic dispatch arm — when the SIMD
+// kernels are active the assembly blocks process the int8 codes directly
+// and are strictly faster than widening them to float64 first.
 const (
 	widenK     = 256
 	widenGroup = 8
@@ -273,7 +331,7 @@ const (
 func MatVecBiasI8Multi(factors []int8, k int, scale, offset, bias []float64, us [][]int8, qscales, sumQs []float64, dsts [][]float64) {
 	rows := len(bias)
 	if len(factors) != rows*k {
-		panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi slab %d != rows %d * k %d", len(factors), rows, k))
+		panicSlab("MatVecBiasI8Multi", len(factors), rows, k)
 	}
 	if len(scale) != rows || len(offset) != rows {
 		panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi param lengths %d/%d != rows %d", len(scale), len(offset), rows))
@@ -286,11 +344,46 @@ func MatVecBiasI8Multi(factors []int8, k int, scale, offset, bias []float64, us 
 			panic(fmt.Sprintf("vecmath: MatVecBiasI8Multi query %d length %d != k %d", qi, len(u), k))
 		}
 	}
+	n8 := k &^ 7
+	r := 0
+	if simdActive && n8 > 0 {
+		var out [4]int32
+		for ; r+4 <= rows; r += 4 {
+			for qi, u := range us {
+				dot4I8SIMD(&factors[r*k], k, &u[0], n8, &out)
+				d0, d1, d2, d3 := out[0], out[1], out[2], out[3]
+				if n8 < k {
+					r0 := factors[r*k:][:k]
+					r1 := factors[(r+1)*k:][:k]
+					r2 := factors[(r+2)*k:][:k]
+					r3 := factors[(r+3)*k:][:k]
+					for i := n8; i < k; i++ {
+						ua := int32(u[i])
+						d0 += ua * int32(r0[i])
+						d1 += ua * int32(r1[i])
+						d2 += ua * int32(r2[i])
+						d3 += ua * int32(r3[i])
+					}
+				}
+				dst := dsts[qi]
+				dst[r] = combineI8(d0, scale[r], offset[r], bias[r], qscales[qi], sumQs[qi])
+				dst[r+1] = combineI8(d1, scale[r+1], offset[r+1], bias[r+1], qscales[qi], sumQs[qi])
+				dst[r+2] = combineI8(d2, scale[r+2], offset[r+2], bias[r+2], qscales[qi], sumQs[qi])
+				dst[r+3] = combineI8(d3, scale[r+3], offset[r+3], bias[r+3], qscales[qi], sumQs[qi])
+			}
+		}
+		for ; r < rows; r++ {
+			row := factors[r*k : (r+1)*k]
+			for qi, u := range us {
+				dsts[qi][r] = DotBiasI8(u, row, scale[r], offset[r], bias[r], qscales[qi], sumQs[qi])
+			}
+		}
+		return
+	}
 	if k <= widenK && len(us) <= widenGroup {
 		matVecBiasI8MultiWidened(factors, k, scale, offset, bias, us, qscales, sumQs, dsts)
 		return
 	}
-	r := 0
 	for ; r+4 <= rows; r += 4 {
 		for qi, u := range us {
 			r0 := factors[r*k:][:len(u)]

@@ -1,0 +1,128 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// NEON int8 dot kernels. Each 16-byte chunk is sign-extend-multiplied
+// into int16 products (SMULL/SMULL2) and pair-accumulated into int32
+// lanes (SADALP; products are ≤ 127², so the int16 products and their
+// pair sums never saturate). int32 addition wraps mod 2³² and is
+// therefore associative, so any lane split returns the bit-identical
+// integer the pure-Go reference computes, for every input including
+// lengths past MaxDotLenI8.
+//
+// The Go assembler has no SMULL/SADALP vector mnemonics, so those
+// instructions are WORD-encoded; every encoding below was produced and
+// cross-checked with llvm-mc (the disassembly is in the comment).
+
+// func dotI8SIMD(a, b *int8, n int) int32
+// n must be a positive multiple of 8.
+TEXT ·dotI8SIMD(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+
+loop16:
+	CMP    $16, R2
+	BLT    tail8
+	VLD1.P 16(R0), [V0.B16]
+	VLD1.P 16(R1), [V1.B16]
+	WORD   $0x0E21C002 // smull  v2.8h, v0.8b, v1.8b
+	WORD   $0x4E606844 // sadalp v4.4s, v2.8h
+	WORD   $0x4E21C003 // smull2 v3.8h, v0.16b, v1.16b
+	WORD   $0x4E606865 // sadalp v5.4s, v3.8h
+	SUB    $16, R2, R2
+	B      loop16
+
+tail8:
+	// remaining 8-element chunk (R2 is now 0 or 8)
+	CBZ  R2, reduce
+	VLD1 (R0), [V0.B8]
+	VLD1 (R1), [V1.B8]
+	WORD $0x0E21C002 // smull  v2.8h, v0.8b, v1.8b
+	WORD $0x4E606844 // sadalp v4.4s, v2.8h
+
+reduce:
+	VADD  V5.S4, V4.S4, V4.S4
+	VADDV V4.S4, V4
+	VMOV  V4.S[0], R3
+	MOVW  R3, ret+24(FP)
+	RET
+
+// func dot4I8SIMD(f *int8, stride int, u *int8, n int, out *[4]int32)
+// Dots of u against the four rows at f, f+stride, f+2·stride,
+// f+3·stride (stride in elements = bytes for int8). n must be a
+// positive multiple of 8 with n ≤ stride.
+TEXT ·dot4I8SIMD(SB), NOSPLIT, $0-40
+	MOVD f+0(FP), R5
+	MOVD stride+8(FP), R9
+	MOVD u+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD out+32(FP), R4
+	ADD  R9, R5, R6
+	ADD  R9, R6, R7
+	ADD  R9, R7, R8
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VEOR V18.B16, V18.B16, V18.B16
+	VEOR V19.B16, V19.B16, V19.B16
+
+loop16:
+	CMP    $16, R3
+	BLT    tail8
+	VLD1.P 16(R2), [V0.B16]
+	VLD1.P 16(R5), [V1.B16]
+	WORD   $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD   $0x4E606850 // sadalp v16.4s, v2.8h
+	WORD   $0x4E20C023 // smull2 v3.8h, v1.16b, v0.16b
+	WORD   $0x4E606870 // sadalp v16.4s, v3.8h
+	VLD1.P 16(R6), [V1.B16]
+	WORD   $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD   $0x4E606851 // sadalp v17.4s, v2.8h
+	WORD   $0x4E20C023 // smull2 v3.8h, v1.16b, v0.16b
+	WORD   $0x4E606871 // sadalp v17.4s, v3.8h
+	VLD1.P 16(R7), [V1.B16]
+	WORD   $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD   $0x4E606852 // sadalp v18.4s, v2.8h
+	WORD   $0x4E20C023 // smull2 v3.8h, v1.16b, v0.16b
+	WORD   $0x4E606872 // sadalp v18.4s, v3.8h
+	VLD1.P 16(R8), [V1.B16]
+	WORD   $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD   $0x4E606853 // sadalp v19.4s, v2.8h
+	WORD   $0x4E20C023 // smull2 v3.8h, v1.16b, v0.16b
+	WORD   $0x4E606873 // sadalp v19.4s, v3.8h
+	SUB    $16, R3, R3
+	B      loop16
+
+tail8:
+	// remaining 8-element chunk (R3 is now 0 or 8)
+	CBZ  R3, reduce
+	VLD1 (R2), [V0.B8]
+	VLD1 (R5), [V1.B8]
+	WORD $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD $0x4E606850 // sadalp v16.4s, v2.8h
+	VLD1 (R6), [V1.B8]
+	WORD $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD $0x4E606851 // sadalp v17.4s, v2.8h
+	VLD1 (R7), [V1.B8]
+	WORD $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD $0x4E606852 // sadalp v18.4s, v2.8h
+	VLD1 (R8), [V1.B8]
+	WORD $0x0E20C022 // smull  v2.8h, v1.8b, v0.8b
+	WORD $0x4E606853 // sadalp v19.4s, v2.8h
+
+reduce:
+	VADDV V16.S4, V16
+	VADDV V17.S4, V17
+	VADDV V18.S4, V18
+	VADDV V19.S4, V19
+	VMOV  V16.S[0], R9
+	VMOV  V17.S[0], R10
+	VMOV  V18.S[0], R11
+	VMOV  V19.S[0], R12
+	MOVW  R9, (R4)
+	MOVW  R10, 4(R4)
+	MOVW  R11, 8(R4)
+	MOVW  R12, 12(R4)
+	RET
