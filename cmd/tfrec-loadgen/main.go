@@ -1,7 +1,8 @@
-// Command tfrec-loadgen drives a running tfrec-serve with an open-loop
-// arrival process and reports the latency distribution and error
-// breakdown — the soak driver behind the CI loadtest job and the local
-// tool for sizing -workers/-max-inflight/-cache-size.
+// Command tfrec-loadgen drives a running tfrec-serve or tfrec-router
+// with an open-loop arrival process and reports the latency
+// distribution and error breakdown — the soak driver behind the CI
+// loadtest and topology jobs and the local tool for sizing
+// -workers/-max-inflight/-cache-size.
 //
 // Open-loop means arrivals fire on a fixed schedule (the target RPS)
 // regardless of how many requests are still in flight, the way real
@@ -9,23 +10,35 @@
 // flattering closed-loop regime where slow responses throttle the load.
 // That is exactly what makes it an honest probe of the admission layer —
 // overdrive the server and the shed responses (429/503) show up here as
-// a separate class, distinguished from real errors and timeouts.
+// a separate class, distinguished from real errors and timeouts. Every
+// non-2xx body is parsed as the structured error envelope and the run
+// reports a per-code breakdown, so "queue_full" pressure reads
+// differently from "shard_unavailable" outages.
 //
 // The request mix comes from a scenario file (-scenario, JSON) weighting
 // strategies, precisions, pruned retrieval, filters and pagination;
 // without one a built-in mix of naive/pruned/cascade/diversified/filtered
-// traffic runs. Model shape
-// (user count, item count, Markov order) is discovered from /v1/stats.
+// traffic runs. Model shape (user count, item count, Markov order) is
+// discovered from /v1/stats — a router answers the same probe, so the
+// same invocation drives either.
 //
 // Usage:
 //
 //	tfrec-loadgen -addr http://127.0.0.1:8080 -rps 200 -duration 20s
 //	tfrec-loadgen -rps 2000 -duration 5s -shed-ok -require-shed   # overload probe
+//	tfrec-loadgen -addr http://router:8080 -mirror http://single:8090 \
+//	    -rps 100 -duration 10s -fail-on-error                     # byte-identity gate
+//
+// -addr takes a comma-separated list and round-robins across it.
+// -mirror sends every request to a control server too and fails the run
+// unless each response pair is byte-identical — the CI proof that a
+// router over N shards answers exactly like one full-catalog node.
 //
 // CI gates: -fail-on-error (any non-2xx that is not an allowed shed, or
 // any transport error, fails), -max-p99 (latency budget over successful
 // requests), -require-shed (the overload run must actually shed),
-// -max-goroutines (post-run leak check against /v1/stats).
+// -max-goroutines (post-run leak check against /v1/stats), -mirror
+// (any response divergence fails).
 package main
 
 import (
@@ -38,8 +51,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/api"
 )
 
 // scenario is one weighted request template of the mix.
@@ -88,16 +104,10 @@ func defaultScenarios() []scenario {
 }
 
 // modelInfo is the slice of /v1/stats loadgen needs to synthesize
-// requests and run the post-load leak check.
-type modelInfo struct {
-	Model struct {
-		Users       int `json:"users"`
-		Items       int `json:"items"`
-		Nodes       int `json:"nodes"`
-		MarkovOrder int `json:"markov_order"`
-	} `json:"model"`
-	Goroutines int `json:"goroutines"`
-}
+// requests and run the post-load leak check. api.Stats and
+// api.RouterStats share the model and goroutines sections, so one probe
+// shape covers a single node and a router alike.
+type modelInfo = api.Stats
 
 func fetchStats(client *http.Client, addr string) (modelInfo, error) {
 	var info modelInfo
@@ -112,21 +122,6 @@ func fetchStats(client *http.Client, addr string) (modelInfo, error) {
 	return info, json.NewDecoder(resp.Body).Decode(&info)
 }
 
-// wireBody mirrors the serve package's request JSON.
-type wireBody struct {
-	User              int       `json:"user"`
-	Recent            [][]int32 `json:"recent,omitempty"`
-	K                 int       `json:"k"`
-	Offset            int       `json:"offset,omitempty"`
-	Strategy          string    `json:"strategy,omitempty"`
-	Keep              float64   `json:"keep,omitempty"`
-	MaxPerCategory    int       `json:"max_per_category,omitempty"`
-	CatDepth          int       `json:"cat_depth,omitempty"`
-	ExcludePurchased  bool      `json:"exclude_purchased,omitempty"`
-	Categories        []int32   `json:"categories,omitempty"`
-	ExcludeCategories []int32   `json:"exclude_categories,omitempty"`
-}
-
 // buildRequest renders one scenario instance against the live model
 // shape. It returns the request path (precision rides as a query
 // parameter) and the JSON body.
@@ -135,7 +130,7 @@ func buildRequest(rng *rand.Rand, sc scenario, info modelInfo, defaultK int) (st
 	if k <= 0 {
 		k = defaultK
 	}
-	body := wireBody{
+	body := api.RecommendRequest{
 		User:             rng.Intn(max(info.Model.Users, 1)),
 		K:                k,
 		Offset:           sc.Offset,
@@ -166,7 +161,7 @@ func buildRequest(rng *rand.Rand, sc scenario, info modelInfo, defaultK int) (st
 		}
 	}
 	raw, _ := json.Marshal(body)
-	path := "/v1/recommend"
+	path := api.EndpointUnified.Path()
 	sep := "?"
 	if sc.Precision != "" {
 		path += sep + "precision=" + sc.Precision
@@ -202,6 +197,22 @@ type shot struct {
 	status  int // 0 = transport error
 	latency time.Duration
 	err     error
+	// code is the typed envelope code parsed from a non-2xx body
+	// ("unparsed" when the body is not the structured envelope).
+	code string
+	// degraded marks a 2xx whose ranking covered only part of the catalog
+	// (router in -degraded partial with a shard down).
+	degraded bool
+	// compared/mismatch track the -mirror byte-identity check for this
+	// arrival; mismatch carries the first-line description of a divergence.
+	compared bool
+	mismatch string
+}
+
+// shedStatus reports whether a status is load-dependent (shed or
+// transport failure) and therefore outside the -mirror identity contract.
+func shedStatus(status int) bool {
+	return status == 0 || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 // percentile returns the p-quantile (0..100) of sorted latencies.
@@ -254,20 +265,31 @@ type report struct {
 	TargetRPS    float64        `json:"target_rps"`
 	AchievedRPS  float64        `json:"achieved_rps"`
 	StatusCounts map[string]int `json:"status_counts"`
-	Transport    int            `json:"transport_errors"`
-	Shed         int            `json:"shed"`
-	Success      int            `json:"success_2xx"`
-	P50MS        float64        `json:"p50_ms"`
-	P95MS        float64        `json:"p95_ms"`
-	P99MS        float64        `json:"p99_ms"`
-	MaxMS        float64        `json:"max_ms"`
-	Goroutines   int            `json:"server_goroutines_after"`
+	// ErrorCodes breaks every non-2xx down by its typed envelope code
+	// ("unparsed" = the body was not the structured envelope).
+	ErrorCodes map[string]int `json:"error_codes,omitempty"`
+	Transport  int            `json:"transport_errors"`
+	Shed       int            `json:"shed"`
+	Success    int            `json:"success_2xx"`
+	// Degraded counts 2xx responses flagged "degraded":true (partial
+	// catalog coverage from a router with a shard down).
+	Degraded int `json:"degraded_responses"`
+	// MirrorCompared/MirrorMismatches summarize the -mirror byte-identity
+	// check; any mismatch fails the run.
+	MirrorCompared   int     `json:"mirror_compared,omitempty"`
+	MirrorMismatches int     `json:"mirror_mismatches,omitempty"`
+	P50MS            float64 `json:"p50_ms"`
+	P95MS            float64 `json:"p95_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	MaxMS            float64 `json:"max_ms"`
+	Goroutines       int     `json:"server_goroutines_after"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfrec-loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the tfrec-serve instance")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "comma-separated base URLs (tfrec-serve or tfrec-router); arrivals round-robin across them")
+	mirror := fs.String("mirror", "", "control base URL: every request is sent here too and any non-shed response pair that is not byte-identical fails the run")
 	rps := fs.Float64("rps", 100, "open-loop arrival rate (requests per second)")
 	duration := fs.Duration("duration", 20*time.Second, "how long to generate load")
 	scenarioPath := fs.String("scenario", "", "JSON scenario file weighting the request mix (empty = built-in mix)")
@@ -306,6 +328,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = sf.Scenarios
 	}
 
+	var targets []string
+	for _, t := range strings.Split(*addr, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "tfrec-loadgen: -addr must name at least one base URL")
+		return 2
+	}
+	*mirror = strings.TrimRight(strings.TrimSpace(*mirror), "/")
+
 	client := &http.Client{
 		Timeout: *reqTimeout,
 		Transport: &http.Transport{
@@ -313,7 +347,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxIdleConnsPerHost: 512,
 		},
 	}
-	info, err := fetchStats(client, *addr)
+	info, err := fetchStats(client, targets[0])
 	if err != nil {
 		fmt.Fprintf(stderr, "tfrec-loadgen: cannot reach server: %v\n", err)
 		return 2
@@ -364,16 +398,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			target := targets[i%len(targets)]
 			t0 := time.Now()
-			resp, err := client.Post(*addr+paths[i], "application/json", bytes.NewReader(bodies[i]))
+			resp, err := client.Post(target+paths[i], "application/json", bytes.NewReader(bodies[i]))
 			lat := time.Since(t0)
 			if err != nil {
 				shots[i] = shot{status: 0, latency: lat, err: err}
 				return
 			}
-			io.Copy(io.Discard, resp.Body)
+			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
-			shots[i] = shot{status: resp.StatusCode, latency: lat}
+			s := shot{status: resp.StatusCode, latency: lat}
+			if resp.StatusCode/100 != 2 {
+				var eb api.ErrorBody
+				if json.Unmarshal(body, &eb) == nil && eb.Err.Code != "" {
+					s.code = string(eb.Err.Code)
+				} else {
+					s.code = "unparsed"
+				}
+			} else if bytes.Contains(body, []byte(`"degraded":true`)) {
+				s.degraded = true
+			}
+			if *mirror != "" {
+				mresp, merr := client.Post(*mirror+paths[i], "application/json", bytes.NewReader(bodies[i]))
+				if merr != nil {
+					s.mismatch = fmt.Sprintf("%s: mirror transport error: %v", paths[i], merr)
+				} else {
+					mbody, _ := io.ReadAll(mresp.Body)
+					mresp.Body.Close()
+					// shed responses (and transport drops) are load-dependent;
+					// everything else — rankings and deterministic 4xx envelopes
+					// alike — must match the control byte for byte
+					if !shedStatus(resp.StatusCode) && !shedStatus(mresp.StatusCode) {
+						s.compared = true
+						switch {
+						case resp.StatusCode != mresp.StatusCode:
+							s.mismatch = fmt.Sprintf("%s %s: status %d vs mirror %d",
+								paths[i], bodies[i], resp.StatusCode, mresp.StatusCode)
+						case !bytes.Equal(body, mbody):
+							s.mismatch = fmt.Sprintf("%s %s: bodies diverge (%d vs %d bytes)",
+								paths[i], bodies[i], len(body), len(mbody))
+						}
+					}
+				}
+			}
+			shots[i] = s
 		}(i)
 	}
 	wg.Wait()
@@ -388,6 +457,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var okLats []time.Duration
 	var firstErr error
+	firstMismatch := ""
 	hardErrors := 0
 	for _, s := range shots {
 		switch {
@@ -400,6 +470,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case s.status/100 == 2:
 			rep.Success++
 			okLats = append(okLats, s.latency)
+			if s.degraded {
+				rep.Degraded++
+			}
 		case (s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable) && *shedOK:
 			rep.Shed++
 		default:
@@ -407,6 +480,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if s.status != 0 {
 			rep.StatusCounts[fmt.Sprint(s.status)]++
+		}
+		if s.code != "" {
+			if rep.ErrorCodes == nil {
+				rep.ErrorCodes = map[string]int{}
+			}
+			rep.ErrorCodes[s.code]++
+		}
+		if s.compared {
+			rep.MirrorCompared++
+		}
+		if s.mismatch != "" {
+			rep.MirrorMismatches++
+			if firstMismatch == "" {
+				firstMismatch = s.mismatch
+			}
 		}
 	}
 	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
@@ -435,8 +523,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "  latency (2xx): p50=%v p95=%v p99=%v max=%.1fms\n", p50, p95, p99, rep.MaxMS)
 	histogram(stdout, okLats)
+	if len(rep.ErrorCodes) > 0 {
+		names := make([]string, 0, len(rep.ErrorCodes))
+		for name := range rep.ErrorCodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "  error codes:")
+		for _, name := range names {
+			fmt.Fprintf(stdout, " %s x%d", name, rep.ErrorCodes[name])
+		}
+		fmt.Fprintln(stdout)
+	}
 	if rep.Shed > 0 {
 		fmt.Fprintf(stdout, "  shed (429/503): %d\n", rep.Shed)
+	}
+	if rep.Degraded > 0 {
+		fmt.Fprintf(stdout, "  degraded responses: %d\n", rep.Degraded)
+	}
+	if *mirror != "" {
+		fmt.Fprintf(stdout, "  mirror: %d response pairs compared, %d mismatches\n",
+			rep.MirrorCompared, rep.MirrorMismatches)
 	}
 
 	// settle, then read the server's goroutine count for the leak gate
@@ -476,6 +583,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *requireShed && rep.Shed == 0 {
 		fmt.Fprintln(stdout, "FAIL: overload run shed nothing — admission control not engaging")
 		failed = true
+	}
+	if *mirror != "" {
+		if rep.MirrorMismatches > 0 {
+			fmt.Fprintf(stdout, "FAIL: %d mirror mismatches (first: %s)\n", rep.MirrorMismatches, firstMismatch)
+			failed = true
+		} else if rep.MirrorCompared == 0 {
+			fmt.Fprintln(stdout, "FAIL: -mirror compared nothing — every pair was shed or dropped")
+			failed = true
+		}
 	}
 	if *maxGoroutines > 0 && rep.Goroutines > *maxGoroutines {
 		fmt.Fprintf(stdout, "FAIL: server reports %d goroutines after settle (limit %d) — possible leak\n", rep.Goroutines, *maxGoroutines)

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -61,7 +62,7 @@ func TestBuildRequestShapes(t *testing.T) {
 	if !strings.Contains(path, "precision=f64") {
 		t.Fatalf("precision not on path: %s", path)
 	}
-	var body wireBody
+	var body api.RecommendRequest
 	if err := json.Unmarshal(raw, &body); err != nil {
 		t.Fatal(err)
 	}
@@ -147,9 +148,7 @@ func shedStub() http.Handler {
 	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
 		io.Copy(io.Discard, r.Body)
 		if n.Add(1)%2 == 0 {
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusTooManyRequests)
-			w.Write([]byte(`{"error":"overloaded, retry later"}`))
+			api.WriteError(w, api.ErrorDetail{Code: api.CodeQueueFull, Message: "overloaded, retry later", RetryAfter: 1})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -174,6 +173,9 @@ func TestLoadgenRequireShed(t *testing.T) {
 	if !strings.Contains(out.String(), "shed (429/503)") {
 		t.Fatalf("no sheds reported:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "queue_full") {
+		t.Fatalf("typed error code breakdown missing:\n%s", out.String())
+	}
 	// without -shed-ok the same traffic is a hard failure
 	out.Reset()
 	code = run([]string{
@@ -195,6 +197,45 @@ func TestLoadgenRequireShedUnmet(t *testing.T) {
 	}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("unshed overload probe should fail: exit %d\n%s", code, out.String())
+	}
+}
+
+// -mirror against a control trained identically must compare pairs and
+// pass; a control that answers differently must fail the run.
+func TestLoadgenMirror(t *testing.T) {
+	primary := httptest.NewServer(testServer(t).Handler())
+	defer primary.Close()
+	control := httptest.NewServer(testServer(t).Handler())
+	defer control.Close()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", primary.URL, "-mirror", control.URL,
+		"-rps", "100", "-duration", "300ms", "-fail-on-error",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("identical mirror exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "mirror:") || strings.Contains(out.String(), "mirror: 0 response pairs") {
+		t.Fatalf("mirror summary missing:\n%s", out.String())
+	}
+
+	// a control that always answers with a fixed body must diverge
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"items":[{"item":0,"score":1}],"epoch":0}` + "\n"))
+	}))
+	defer liar.Close()
+	out.Reset()
+	code = run([]string{
+		"-addr", primary.URL, "-mirror", liar.URL,
+		"-rps", "100", "-duration", "200ms",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("diverging mirror should fail: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mirror mismatches") {
+		t.Fatalf("mismatch not reported:\n%s", out.String())
 	}
 }
 

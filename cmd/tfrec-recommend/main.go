@@ -15,12 +15,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/infer"
 	"repro/internal/model"
@@ -46,6 +48,7 @@ func main() {
 	category := flag.String("category", "", "comma-separated taxonomy node ids to restrict results to")
 	excludeCategory := flag.String("exclude-category", "", "comma-separated taxonomy node ids to remove")
 	structured := flag.Bool("structured", false, "print the per-category structured ranking")
+	jsonOut := flag.Bool("json", false, "print the ranking as the wire-format recommend response body (diffable against a tfrec-serve answer for the same model); ignored with -structured")
 	pruned := flag.Bool("pruned", false, "use taxonomy-guided branch-and-bound retrieval for the naive sweep (byte-identical ranking; reports how much of the catalog the bounds skipped)")
 	flag.Parse()
 
@@ -157,6 +160,29 @@ func main() {
 	res, err := pool.Execute(context.Background(), c, q, pl)
 	if err != nil {
 		log.Fatalf("execute: %v", err)
+	}
+	if *jsonOut {
+		// the same wire shape a tfrec-serve node answers with — including
+		// the diversified category annotation and the model fingerprint —
+		// so a CLI run is diffable against a server response
+		out := api.RecommendResponse{
+			Items:   make([]api.Item, len(res.Items)),
+			ModelID: c.Fingerprint(),
+		}
+		qDepth := -1
+		if strat == infer.StrategyDiversified {
+			qDepth = infer.DiversifyDepth(c, *catDepth)
+		}
+		for i, s := range res.Items {
+			out.Items[i] = api.Item{Item: s.ID, Score: s.Score}
+			if qDepth >= 0 {
+				out.Items[i].Category = int32(c.Index.ItemCategory(s.ID, qDepth))
+			}
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if res.Eligible < c.NumItems() {
 		fmt.Printf("filtered catalog: %d/%d items eligible\n", res.Eligible, c.NumItems())

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -67,6 +68,7 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 10*time.Millisecond, "admission control: how long a request may wait for an execution slot before shedding 503 (queue depth is 2x -max-inflight)")
 	timeout := flag.Duration("timeout", 0, "per-request budget covering queue wait, batch window and sweep (0 = unbounded); a deadline firing mid-sweep sheds 503, never a partial ranking")
 	pruned := flag.Bool("pruned", false, "default naive sweeps to taxonomy-guided branch-and-bound retrieval (rankings stay byte-identical; pruned requests bypass batch coalescing)")
+	itemRange := flag.String("item-range", "", "shard mode: serve only catalog items in the half-open range lo:hi (empty = full catalog); a tfrec-router merges shard rankings")
 	flag.Parse()
 
 	prec, err := model.ParsePrecision(*precision)
@@ -78,6 +80,17 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithPrecision(prec), serve.WithCache(*cacheSize), serve.WithPruned(*pruned)}
+	if *itemRange != "" {
+		rng, err := api.ParseItemRange(*itemRange)
+		if err != nil {
+			log.Fatalf("-item-range: %v", err)
+		}
+		if n := sn.Composed.NumItems(); rng.Hi > n {
+			log.Fatalf("-item-range %s exceeds the catalog size %d", rng, n)
+		}
+		opts = append(opts, serve.WithItemRange(rng.Lo, rng.Hi))
+		log.Printf("shard mode: serving items [%d,%d) of the catalog", rng.Lo, rng.Hi)
+	}
 	if *dataDir != "" {
 		pf, err := os.Open(filepath.Join(*dataDir, "purchases.tsv"))
 		if err != nil {

@@ -24,7 +24,7 @@ import (
 )
 
 // docFiles are the documents under contract.
-var docFiles = []string{"README.md", "DESIGN.md"}
+var docFiles = []string{"README.md", "DESIGN.md", "docs/API.md"}
 
 // goFences extracts the body of every ```go fence. Fences open and
 // close on lines whose trimmed content starts with ``` — the documents

@@ -31,11 +31,26 @@ type Filter struct {
 	// ExcludeItems lists individual item ids to remove; duplicates are
 	// harmless.
 	ExcludeItems []int32
+	// RangeLo/RangeHi, when RangeHi > RangeLo, restrict candidates to the
+	// half-open catalog slice [RangeLo, RangeHi) — the shard-scoped
+	// serving mode, where one process answers for a contiguous piece of
+	// the catalog and a router merges per-shard rankings. Like the other
+	// capabilities it composes by intersection, so category filters and
+	// exclusions apply within the range. RangeHi <= RangeLo (the zero
+	// value) means the whole catalog.
+	RangeLo int
+	RangeHi int
+}
+
+// Ranged reports whether the filter carries a catalog range restriction.
+func (f *Filter) Ranged() bool {
+	return f != nil && f.RangeHi > f.RangeLo
 }
 
 // Empty reports whether the filter passes every item.
 func (f *Filter) Empty() bool {
-	return f == nil || (len(f.AllowNodes) == 0 && len(f.DenyNodes) == 0 && len(f.ExcludeItems) == 0)
+	return f == nil || (len(f.AllowNodes) == 0 && len(f.DenyNodes) == 0 &&
+		len(f.ExcludeItems) == 0 && !f.Ranged())
 }
 
 // validate checks every referenced id against the snapshot.
@@ -58,6 +73,11 @@ func (f *Filter) validate(c *model.Composed) error {
 	for _, it := range f.ExcludeItems {
 		if it < 0 || int(it) >= numItems {
 			return fmt.Errorf("infer: filter excluded item %d outside [0,%d)", it, numItems)
+		}
+	}
+	if f.Ranged() {
+		if f.RangeLo < 0 || f.RangeHi > numItems {
+			return fmt.Errorf("infer: filter item range [%d,%d) outside [0,%d)", f.RangeLo, f.RangeHi, numItems)
 		}
 	}
 	return nil
@@ -97,6 +117,10 @@ func compileFilter(ix *model.ScoringIndex, f *Filter) *compiledFilter {
 	}
 	for _, it := range f.ExcludeItems {
 		cf.mask.Unset(int(it))
+	}
+	if f.Ranged() {
+		cf.mask.UnsetRange(0, f.RangeLo)
+		cf.mask.UnsetRange(f.RangeHi, ix.NumItems())
 	}
 	cf.eligible = cf.mask.Count()
 	return cf

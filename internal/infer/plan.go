@@ -195,8 +195,17 @@ func (pl Plan) Validate(c *model.Composed) error {
 // diversifyDepth resolves the quota level: CatDepth 0 means the lowest
 // category level.
 func (pl Plan) diversifyDepth(c *model.Composed) int {
-	if d := pl.Diversify.CatDepth; d != 0 {
-		return d
+	return DiversifyDepth(c, pl.Diversify.CatDepth)
+}
+
+// DiversifyDepth resolves a diversified request's quota level against a
+// snapshot: catDepth 0 means the lowest category level. Serving layers
+// use it to report which taxonomy node each returned item's quota was
+// charged to — the annotation a scatter-gather router needs to re-apply
+// the per-category quota merge across shard results.
+func DiversifyDepth(c *model.Composed, catDepth int) int {
+	if catDepth != 0 {
+		return catDepth
 	}
 	return c.Tree.Depth() - 1
 }

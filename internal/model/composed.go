@@ -1,6 +1,8 @@
 package model
 
 import (
+	"sync"
+
 	"repro/internal/dataset"
 	"repro/internal/taxonomy"
 	"repro/internal/vecmath"
@@ -30,6 +32,11 @@ type Composed struct {
 	// nor the server configuration chooses one.
 	Precision Precision
 	weights   []float64
+
+	// fp caches Fingerprint(): a content id computed lazily on first use
+	// (the strided slab hash would otherwise tax mmap-load startup).
+	fpOnce sync.Once
+	fp     string
 }
 
 // Compose materializes the effective factors by a single top-down pass:

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a short hex id of the snapshot's model content —
+// identical for identical model parameters however the snapshot was
+// produced (composed in-process, loaded from a gob file, or served from
+// a v4 memory mapping), and different with overwhelming probability for
+// different trainings. A scatter-gather router compares shard
+// fingerprints to refuse merging rankings computed on different models:
+// per-process epoch counters detect that one shard reloaded, but only a
+// content id says whether the shards agree NOW.
+//
+// The hash covers the model dimensions, the full item-bias slab, and a
+// strided sample of item-factor and user-factor rows rather than every
+// slab byte: any retraining perturbs essentially all factor entries, so
+// the sample distinguishes trainings as reliably as a full pass while
+// touching only a few hundred rows — which also keeps the first call on
+// a memory-mapped snapshot from faulting the whole file resident. The
+// result is computed once per snapshot and cached.
+func (c *Composed) Fingerprint() string {
+	c.fpOnce.Do(func() {
+		c.fp = fmt.Sprintf("%016x", c.fingerprint())
+	})
+	return c.fp
+}
+
+// fingerprintSampleRows bounds how many rows of each factor matrix the
+// fingerprint reads.
+const fingerprintSampleRows = 256
+
+func (c *Composed) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeRows := func(rows int, row func(int) []float64) {
+		stride := rows / fingerprintSampleRows
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < rows; i += stride {
+			for _, v := range row(i) {
+				writeF64(v)
+			}
+		}
+	}
+
+	ix := c.Index
+	writeU64(uint64(ix.k))
+	writeU64(uint64(ix.numItems))
+	writeU64(uint64(len(ix.nodeBias)))
+	writeU64(uint64(c.P.MarkovOrder))
+	writeU64(uint64(c.User.Rows()))
+	for _, b := range ix.itemBias {
+		writeF64(b)
+	}
+	writeRows(ix.numItems, func(i int) []float64 {
+		return ix.itemFactors[i*ix.k : (i+1)*ix.k]
+	})
+	writeRows(c.User.Rows(), c.User.Row)
+	return h.Sum64()
+}

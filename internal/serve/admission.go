@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"errors"
-	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/api"
 )
 
-// admission is the load-shedding front of the HTTP layer: a concurrency
+// Admission is the load-shedding front of an HTTP serving layer — the
+// same limiter guards a single node's recommend endpoints and a
+// scatter-gather router's fan-out: a concurrency
 // limiter with a bounded wait queue. Up to maxInflight requests execute
 // at once; up to maxQueue more may wait up to queueWait for a slot; and
 // everything beyond that is rejected immediately. Saturation therefore
@@ -18,7 +21,7 @@ import (
 // separately so /v1/stats distinguishes "the queue was full" (arrival
 // rate beyond even the buffer) from "a slot never freed in time"
 // (service time collapsed).
-type admission struct {
+type Admission struct {
 	slots chan struct{} // one token per executing request
 	queue chan struct{} // one token per waiting request
 	wait  time.Duration
@@ -30,37 +33,38 @@ type admission struct {
 	queueAborted  atomic.Int64
 }
 
-func newAdmission(maxInflight, maxQueue int, queueWait time.Duration) *admission {
+func NewAdmission(maxInflight, maxQueue int, queueWait time.Duration) *Admission {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admission{
+	return &Admission{
 		slots: make(chan struct{}, maxInflight),
 		queue: make(chan struct{}, maxQueue),
 		wait:  queueWait,
 	}
 }
 
-// acquire claims an execution slot, waiting in the bounded queue when
+// Acquire claims an execution slot, waiting in the bounded queue when
 // none is free. It returns a non-nil release func on admission; on shed
-// it returns nil and the HTTP status to answer with: 429 when the wait
-// queue itself is full (the client should back off), 503 when a slot did
-// not free up within the queue wait or the caller's context ended first.
+// it returns nil and the typed error code to answer with:
+// api.CodeQueueFull (429) when the wait queue itself is full (the client
+// should back off), api.CodeOverloaded (503) when a slot did not free up
+// within the queue wait or the caller's context ended first.
 // Only genuine slot starvation — the wait timer or a deadline expiring —
 // counts toward shed_wait_timeout; a client that hangs up while queued is
 // tallied separately (queue_abandoned), so the "service time collapsed"
 // signal is not inflated by client churn.
-func (a *admission) acquire(ctx context.Context) (release func(), status int) {
+func (a *Admission) Acquire(ctx context.Context) (release func(), code api.Code) {
 	select {
 	case a.slots <- struct{}{}:
-		return a.admitted(), 0
+		return a.admitted(), ""
 	default:
 	}
 	select {
 	case a.queue <- struct{}{}:
 	default:
 		a.shedQueueFull.Add(1)
-		return nil, http.StatusTooManyRequests
+		return nil, api.CodeQueueFull
 	}
 	a.queued.Add(1)
 	defer func() {
@@ -71,10 +75,10 @@ func (a *admission) acquire(ctx context.Context) (release func(), status int) {
 	defer timer.Stop()
 	select {
 	case a.slots <- struct{}{}:
-		return a.admitted(), 0
+		return a.admitted(), ""
 	case <-timer.C:
 		a.shedWait.Add(1)
-		return nil, http.StatusServiceUnavailable
+		return nil, api.CodeOverloaded
 	case <-ctx.Done():
 		if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
 			// the request's budget expired while queued: the slot really
@@ -83,11 +87,11 @@ func (a *admission) acquire(ctx context.Context) (release func(), status int) {
 		} else {
 			a.queueAborted.Add(1)
 		}
-		return nil, http.StatusServiceUnavailable
+		return nil, api.CodeOverloaded
 	}
 }
 
-func (a *admission) admitted() func() {
+func (a *Admission) admitted() func() {
 	a.inflight.Add(1)
 	return func() {
 		a.inflight.Add(-1)
@@ -95,19 +99,12 @@ func (a *admission) admitted() func() {
 	}
 }
 
-// AdmissionStats is the admission section of /v1/stats.
-type AdmissionStats struct {
-	MaxInflight   int   `json:"max_inflight"`
-	MaxQueue      int   `json:"max_queue"`
-	QueueWaitMS   int64 `json:"queue_wait_ms"`
-	Inflight      int64 `json:"inflight"`
-	Queued        int64 `json:"queued"`
-	ShedQueueFull int64 `json:"shed_queue_full"`
-	ShedWait      int64 `json:"shed_wait_timeout"`
-	QueueAborted  int64 `json:"queue_abandoned"`
-}
+// AdmissionStats is the admission section of /v1/stats (canonically
+// api.AdmissionStats; aliased here for the serve-level consumers).
+type AdmissionStats = api.AdmissionStats
 
-func (a *admission) stats() AdmissionStats {
+// Stats reports the limiter's configuration and counters.
+func (a *Admission) Stats() AdmissionStats {
 	return AdmissionStats{
 		MaxInflight:   cap(a.slots),
 		MaxQueue:      cap(a.queue),

@@ -7,17 +7,19 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 // The limiter itself: fast-path admission, bounded queueing, and both
 // shed flavors — 429 when the queue is full, 503 when the wait expires.
 func TestAdmissionLimiter(t *testing.T) {
-	a := newAdmission(1, 1, 5*time.Millisecond)
+	a := NewAdmission(1, 1, 5*time.Millisecond)
 	ctx := context.Background()
 
-	release, status := a.acquire(ctx)
+	release, code := a.Acquire(ctx)
 	if release == nil {
-		t.Fatalf("first acquire shed with %d", status)
+		t.Fatalf("first acquire shed with %s", code)
 	}
 
 	// slot held: a second caller queues, a third finds the queue full
@@ -27,9 +29,9 @@ func TestAdmissionLimiter(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		close(queued)
-		rel, st := a.acquire(ctx)
+		rel, st := a.Acquire(ctx)
 		if rel == nil {
-			t.Errorf("queued caller shed with %d", st)
+			t.Errorf("queued caller shed with %s", st)
 			return
 		}
 		rel()
@@ -39,16 +41,16 @@ func TestAdmissionLimiter(t *testing.T) {
 	for i := 0; a.queued.Load() == 0 && i < 1000; i++ {
 		time.Sleep(100 * time.Microsecond)
 	}
-	if rel, st := a.acquire(ctx); rel != nil || st != http.StatusTooManyRequests {
-		t.Fatalf("queue-full acquire: release=%v status=%d, want 429", rel != nil, st)
+	if rel, st := a.Acquire(ctx); rel != nil || st != api.CodeQueueFull {
+		t.Fatalf("queue-full acquire: release=%v code=%s, want queue_full", rel != nil, st)
 	}
 	release() // queued caller takes the slot
 	wg.Wait()
 
 	// hold the slot past the queue wait: the waiter sheds with 503
-	release, _ = a.acquire(ctx)
-	if rel, st := a.acquire(ctx); rel != nil || st != http.StatusServiceUnavailable {
-		t.Fatalf("wait-expiry acquire: release=%v status=%d, want 503", rel != nil, st)
+	release, _ = a.Acquire(ctx)
+	if rel, st := a.Acquire(ctx); rel != nil || st != api.CodeOverloaded {
+		t.Fatalf("wait-expiry acquire: release=%v code=%s, want overloaded", rel != nil, st)
 	}
 
 	// a client hanging up while queued sheds too, but lands in the
@@ -56,19 +58,19 @@ func TestAdmissionLimiter(t *testing.T) {
 	// never freed in time", and client churn must not inflate it)
 	gone, cancel := context.WithCancel(ctx)
 	cancel()
-	if rel, st := a.acquire(gone); rel != nil || st != http.StatusServiceUnavailable {
-		t.Fatalf("cancelled-ctx acquire: release=%v status=%d, want 503", rel != nil, st)
+	if rel, st := a.Acquire(gone); rel != nil || st != api.CodeOverloaded {
+		t.Fatalf("cancelled-ctx acquire: release=%v code=%s, want overloaded", rel != nil, st)
 	}
 	// a deadline expiring while queued IS slot starvation
 	expired, cancel2 := context.WithTimeout(ctx, time.Nanosecond)
 	defer cancel2()
 	time.Sleep(time.Millisecond)
-	if rel, st := a.acquire(expired); rel != nil || st != http.StatusServiceUnavailable {
-		t.Fatalf("expired-ctx acquire: release=%v status=%d, want 503", rel != nil, st)
+	if rel, st := a.Acquire(expired); rel != nil || st != api.CodeOverloaded {
+		t.Fatalf("expired-ctx acquire: release=%v code=%s, want overloaded", rel != nil, st)
 	}
 	release()
 
-	st := a.stats()
+	st := a.Stats()
 	if st.ShedQueueFull != 1 || st.ShedWait != 2 || st.QueueAborted != 1 || st.Inflight != 0 || st.Queued != 0 {
 		t.Fatalf("unexpected admission stats: %+v", st)
 	}
@@ -102,8 +104,8 @@ func TestHTTPAdmissionSheds(t *testing.T) {
 	if h.errors.Load() != 0 {
 		t.Fatalf("sheds were counted as errors: %d", h.errors.Load())
 	}
-	if h.adm.stats().ShedQueueFull != 1 {
-		t.Fatalf("shed not counted: %+v", h.adm.stats())
+	if h.adm.Stats().ShedQueueFull != 1 {
+		t.Fatalf("shed not counted: %+v", h.adm.Stats())
 	}
 	// /v1/stats itself must never be throttled
 	h.adm.slots <- struct{}{}

@@ -170,7 +170,7 @@ func (b *Batcher) run(mb *microBatch) {
 		// diversified shapes — sub-groups onto the per-request path, where
 		// its plan holds in full
 		if req.Cascade != nil || req.MaxPerCategory > 0 || req.hasFilter() ||
-			req.Pruned || b.s.pruned ||
+			req.Pruned || b.s.pruned || b.s.ranged() ||
 			(req.Precision != model.PrecisionDefault && req.Precision != batchPrec) {
 			mb.resps[i] = b.s.run(context.Background(), epoch, c, req)
 			continue
@@ -204,7 +204,7 @@ func (b *Batcher) run(mb *microBatch) {
 					// batched answers feed the same epoch-stamped cache the
 					// per-request path fills, so a hot key coalesced once is
 					// a cache hit from then on
-					b.s.cache.put(epoch, cacheKey(&mb.reqs[i]), results[j].Items)
+					b.s.cache.Put(epoch, cacheKey(&mb.reqs[i]), results[j].Items)
 				}
 			}
 			b.s.putBuf(qs[j])

@@ -8,29 +8,42 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/api"
 	"repro/internal/vecmath"
 )
 
-// resultCache is the versioned LRU result cache: one bounded map from
-// canonicalized request keys to finished rankings, each entry stamped
-// with the model epoch it was computed under. Update (and therefore HTTP
-// Reload) bumps the epoch with one atomic add — it never takes the cache
-// lock — and every entry stamped under an older epoch becomes
-// unreachable at once: get compares the entry's stamp against the epoch
-// the caller pinned and treats a mismatch as a miss (deleting the entry
-// lazily). Hot-swapping a model therefore invalidates the whole cache
-// atomically without blocking readers or walking entries.
+// VersionedCache is a versioned LRU cache: one bounded map from
+// canonicalized request keys to finished values, each entry stamped with
+// the model epoch it was computed under. BumpEpoch (run by every hot
+// swap) is one atomic add — it never takes the cache lock — and every
+// entry stamped under an older epoch becomes unreachable at once: Get
+// compares the entry's stamp against the epoch the caller pinned and
+// treats a mismatch as a miss (deleting the entry lazily). Hot-swapping
+// a model therefore invalidates the whole cache atomically without
+// blocking readers or walking entries.
 //
 // Epoch/snapshot ordering is what makes a stale hit impossible. Writers
-// pin the epoch BEFORE loading the snapshot (Server.pin) and Update
+// pin the epoch BEFORE loading the snapshot (Server.pin) and the swap
 // stores the new snapshot BEFORE bumping the epoch; so a request that
 // pinned epoch e computed its result on a snapshot at least as new as
 // e's. If a reload sneaks between a request's pin and its store, the
 // fresh result is stamped with the older epoch and over-invalidated —
 // the safe direction. A result computed on the old snapshot can never be
 // stamped with the new epoch.
-type resultCache struct {
+//
+// The same machinery serves two layers: a single node caches rankings
+// under its own swap counter (the clone hook keeps stored slices
+// isolated from callers), and a scatter-gather router caches merged
+// rankings under the MINIMUM epoch across its shard set — the min is the
+// epoch the whole merged result is guaranteed current at, and any shard
+// reload raises it, invalidating router entries by the same stamp
+// comparison.
+type VersionedCache[V any] struct {
 	epoch atomic.Uint64
+
+	// clone, when non-nil, copies a value on Put so cached state is
+	// isolated from whatever buffer the caller reuses.
+	clone func(V) V
 
 	mu      sync.Mutex
 	cap     int
@@ -43,87 +56,94 @@ type resultCache struct {
 	evictions atomic.Int64
 }
 
-// cacheEntry is one cached ranking; items is read-only after insertion
-// (hits share the slice, so nothing may mutate it).
-type cacheEntry struct {
+// cacheEntry is one cached value; val is read-only after insertion (hits
+// share it, so nothing may mutate it).
+type cacheEntry[V any] struct {
 	key   string
 	epoch uint64
-	items []vecmath.Scored
+	val   V
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+// NewVersionedCache builds a cache holding up to capacity entries. clone
+// (may be nil) copies values on Put.
+func NewVersionedCache[V any](capacity int, clone func(V) V) *VersionedCache[V] {
+	return &VersionedCache[V]{
+		clone:   clone,
 		cap:     capacity,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element, capacity),
 	}
 }
 
-// get returns the ranking cached under key if it was stamped with the
+// Epoch reads the current cache epoch — what Server.pin stamps requests
+// with.
+func (rc *VersionedCache[V]) Epoch() uint64 { return rc.epoch.Load() }
+
+// BumpEpoch invalidates every cached entry with one atomic add.
+func (rc *VersionedCache[V]) BumpEpoch() { rc.epoch.Add(1) }
+
+// Get returns the value cached under key if it was stamped with the
 // caller's pinned epoch. An entry from an older epoch is removed and
 // reported as a (stale) miss.
-func (rc *resultCache) get(epoch uint64, key string) ([]vecmath.Scored, bool) {
+func (rc *VersionedCache[V]) Get(epoch uint64, key string) (V, bool) {
+	var zero V
 	rc.mu.Lock()
 	el, ok := rc.entries[key]
 	if !ok {
 		rc.mu.Unlock()
 		rc.misses.Add(1)
-		return nil, false
+		return zero, false
 	}
-	ent := el.Value.(*cacheEntry)
+	ent := el.Value.(*cacheEntry[V])
 	if ent.epoch != epoch {
 		rc.ll.Remove(el)
 		delete(rc.entries, key)
 		rc.mu.Unlock()
 		rc.stale.Add(1)
 		rc.misses.Add(1)
-		return nil, false
+		return zero, false
 	}
 	rc.ll.MoveToFront(el)
-	// snapshot the slice header before unlocking: put() may overwrite
-	// ent.items under the lock (two misses racing to fill one key), and
-	// a post-unlock field read would tear against it. The slice contents
-	// are safe either way — put stores fresh clones it never mutates.
-	items := ent.items
+	// snapshot the value before unlocking: Put may overwrite ent.val
+	// under the lock (two misses racing to fill one key), and a
+	// post-unlock field read would tear against it. The value's contents
+	// are safe either way — Put stores fresh clones it never mutates.
+	val := ent.val
 	rc.mu.Unlock()
 	rc.hits.Add(1)
-	return items, true
+	return val, true
 }
 
-// put stores a copy of items under key, stamped with the epoch the
-// caller pinned before computing them, evicting from the LRU tail past
-// capacity.
-func (rc *resultCache) put(epoch uint64, key string, items []vecmath.Scored) {
-	stored := slices.Clone(items)
+// Put stores v (cloned, when a clone hook is set) under key, stamped
+// with the epoch the caller pinned before computing it, evicting from
+// the LRU tail past capacity.
+func (rc *VersionedCache[V]) Put(epoch uint64, key string, v V) {
+	if rc.clone != nil {
+		v = rc.clone(v)
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if el, ok := rc.entries[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		ent.epoch, ent.items = epoch, stored
+		ent := el.Value.(*cacheEntry[V])
+		ent.epoch, ent.val = epoch, v
 		rc.ll.MoveToFront(el)
 		return
 	}
-	rc.entries[key] = rc.ll.PushFront(&cacheEntry{key: key, epoch: epoch, items: stored})
+	rc.entries[key] = rc.ll.PushFront(&cacheEntry[V]{key: key, epoch: epoch, val: v})
 	for rc.ll.Len() > rc.cap {
 		back := rc.ll.Back()
 		rc.ll.Remove(back)
-		delete(rc.entries, back.Value.(*cacheEntry).key)
+		delete(rc.entries, back.Value.(*cacheEntry[V]).key)
 		rc.evictions.Add(1)
 	}
 }
 
-// CacheStats is the cache section of /v1/stats.
-type CacheStats struct {
-	Capacity  int    `json:"capacity"`
-	Size      int    `json:"size"`
-	Epoch     uint64 `json:"epoch"`
-	Hits      int64  `json:"hits"`
-	Misses    int64  `json:"misses"`
-	Stale     int64  `json:"stale"`
-	Evictions int64  `json:"evictions"`
-}
+// CacheStats is the cache section of /v1/stats (canonically
+// api.CacheStats; aliased here for the serve-level consumers).
+type CacheStats = api.CacheStats
 
-func (rc *resultCache) stats() CacheStats {
+// Stats reports the cache's counters.
+func (rc *VersionedCache[V]) Stats() CacheStats {
 	rc.mu.Lock()
 	size := rc.ll.Len()
 	rc.mu.Unlock()
@@ -136,6 +156,14 @@ func (rc *resultCache) stats() CacheStats {
 		Stale:     rc.stale.Load(),
 		Evictions: rc.evictions.Load(),
 	}
+}
+
+// resultCache is the server's ranking cache: rankings are cloned on
+// insertion because the executor reuses result buffers across requests.
+type resultCache = VersionedCache[[]vecmath.Scored]
+
+func newResultCache(capacity int) *resultCache {
+	return NewVersionedCache(capacity, slices.Clone[[]vecmath.Scored])
 }
 
 // cacheKey canonicalizes a request into its cache identity: the query

@@ -146,11 +146,11 @@ func TestCacheConcurrentGetPutSameKey(t *testing.T) {
 			for i := 0; i < 2000; i++ {
 				if w%2 == 0 {
 					if i%2 == 0 {
-						rc.put(0, "k", itemsA)
+						rc.Put(0, "k", itemsA)
 					} else {
-						rc.put(0, "k", itemsB)
+						rc.Put(0, "k", itemsB)
 					}
-				} else if got, ok := rc.get(0, "k"); ok {
+				} else if got, ok := rc.Get(0, "k"); ok {
 					if len(got) != 1 && len(got) != 2 {
 						t.Errorf("torn read: %v", got)
 						return

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/model"
 )
 
@@ -26,14 +27,18 @@ func TestHTTPErrorPaths(t *testing.T) {
 	errBody := func(t *testing.T, resp *http.Response) string {
 		t.Helper()
 		defer resp.Body.Close()
-		var e map[string]string
+		var e api.ErrorBody
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatalf("error response is not JSON: %v", err)
 		}
-		if e["error"] == "" {
-			t.Fatal("error response missing the error field")
+		if e.Err.Code == "" || e.Err.Message == "" {
+			t.Fatalf("error envelope incomplete: %+v", e)
 		}
-		return e["error"]
+		// the typed code must agree with the HTTP status it was served under
+		if got := e.Err.Code.Status(); got != resp.StatusCode {
+			t.Fatalf("code %s maps to %d but the response status is %d", e.Err.Code, got, resp.StatusCode)
+		}
+		return e.Err.Message
 	}
 
 	t.Run("malformed JSON", func(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/infer"
 	"repro/internal/model"
@@ -21,20 +22,26 @@ import (
 // deployment shape of the recommender. Endpoints:
 //
 //	POST /v1/recommend             {"user":17,"k":10,"strategy":"cascade","keep":0.2,...}
-//	POST /v1/recommend/user        {"user":17,"recent":[[3,5]],"k":10}
-//	POST /v1/recommend/session     {"recent":[[3,5]],"k":10}
-//	POST /v1/recommend/cascade     {"user":17,"k":10,"keep":0.2} or {"keep_frac":[...]}
-//	POST /v1/recommend/diversified {"user":17,"k":10,"max_per_category":2,"cat_depth":1}
+//	POST /v1/recommend/user        deprecated alias (strategy fixed to naive)
+//	POST /v1/recommend/session     deprecated alias (naive, user forced to -1)
+//	POST /v1/recommend/cascade     deprecated alias (strategy fixed to cascade)
+//	POST /v1/recommend/diversified deprecated alias (strategy fixed to diversified)
 //	GET  /v1/stats
 //	GET  /healthz
 //
-// "recent" lists the subject's latest baskets most-recent first; session
-// and cascade requests may set "user" to -1 (the session endpoint forces
-// it). Responses carry {"items":[{"item":id,"score":s},...]}; errors are
-// {"error":"..."} with a 4xx/5xx status. /v1/recommend is the unified
-// plan endpoint: "strategy" picks naive (default), cascade or
-// diversified, with the same shape-specific fields as the per-shape
-// endpoints.
+// The wire shapes are the internal/api types (see docs/API.md).
+// /v1/recommend is the unified plan endpoint: "strategy" picks naive
+// (default), cascade or diversified. The four per-shape routes are thin
+// adapters — each rewrites its body into the unified form
+// (api.RecommendRequest.RewriteLegacy) and runs the exact same plan
+// path, answering with Deprecation and Link (successor-version) headers
+// and counting into the legacy_requests stat so their removal can be
+// data-driven.
+//
+// Responses are api.RecommendResponse: the ranked items (with the quota
+// category annotated on diversified rankings), the snapshot epoch the
+// ranking ran on, and the model's content fingerprint. Errors are the
+// structured api.ErrorBody envelope with a typed code.
 //
 // Every recommend endpoint accepts request-time candidate filtering and
 // pagination, as JSON fields (exclude_purchased, categories,
@@ -59,7 +66,7 @@ type HTTP struct {
 	start      time.Time
 	batcher    *Batcher
 	maxBody    int64
-	adm        *admission
+	adm        *Admission
 	timeout    time.Duration
 
 	users       atomic.Int64
@@ -67,6 +74,7 @@ type HTTP struct {
 	cascades    atomic.Int64
 	diversified atomic.Int64
 	plans       atomic.Int64
+	legacy      atomic.Int64
 	errors      atomic.Int64
 	reloads     atomic.Int64
 	cacheHits   atomic.Int64
@@ -78,6 +86,16 @@ type HTTP struct {
 // three orders of magnitude of headroom while keeping a hostile client
 // from streaming gigabytes into the JSON decoder.
 const DefaultMaxBodyBytes = 1 << 20
+
+// DeprecationDate is the RFC 9745 Deprecation header value the legacy
+// per-shape endpoints answer with: the date their deprecation was
+// announced (the unified plan endpoint became the only documented
+// route), as "@" + Unix seconds.
+const DeprecationDate = "@1785542400" // 2026-08-01
+
+// SuccessorLink is the RFC 8288 Link header pointing legacy-endpoint
+// clients at the unified route.
+const SuccessorLink = `</v1/recommend>; rel="successor-version"`
 
 // NewHTTP wraps srv. reload, which may be nil, produces a fresh model for
 // Reload (typically by re-reading the model file).
@@ -107,7 +125,7 @@ func (h *HTTP) SetAdmission(maxInflight, maxQueue int, queueWait time.Duration) 
 		h.adm = nil
 		return
 	}
-	h.adm = newAdmission(maxInflight, maxQueue, queueWait)
+	h.adm = NewAdmission(maxInflight, maxQueue, queueWait)
 }
 
 // SetTimeout bounds each recommend request's total time — admission
@@ -183,64 +201,25 @@ func (h *HTTP) Reload() error {
 // Handler returns the route table.
 func (h *HTTP) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recommend", h.recommend(&h.plans, modePlan))
-	mux.HandleFunc("POST /v1/recommend/user", h.recommend(&h.users, modeUser))
-	mux.HandleFunc("POST /v1/recommend/session", h.recommend(&h.sessions, modeSession))
-	mux.HandleFunc("POST /v1/recommend/cascade", h.recommend(&h.cascades, modeCascade))
-	mux.HandleFunc("POST /v1/recommend/diversified", h.recommend(&h.diversified, modeDiversified))
+	mux.HandleFunc("POST /v1/recommend", h.recommend(&h.plans, api.EndpointUnified))
+	mux.HandleFunc("POST /v1/recommend/user", h.recommend(&h.users, api.EndpointUser))
+	mux.HandleFunc("POST /v1/recommend/session", h.recommend(&h.sessions, api.EndpointSession))
+	mux.HandleFunc("POST /v1/recommend/cascade", h.recommend(&h.cascades, api.EndpointCascade))
+	mux.HandleFunc("POST /v1/recommend/diversified", h.recommend(&h.diversified, api.EndpointDiversified))
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	// unknown routes answer the structured envelope, not net/http's
+	// plain-text 404, so every error a client sees parses the same way
+	mux.Handle("/", api.NotFoundHandler())
 	return mux
 }
 
-type endpointMode int
-
-const (
-	modeUser endpointMode = iota
-	modeSession
-	modeCascade
-	modeDiversified
-	modePlan
-)
-
-// wireRequest is the JSON request body shared by the recommend endpoints.
-type wireRequest struct {
-	User   int       `json:"user"`
-	Recent [][]int32 `json:"recent"`
-	K      int       `json:"k"`
-	// strategy picks the ranking shape on the unified endpoint: "" or
-	// "naive", "cascade", "diversified"
-	Strategy string `json:"strategy"`
-	// cascade: either per-level fractions or one uniform fraction
-	KeepFrac []float64 `json:"keep_frac"`
-	Keep     float64   `json:"keep"`
-	// diversified
-	MaxPerCategory int `json:"max_per_category"`
-	CatDepth       int `json:"cat_depth"`
-	// candidate filtering and pagination
-	ExcludePurchased  bool    `json:"exclude_purchased"`
-	Categories        []int32 `json:"categories"`
-	ExcludeCategories []int32 `json:"exclude_categories"`
-	Offset            int     `json:"offset"`
-	// pruned turns on branch-and-bound retrieval for naive sweeps
-	Pruned bool `json:"pruned"`
-}
-
-type wireItem struct {
-	Item  int     `json:"item"`
-	Score float64 `json:"score"`
-}
-
-type wireResponse struct {
-	Items []wireItem `json:"items"`
-}
-
-// toRequest translates the wire form for one endpoint mode against the
-// current snapshot. The unified modePlan endpoint resolves the strategy
-// string and reuses the per-shape translations.
-func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, error) {
+// toRequest translates the (already legacy-rewritten) wire form against
+// the current snapshot: the strategy string resolves the plan shape and
+// the shape-specific fields are validated for it.
+func toRequest(wr api.RecommendRequest, c *model.Composed) (Request, error) {
 	req := Request{
 		User:              wr.User,
 		K:                 wr.K,
@@ -253,24 +232,12 @@ func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, 
 	for _, b := range wr.Recent {
 		req.Recent = append(req.Recent, dataset.Basket(b))
 	}
-	if mode == modePlan {
-		strat, err := infer.ParseStrategy(wr.Strategy)
-		if err != nil {
-			return req, err
-		}
-		switch strat {
-		case infer.StrategyCascade:
-			mode = modeCascade
-		case infer.StrategyDiversified:
-			mode = modeDiversified
-		default:
-			return req, nil
-		}
+	strat, err := infer.ParseStrategy(wr.Strategy)
+	if err != nil {
+		return req, err
 	}
-	switch mode {
-	case modeSession:
-		req.User = -1
-	case modeCascade:
+	switch strat {
+	case infer.StrategyCascade:
 		kf := wr.KeepFrac
 		if len(kf) == 0 {
 			if wr.Keep <= 0 {
@@ -279,7 +246,7 @@ func (wr wireRequest) toRequest(mode endpointMode, c *model.Composed) (Request, 
 			kf = infer.UniformCascade(c.Tree.Depth(), wr.Keep).KeepFrac
 		}
 		req.Cascade = &infer.CascadeConfig{KeepFrac: kf}
-	case modeDiversified:
+	case infer.StrategyDiversified:
 		if wr.MaxPerCategory <= 0 {
 			return req, fmt.Errorf("diversified request needs max_per_category > 0")
 		}
@@ -351,8 +318,14 @@ func queryParams(r *http.Request, req *Request) error {
 	return nil
 }
 
-func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerFunc {
+func (h *HTTP) recommend(counter *atomic.Int64, ep api.Endpoint) http.HandlerFunc {
+	legacy := ep != api.EndpointUnified
 	return func(w http.ResponseWriter, r *http.Request) {
+		if legacy {
+			h.legacy.Add(1)
+			w.Header().Set("Deprecation", DeprecationDate)
+			w.Header().Set("Link", SuccessorLink)
+		}
 		// the per-request budget is armed before admission so the queue
 		// wait spends it too — "-timeout 2s" bounds the request, not just
 		// its sweep; admission still comes before the body parse so a
@@ -365,9 +338,9 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			defer cancel()
 		}
 		if h.adm != nil {
-			release, status := h.adm.acquire(ctx)
+			release, code := h.adm.Acquire(ctx)
 			if release == nil {
-				h.shed(w, status)
+				h.shed(w, code)
 				return
 			}
 			defer release()
@@ -375,16 +348,20 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 		// bound the body before the decoder touches it: a streamed
 		// gigabyte must die at the limit, not in the decoder's buffers
 		r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
-		var wr wireRequest
+		var wr api.RecommendRequest
 		if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				h.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				h.fail(w, api.CodeBodyTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
 				return
 			}
-			h.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			h.fail(w, api.CodeBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
+		// the legacy adapters ARE this rewrite: after it, a legacy request
+		// is indistinguishable from its unified equivalent and takes the
+		// identical plan path below
+		wr.RewriteLegacy(ep)
 		// pin one (epoch, snapshot) pair for request translation, cache
 		// identity and execution, so a concurrent hot swap (which may
 		// change taxonomy depth) cannot invalidate a request between the
@@ -394,27 +371,28 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 		epoch, ref := h.srv.pin()
 		defer ref.release()
 		c := ref.c
-		req, err := wr.toRequest(mode, c)
+		req, err := toRequest(wr, c)
 		if err != nil {
-			h.fail(w, http.StatusBadRequest, err)
+			h.fail(w, api.CodeBadRequest, err)
 			return
 		}
 		if err := queryParams(r, &req); err != nil {
-			h.fail(w, http.StatusBadRequest, err)
+			h.fail(w, api.CodeBadRequest, err)
 			return
 		}
 		// a request pinning a non-zero fan-out opts out of coalescing, as
 		// do item filters (the shared sweep is one visitation pattern; the
 		// batcher would only sub-group them back onto the per-request
-		// path after the window wait) and a precision override the batch
-		// would not honor; pinning the precision the batch already runs
-		// at keeps the coalescing win
+		// path after the window wait), a shard-scoped server (whose range
+		// mask is a filter on every plan) and a precision override the
+		// batch would not honor; pinning the precision the batch already
+		// runs at keeps the coalescing win
 		var resp Response
 		batchable := req.Precision == model.PrecisionDefault ||
 			req.Precision == h.srv.effectivePrecision(c, Request{})
 		if h.batcher != nil && req.Workers == 0 && batchable && !req.hasFilter() &&
 			req.Cascade == nil && req.MaxPerCategory <= 0 &&
-			!req.Pruned && !h.srv.pruned {
+			!req.Pruned && !h.srv.pruned && !h.srv.ranged() {
 			// probe the cache before joining a batch: a hot key must not
 			// pay the coalescing window for a result that is already sitting
 			// in memory (the batcher fills the same epoch-stamped cache)
@@ -440,7 +418,7 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			// context.Canceled) and must not inflate the deadline stat.
 			if errors.Is(resp.Err, context.DeadlineExceeded) {
 				h.deadlines.Add(1)
-				h.shed(w, http.StatusServiceUnavailable)
+				h.shed(w, api.CodeDeadlineExceeded)
 				return
 			}
 			// a cancellation means the client went away (mid-batch-wait or
@@ -453,19 +431,19 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 			}
 			// request validation failures are typed; anything else that
 			// escapes the executor is a server fault, not a client error
-			status := http.StatusInternalServerError
+			code := api.CodeInternal
 			var reqErr *RequestError
 			if errors.As(resp.Err, &reqErr) {
-				status = http.StatusBadRequest
+				code = api.CodeBadRequest
 			}
-			h.fail(w, status, resp.Err)
+			h.fail(w, code, resp.Err)
 			return
 		}
 		if resp.Cached {
 			h.cacheHits.Add(1)
 		}
 		counter.Add(1)
-		h.writeJSON(w, toWire(resp.Items))
+		h.writeJSON(w, toWire(c, ref.gen, req, resp.Items))
 	}
 }
 
@@ -475,102 +453,49 @@ func (h *HTTP) recommend(counter *atomic.Int64, mode endpointMode) http.HandlerF
 // server. Sheds are intentional degradation, not serving errors, so the
 // errors counter is untouched — the admission/deadline counters in
 // /v1/stats carry them.
-func (h *HTTP) shed(w http.ResponseWriter, status int) {
-	w.Header().Set("Retry-After", "1")
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": "overloaded, retry later"})
+func (h *HTTP) shed(w http.ResponseWriter, code api.Code) {
+	api.WriteError(w, api.ErrorDetail{Code: code, Message: shedMessage(code), RetryAfter: 1})
 }
 
-func toWire(items []vecmath.Scored) wireResponse {
-	out := wireResponse{Items: make([]wireItem, len(items))}
+// shedMessage is the human line for each load-shedding code.
+func shedMessage(code api.Code) string {
+	switch code {
+	case api.CodeQueueFull:
+		return "admission queue full, retry later"
+	case api.CodeDeadlineExceeded:
+		return "request deadline exceeded, retry later"
+	default:
+		return "overloaded, retry later"
+	}
+}
+
+// toWire renders a ranking as the wire response: items, the snapshot
+// generation the ranking ran on, and the model's content fingerprint. A
+// diversified ranking annotates each item with the taxonomy node its
+// per-category quota was charged to — the field a scatter-gather router
+// needs to re-apply the quota merge across shards.
+func toWire(c *model.Composed, gen uint64, req Request, items []vecmath.Scored) api.RecommendResponse {
+	out := api.RecommendResponse{
+		Items:   make([]api.Item, len(items)),
+		Epoch:   gen,
+		ModelID: c.Fingerprint(),
+	}
+	catDepth := -1
+	if req.MaxPerCategory > 0 {
+		catDepth = infer.DiversifyDepth(c, req.CatDepth)
+	}
 	for i, s := range items {
-		out.Items[i] = wireItem{Item: s.ID, Score: s.Score}
+		out.Items[i] = api.Item{Item: s.ID, Score: s.Score}
+		if catDepth >= 0 {
+			out.Items[i].Category = int32(c.Index.ItemCategory(s.ID, catDepth))
+		}
 	}
 	return out
 }
 
-// statsResponse describes the live snapshot and the service counters.
-type statsResponse struct {
-	Model struct {
-		Users       int  `json:"users"`
-		Items       int  `json:"items"`
-		Nodes       int  `json:"nodes"`
-		Depth       int  `json:"depth"`
-		K           int  `json:"k"`
-		MarkovOrder int  `json:"markov_order"`
-		UseBias     bool `json:"use_bias"`
-		// Epoch counts hot swaps; FormatVersion is the model file format
-		// the snapshot came from (-1 = composed in-process) and Mapped
-		// whether its slabs are served from a memory mapping.
-		Epoch         uint64 `json:"epoch"`
-		FormatVersion int    `json:"format_version"`
-		Mapped        bool   `json:"mapped"`
-	} `json:"model"`
-	Served struct {
-		User        int64 `json:"user"`
-		Session     int64 `json:"session"`
-		Cascade     int64 `json:"cascade"`
-		Diversified int64 `json:"diversified"`
-		Plan        int64 `json:"plan"`
-		Errors      int64 `json:"errors"`
-	} `json:"served"`
-	// Inference describes the parallel sweep, precision and batching
-	// configuration. F32Escalations and I8Escalations count process-wide
-	// two-stage margin escalations per tier — a steady climb means scores
-	// are tighter than that tier's resolution and a higher-precision sweep
-	// may serve cheaper. Filters counts how many served requests used each
-	// request-time filtering capability.
-	Inference struct {
-		PoolWorkers    int    `json:"pool_workers"`
-		Precision      string `json:"precision"`
-		F32Escalations int64  `json:"f32_escalations"`
-		I8Escalations  int64  `json:"i8_escalations"`
-		Batching       bool   `json:"batching"`
-		Batches        int64  `json:"batches"`
-		BatchedReqs    int64  `json:"batched_requests"`
-		Filters        struct {
-			ExcludePurchased int64 `json:"exclude_purchased"`
-			Category         int64 `json:"category"`
-			Paged            int64 `json:"paged"`
-		} `json:"filters"`
-		// Kernels is the active vecmath dispatch table — which scoring
-		// kernel implementation (avx2, neon, generic) serves each op on
-		// this process, plus why SIMD is off when it is. Operators use it
-		// to confirm a deploy actually runs the vectorized sweeps.
-		Kernels vecmath.KernelSet `json:"kernels"`
-		// Pruning mirrors infer.PruneCounters: how much dense-sweep work
-		// the branch-and-bound descents saved (items_pruned versus the
-		// catalog size), what they spent (bound_evals), and how often a
-		// pruned plan degraded to the dense sweep (fallbacks). All zero
-		// until a request (or the server default) asks for pruning.
-		Pruning struct {
-			SubtreesPruned int64 `json:"subtrees_pruned"`
-			ItemsPruned    int64 `json:"items_pruned"`
-			BoundEvals     int64 `json:"bound_evals"`
-			Fallbacks      int64 `json:"fallbacks"`
-			Default        bool  `json:"default"`
-		} `json:"pruning"`
-	} `json:"inference"`
-	// Cache is present when the server was built with WithCache; HTTPHits
-	// counts hits served by this handler (including batch-bypass probes).
-	Cache *struct {
-		CacheStats
-		HTTPHits int64 `json:"http_hits"`
-	} `json:"cache,omitempty"`
-	// Admission is present when SetAdmission armed the load shedder.
-	Admission *AdmissionStats `json:"admission,omitempty"`
-	// DeadlineExceeded counts requests whose per-request timeout fired
-	// mid-sweep (answered 503, never a partial ranking).
-	DeadlineExceeded int64 `json:"deadline_exceeded"`
-	// TimeoutMS is the configured per-request budget (0 = unbounded).
-	TimeoutMS int64 `json:"timeout_ms"`
-	// Goroutines is runtime.NumGoroutine() — the loadtest gate watches it
-	// to catch handler or batcher leaks under sustained load.
-	Goroutines    int     `json:"goroutines"`
-	Reloads       int64   `json:"reloads"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-}
+// statsResponse is the wire shape of GET /v1/stats (canonically
+// api.Stats; aliased for the serve-level tests that decode it).
+type statsResponse = api.Stats
 
 func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	_, ref := h.srv.pin()
@@ -586,12 +511,19 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 	out.Model.K = c.K()
 	out.Model.MarkovOrder = c.P.MarkovOrder
 	out.Model.UseBias = c.P.UseBias
+	out.Model.ModelID = c.Fingerprint()
+	if lo, hi, ok := h.srv.ItemRange(); ok {
+		// the range assertion a router's topology bootstrap reads: which
+		// contiguous catalog slice this process answers for
+		out.Model.ItemRange = &api.ItemRange{Lo: lo, Hi: hi}
+	}
 	out.Served.User = h.users.Load()
 	out.Served.Session = h.sessions.Load()
 	out.Served.Cascade = h.cascades.Load()
 	out.Served.Diversified = h.diversified.Load()
 	out.Served.Plan = h.plans.Load()
 	out.Served.Errors = h.errors.Load()
+	out.Served.Legacy = h.legacy.Load()
 	out.Inference.PoolWorkers = h.srv.Pool().Workers()
 	out.Inference.Precision = h.srv.Precision().String()
 	out.Inference.F32Escalations = infer.F32Escalations()
@@ -609,13 +541,10 @@ func (h *HTTP) stats(w http.ResponseWriter, r *http.Request) {
 		out.Inference.Batches, out.Inference.BatchedReqs = h.batcher.Stats()
 	}
 	if cs, ok := h.srv.CacheStats(); ok {
-		out.Cache = &struct {
-			CacheStats
-			HTTPHits int64 `json:"http_hits"`
-		}{CacheStats: cs, HTTPHits: h.cacheHits.Load()}
+		out.Cache = &api.StatsCache{CacheStats: cs, HTTPHits: h.cacheHits.Load()}
 	}
 	if h.adm != nil {
-		as := h.adm.stats()
+		as := h.adm.Stats()
 		out.Admission = &as
 	}
 	out.DeadlineExceeded = h.deadlines.Load()
@@ -633,9 +562,7 @@ func (h *HTTP) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (h *HTTP) fail(w http.ResponseWriter, status int, err error) {
+func (h *HTTP) fail(w http.ResponseWriter, code api.Code, err error) {
 	h.errors.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	api.WriteError(w, api.ErrorDetail{Code: code, Message: err.Error()})
 }

@@ -10,18 +10,19 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/model"
 	"repro/internal/vecmath"
 )
 
-func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, wireResponse) {
+func postJSON(t *testing.T, client *http.Client, url, body string) (*http.Response, api.RecommendResponse) {
 	t.Helper()
 	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out wireResponse
+	var out api.RecommendResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)

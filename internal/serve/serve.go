@@ -45,6 +45,11 @@ func badRequestf(format string, args ...any) *RequestError {
 type snapshotRef struct {
 	c  *model.Composed
 	sn *model.Snapshot // nil when composed in-process from a *TF
+	// gen is the snapshot's generation: 0 for the construction snapshot,
+	// then the swap counter's value when this ref was installed. Stamped
+	// into responses as their "epoch" — a request reports the generation
+	// it actually ran on, not whatever the counter says at write time.
+	gen uint64
 
 	refs      atomic.Int64 // starts at 1: the Server's owner reference
 	closeOnce sync.Once
@@ -94,6 +99,11 @@ type Server struct {
 	// model epoch, invalidated wholesale by Update's epoch bump. Hits
 	// skip the sweep entirely.
 	cache *resultCache
+	// rangeLo/rangeHi, when rangeHi > rangeLo, scope every request to the
+	// catalog slice [rangeLo, rangeHi) — shard mode (WithItemRange). The
+	// full model is loaded either way; the range is an eligibility mask
+	// intersected into each request's plan filter.
+	rangeLo, rangeHi int
 
 	// filter usage counters, surfaced via FilterStats and /v1/stats.
 	filterExcluded atomic.Int64
@@ -175,6 +185,20 @@ func WithCache(n int) Option {
 	}
 }
 
+// WithItemRange scopes the server to the half-open catalog slice
+// [lo, hi) — the shard-scoped serving mode behind a scatter-gather
+// router. The server still loads the whole model (queries need the full
+// taxonomy and factor slabs), but every ranking only considers items in
+// the range: the range is compiled into each request's eligibility mask,
+// so it composes with category filters, exclusions, pagination and every
+// strategy/precision/pruning combination, and the adaptive masked sweep
+// skips out-of-range blocks cheaply. hi <= lo disables (the default,
+// full catalog). The range is validated against the snapshot at request
+// time; cmd/tfrec-serve also checks it at startup.
+func WithItemRange(lo, hi int) Option {
+	return func(s *Server) { s.rangeLo, s.rangeHi = lo, hi }
+}
+
 // New builds a server from a trained model (the model is snapshotted; the
 // caller may keep training it and call Update later).
 func New(m *model.TF, opts ...Option) *Server {
@@ -219,6 +243,15 @@ func (s *Server) Precision() model.Precision {
 	return s.effectivePrecision(r.c, Request{})
 }
 
+// ranged reports whether the server is shard-scoped (WithItemRange).
+func (s *Server) ranged() bool { return s.rangeHi > s.rangeLo }
+
+// ItemRange reports the shard scope; ok is false on a full-catalog
+// server.
+func (s *Server) ItemRange() (lo, hi int, ok bool) {
+	return s.rangeLo, s.rangeHi, s.ranged()
+}
+
 // FilterStats reports how many served requests used each filter
 // capability: exclude-purchased, category allow/deny lists, and non-zero
 // pagination offsets.
@@ -248,10 +281,12 @@ func (s *Server) UpdateSnapshot(sn *model.Snapshot) {
 // reference is dropped last, after the swap, so acquire's re-check
 // ordering holds (see acquire).
 func (s *Server) swap(r *snapshotRef) {
+	// the ref's generation is assigned before the pointer is published, so
+	// a pin can never observe a ref with a stale gen
+	r.gen = s.gen.Add(1)
 	old := s.snap.Swap(r)
-	s.gen.Add(1)
 	if s.cache != nil {
-		s.cache.epoch.Add(1)
+		s.cache.BumpEpoch()
 	}
 	old.release()
 }
@@ -299,7 +334,7 @@ func (s *Server) acquire() *snapshotRef {
 func (s *Server) pin() (uint64, *snapshotRef) {
 	var epoch uint64
 	if s.cache != nil {
-		epoch = s.cache.epoch.Load()
+		epoch = s.cache.Epoch()
 	}
 	return epoch, s.acquire()
 }
@@ -310,7 +345,7 @@ func (s *Server) CacheStats() (CacheStats, bool) {
 	if s.cache == nil {
 		return CacheStats{}, false
 	}
-	return s.cache.stats(), true
+	return s.cache.Stats(), true
 }
 
 // Snapshot returns the current composed snapshot (for metrics endpoints
@@ -447,10 +482,13 @@ func (r Request) validate(c *model.Composed) error {
 // filterFor translates the request's filter fields into the plan filter,
 // or nil when the request filters nothing.
 func (s *Server) filterFor(req Request) *infer.Filter {
-	if !req.hasFilter() {
+	if !req.hasFilter() && !s.ranged() {
 		return nil
 	}
-	f := &infer.Filter{AllowNodes: req.Categories, DenyNodes: req.ExcludeCategories}
+	f := &infer.Filter{
+		AllowNodes: req.Categories, DenyNodes: req.ExcludeCategories,
+		RangeLo: s.rangeLo, RangeHi: s.rangeHi,
+	}
 	if req.ExcludePurchased {
 		if req.User >= 0 && req.User < len(s.purchased) {
 			f.ExcludeItems = append(f.ExcludeItems, s.purchased[req.User]...)
@@ -522,7 +560,7 @@ func (s *Server) cached(epoch uint64, req Request) ([]vecmath.Scored, bool) {
 	if s.cache == nil {
 		return nil, false
 	}
-	return s.cache.get(epoch, cacheKey(&req))
+	return s.cache.Get(epoch, cacheKey(&req))
 }
 
 // run executes one request against a pinned (epoch, snapshot) pair with
@@ -537,7 +575,7 @@ func (s *Server) run(ctx context.Context, epoch uint64, c *model.Composed, req R
 	var key string
 	if s.cache != nil {
 		key = cacheKey(&req)
-		if items, ok := s.cache.get(epoch, key); ok {
+		if items, ok := s.cache.Get(epoch, key); ok {
 			return Response{Items: items, Cached: true}
 		}
 	}
@@ -562,7 +600,7 @@ func (s *Server) run(ctx context.Context, epoch uint64, c *model.Composed, req R
 		return Response{Err: &RequestError{msg: err.Error()}}
 	}
 	if s.cache != nil {
-		s.cache.put(epoch, key, res.Items)
+		s.cache.Put(epoch, key, res.Items)
 	}
 	return Response{Items: res.Items}
 }
